@@ -1,0 +1,40 @@
+// Ablation: where in the pipeline aborts are detected. §4 (end): "we ran
+// premeld first, since it is more likely to find aborted transactions than
+// group meld. The sooner in the pipeline that aborted transactions are
+// identified, the better, since it reduces the amount of downstream work."
+//
+// This bench measures, for the combined configuration, what fraction of
+// aborts each stage catches — and how much final-meld work the early
+// detection saves (a premeld-aborted intention skips final meld entirely).
+
+#include "bench_common.h"
+
+using namespace hyder;
+using namespace hyder::bench;
+
+int main() {
+  PrintHeader("ablation_abort_stage", "the §4 pipeline-ordering argument",
+              "premeld catches the large majority of aborts before final "
+              "meld; early detection removes those intentions from the "
+              "critical path");
+
+  std::printf(
+      "variant,aborts_total,caught_by_premeld,premeld_share,"
+      "final_melds,fm_us\n");
+  for (const char* variant : {"pre", "opt"}) {
+    ExperimentConfig config = DefaultWriteOnlyConfig();
+    ApplyVariant(variant, &config);
+    config.intentions = uint64_t(1200 * BenchScale());
+    config.warmup = config.inflight / 2 + 200;
+    ExperimentResult r = RunExperiment(config);
+    const uint64_t aborts = r.report.aborted;
+    const uint64_t early = r.stats.premeld_aborts;
+    std::printf("%s,%llu,%llu,%.2f,%llu,%.1f\n", variant,
+                static_cast<unsigned long long>(aborts),
+                static_cast<unsigned long long>(early),
+                aborts ? double(early) / double(aborts) : 0.0,
+                static_cast<unsigned long long>(r.stats.final_melds),
+                r.times.fm_us);
+  }
+  return 0;
+}

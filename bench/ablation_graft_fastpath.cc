@@ -1,0 +1,44 @@
+// Ablation: the meld operator's subtree-graft fast path (§2/Appendix A:
+// "If SSV(n) = VN(nL) ... meld can simply replace nL by n, which also
+// replaces nL's subtree" — the merging of subtrees "is why the algorithm is
+// called meld").
+//
+// Without the fast path, meld must descend to the leaves of every path in
+// the intention even when nothing concurrent happened, turning the
+// conflict-zone-proportional cost into a full-footprint cost on every
+// meld. This quantifies how much of Hyder's viability the single SSV
+// comparison buys.
+
+#include "bench_common.h"
+
+using namespace hyder;
+using namespace hyder::bench;
+
+int main() {
+  PrintHeader("ablation_graft_fastpath",
+              "the Appendix A graft rule (SSV == VN)",
+              "disabling the graft fast path multiplies final-meld nodes "
+              "and service time several-fold; decisions are unchanged");
+
+  std::printf(
+      "graft_fastpath,conflict_zone,fm_nodes_per_txn,fm_us,tps_model\n");
+  // The fast path's benefit scales inversely with the conflict zone: at a
+  // short zone nearly every subtree grafts; at a long zone descent is
+  // forced anyway.
+  for (uint64_t zone : {50, 400}) {
+    for (bool disabled : {false, true}) {
+      ExperimentConfig config = DefaultWriteOnlyConfig();
+      ApplyVariant("base", &config);
+      config.pipeline.disable_graft_fastpath = disabled;
+      config.inflight = zone;
+      config.pipeline.state_retention = config.inflight + 1024;
+      config.intentions = uint64_t(600 * BenchScale());
+      config.warmup = 300;
+      ExperimentResult r = RunExperiment(config);
+      std::printf("%s,%llu,%.1f,%.1f,%.0f\n", disabled ? "off" : "on",
+                  static_cast<unsigned long long>(zone),
+                  r.fm_nodes_per_txn, r.times.fm_us, r.meld_bound_tps);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,208 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+
+namespace hyder {
+namespace bench {
+
+double BenchScale() {
+  const char* env = std::getenv("HYDER_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+void PrintHeader(const std::string& bench, const std::string& figure,
+                 const std::string& paper_shape) {
+  std::printf("# %s — reproduces %s\n", bench.c_str(), figure.c_str());
+  std::printf("# paper_shape: %s\n", paper_shape.c_str());
+  std::printf("# scale: %.2f (set HYDER_BENCH_SCALE to adjust)\n",
+              BenchScale());
+}
+
+ExperimentConfig DefaultWriteOnlyConfig() {
+  ExperimentConfig config;
+  // Paper defaults (§6.1), scaled: 10M x 1KB items -> 400K x 16B. Meld
+  // cost depends on tree depth and conflict-zone geometry, not payload
+  // bytes; the zone:db ratio (and hence the abort rate, §6.2) is kept near
+  // the paper's. The database size does not scale with HYDER_BENCH_SCALE —
+  // only run lengths do — so abort rates stay comparable across scales.
+  config.workload.db_size = 400'000;
+  config.workload.ops_per_txn = 10;
+  config.workload.update_fraction = 0.2;  // 8 reads + 2 writes.
+  config.workload.distribution = AccessDistribution::kUniform;
+  config.isolation = IsolationLevel::kSerializable;
+  // Paper: 20 threads x 80 in-flight per server (up to 16K concurrent);
+  // scaled to keep the premeld zone ratio (~100:1, §3.2) meaningful.
+  config.inflight = 1500;
+  config.intentions = uint64_t(1500 * BenchScale());
+  config.warmup = 400;
+  config.pipeline.state_retention = config.inflight + 256;
+  config.log.block_size = 8192;
+  config.log.storage_units = 6;
+  return config;
+}
+
+void ApplyVariant(const std::string& variant, ExperimentConfig* config) {
+  config->pipeline.premeld_threads = 0;
+  config->pipeline.group_meld = false;
+  if (variant == "pre" || variant == "opt") {
+    // The paper's best setting: five premeld threads, distance 10 (§6.4.6).
+    config->pipeline.premeld_threads = 5;
+    config->pipeline.premeld_distance = 10;
+  }
+  if (variant == "grp" || variant == "opt") {
+    config->pipeline.group_meld = true;
+  }
+  config->pipeline.state_retention =
+      config->inflight +
+      uint64_t(config->pipeline.premeld_threads) *
+          uint64_t(config->pipeline.premeld_distance) +
+      256;
+}
+
+double PipelineTps(const StageTimes& times, const PipelineConfig& pipeline,
+                   int ds_threads, double commit_fraction,
+                   std::string* bottleneck) {
+  struct Stage {
+    const char* name;
+    double us;
+  };
+  Stage stages[] = {
+      {"ds", times.ds_us / std::max(1, ds_threads)},
+      {"pm", pipeline.premeld_threads > 0
+                 ? times.pm_us / pipeline.premeld_threads
+                 : 0.0},
+      {"gm", pipeline.group_meld ? times.gm_us : 0.0},
+      {"fm", times.fm_us},
+  };
+  const Stage* worst = &stages[0];
+  for (const Stage& s : stages) {
+    if (s.us > worst->us) worst = &s;
+  }
+  if (bottleneck != nullptr) *bottleneck = worst->name;
+  if (worst->us <= 0) return 0;
+  return 1e6 / worst->us * commit_fraction;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  StripedLog log(config.log);
+  ServerOptions options;
+  options.pipeline = config.pipeline;
+  options.max_inflight = config.inflight + 16;
+  options.resolver.intention_cache_capacity =
+      config.inflight + config.pipeline.state_retention;
+  HyderServer server(&log, options);
+
+  WorkloadGenerator gen(config.workload);
+  Status seeded = gen.SeedDatabase(server);
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "seed failed: %s\n", seeded.ToString().c_str());
+    std::exit(1);
+  }
+
+  ClosedLoopDriver driver(
+      &server, config.inflight, config.isolation,
+      [&gen](Transaction& txn) { return gen.FillWriteTransaction(txn); });
+
+  auto run = [&](uint64_t n) {
+    Status st = driver.Run(n);
+    if (!st.ok()) {
+      std::fprintf(stderr, "driver failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  run(config.warmup);
+  PipelineStats before = server.stats();
+  DriverReport report_before = driver.report();
+  run(config.intentions);
+  PipelineStats after = server.stats();
+  DriverReport report_after = driver.report();
+
+  ExperimentResult r;
+  // Deltas over the measured phase.
+  r.stats = after;
+  r.stats.intentions -= before.intentions;
+  r.stats.committed -= before.committed;
+  r.stats.aborted -= before.aborted;
+  r.stats.premeld_aborts -= before.premeld_aborts;
+  r.stats.premeld_skips -= before.premeld_skips;
+  r.stats.final_melds -= before.final_melds;
+  r.stats.conflict_zone_sum -= before.conflict_zone_sum;
+  auto delta = [](MeldWork a, const MeldWork& b) {
+    a.nodes_visited -= b.nodes_visited;
+    a.ephemeral_created -= b.ephemeral_created;
+    a.grafts -= b.grafts;
+    a.conflict_checks -= b.conflict_checks;
+    a.splits -= b.splits;
+    a.cpu_nanos -= b.cpu_nanos;
+    return a;
+  };
+  r.stats.deserialize = delta(after.deserialize, before.deserialize);
+  r.stats.premeld = delta(after.premeld, before.premeld);
+  r.stats.group_meld = delta(after.group_meld, before.group_meld);
+  r.stats.final_meld = delta(after.final_meld, before.final_meld);
+
+  r.report.submitted = report_after.submitted - report_before.submitted;
+  r.report.committed = report_after.committed - report_before.committed;
+  r.report.aborted = report_after.aborted - report_before.aborted;
+
+  const double n = double(std::max<uint64_t>(1, r.stats.intentions));
+  r.fm_nodes_per_txn = double(r.stats.final_meld.nodes_visited) / n;
+  r.pm_nodes_per_txn = double(r.stats.premeld.nodes_visited) / n;
+  r.gm_nodes_per_txn = double(r.stats.group_meld.nodes_visited) / n;
+  r.fm_ephemeral_per_txn = double(r.stats.final_meld.ephemeral_created) / n;
+  r.total_ephemeral_per_txn =
+      double(r.stats.final_meld.ephemeral_created +
+             r.stats.premeld.ephemeral_created +
+             r.stats.group_meld.ephemeral_created) /
+      n;
+  r.conflict_zone_blocks =
+      r.stats.final_melds == 0
+          ? 0
+          : double(r.stats.conflict_zone_sum) / double(r.stats.final_melds);
+  const uint64_t decided = r.report.committed + r.report.aborted;
+  r.abort_rate = decided == 0 ? 0 : double(r.report.aborted) / decided;
+
+  r.times.ds_us = double(r.stats.deserialize.cpu_nanos) / 1e3 / n;
+  r.times.pm_us = double(r.stats.premeld.cpu_nanos) / 1e3 / n;
+  r.times.gm_us = double(r.stats.group_meld.cpu_nanos) / 1e3 / n;
+  r.times.fm_us = double(r.stats.final_meld.cpu_nanos) / 1e3 / n;
+  r.meld_bound_tps =
+      PipelineTps(r.times, config.pipeline, config.ds_threads,
+                  1.0 - r.abort_rate, &r.bottleneck);
+
+  // Executor-side costs: execution + serialization of write transactions,
+  // and read-only transactions (which never touch the pipeline).
+  {
+    const int kSamples = 100;
+    CpuStopwatch cpu;
+    for (int i = 0; i < kSamples; ++i) {
+      Transaction txn = server.Begin(config.isolation);
+      Status st = gen.FillWriteTransaction(txn);
+      if (st.ok()) {
+        auto sub = server.Submit(std::move(txn));
+        (void)sub;
+      }
+    }
+    r.exec_us_per_txn = cpu.ElapsedNanos() / 1e3 / kSamples;
+    // Drain what we just submitted.
+    (void)server.Poll();
+    CpuStopwatch read_cpu;
+    for (int i = 0; i < kSamples; ++i) {
+      Transaction txn = server.Begin(config.isolation);
+      Status st = gen.FillReadOnlyTransaction(txn);
+      (void)st;
+      auto sub = server.Submit(std::move(txn));
+      (void)sub;
+    }
+    r.read_txn_us = read_cpu.ElapsedNanos() / 1e3 / kSamples;
+  }
+  return r;
+}
+
+}  // namespace bench
+}  // namespace hyder

@@ -1,0 +1,100 @@
+#ifndef HYDER2_BENCH_BENCH_COMMON_H_
+#define HYDER2_BENCH_BENCH_COMMON_H_
+
+// Shared experiment harness for the figure/table reproduction benches.
+//
+// Each bench binary reproduces one figure or table from the paper's
+// evaluation (§6) and prints a CSV-ish table with the same series. The
+// work metrics (tree nodes visited per stage, ephemeral nodes created,
+// conflict-zone lengths, abort rates) are *measured exactly* from real
+// executions of the real algorithms. Throughput is derived with the
+// paper's own performance model — "the slowest pipeline stage determines
+// transaction throughput" (§1) — from measured per-stage CPU service
+// times, because the evaluation host has a single core (see DESIGN.md,
+// "Substitutions"). Set HYDER_BENCH_SCALE to scale run lengths.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "log/striped_log.h"
+#include "meld/pipeline.h"
+#include "server/driver.h"
+#include "server/server.h"
+#include "workload/workload.h"
+
+namespace hyder {
+namespace bench {
+
+/// One experiment = one fully configured end-to-end system.
+struct ExperimentConfig {
+  PipelineConfig pipeline;
+  WorkloadOptions workload;
+  IsolationLevel isolation = IsolationLevel::kSerializable;
+  /// Transactions kept in flight: controls the conflict-zone length
+  /// (paper: servers × 20 threads × 80 in-flight; scaled down here).
+  uint64_t inflight = 1000;
+  /// Intentions melded during the measured phase.
+  uint64_t intentions = 2000;
+  uint64_t warmup = 400;
+  /// Model parameters for the pipeline-throughput derivation.
+  int ds_threads = 2;  ///< The paper uses several deserialization threads.
+  StripedLogOptions log;
+};
+
+/// Per-intention stage service times (microseconds of CPU).
+struct StageTimes {
+  double ds_us = 0;
+  double pm_us = 0;  ///< Aggregate premeld work (divide by threads).
+  double gm_us = 0;
+  double fm_us = 0;
+};
+
+struct ExperimentResult {
+  PipelineStats stats;  ///< Measured-phase deltas.
+  DriverReport report;
+  double fm_nodes_per_txn = 0;
+  double pm_nodes_per_txn = 0;
+  double gm_nodes_per_txn = 0;
+  double fm_ephemeral_per_txn = 0;
+  double total_ephemeral_per_txn = 0;
+  double conflict_zone_blocks = 0;  ///< Seen by final meld (post-premeld).
+  double abort_rate = 0;
+  StageTimes times;
+  /// Committed transactions/second from the pipeline bottleneck model.
+  double meld_bound_tps = 0;
+  /// Which stage bounds it ("ds", "pm", "gm", "fm").
+  std::string bottleneck;
+  /// Measured CPU cost of executing + serializing one write transaction.
+  double exec_us_per_txn = 0;
+  /// Measured CPU cost of one read-only transaction (never melded).
+  double read_txn_us = 0;
+};
+
+/// Runs one experiment end to end. Prints nothing.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+/// HYDER_BENCH_SCALE (default 1.0) multiplies run lengths.
+double BenchScale();
+
+/// Standard header: bench name, the paper figure, and the qualitative
+/// shape being reproduced.
+void PrintHeader(const std::string& bench, const std::string& figure,
+                 const std::string& paper_shape);
+
+/// The paper's default configuration helpers.
+ExperimentConfig DefaultWriteOnlyConfig();
+
+/// Applies an optimization selection to a config (the four bars of
+/// Fig. 10): "base", "grp", "pre", "opt".
+void ApplyVariant(const std::string& variant, ExperimentConfig* config);
+
+/// Computes throughput from stage times via the bottleneck model.
+double PipelineTps(const StageTimes& times, const PipelineConfig& pipeline,
+                   int ds_threads, double commit_fraction,
+                   std::string* bottleneck);
+
+}  // namespace bench
+}  // namespace hyder
+
+#endif  // HYDER2_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,43 @@
+// Fig. 11: tree nodes visited per transaction by the *final meld* thread,
+// per optimization variant.
+//
+// Paper result: group meld reduces final-meld nodes ~2x; premeld reduces
+// them 8-10x (most readset/writeset validation happens in premeld; final
+// meld "mostly terminates high up in the tree").
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace hyder;
+using namespace hyder::bench;
+
+int main() {
+  PrintHeader("fig11_final_meld_nodes", "Fig. 11",
+              "nodes visited by final meld: Grp ~2x fewer than base, "
+              "Pre 8-10x fewer, Opt ~= Pre");
+
+  std::printf("variant,servers,fm_nodes_per_txn,pm_nodes_per_txn,"
+              "gm_nodes_per_txn,reduction_vs_base\n");
+  const std::vector<int> server_counts = {2, 6, 10};
+  for (int servers : server_counts) {
+    double base_nodes = 0;
+    for (const char* variant : {"base", "grp", "pre", "opt"}) {
+      ExperimentConfig config = DefaultWriteOnlyConfig();
+      ApplyVariant(variant, &config);
+      config.inflight = uint64_t(250 * servers);
+      config.pipeline.state_retention = config.inflight + 1024;
+      config.intentions = uint64_t(1000 * BenchScale());
+      config.warmup = config.inflight / 2 + 200;
+      ExperimentResult r = RunExperiment(config);
+      if (std::string(variant) == "base") base_nodes = r.fm_nodes_per_txn;
+      std::printf("%s,%d,%.1f,%.1f,%.1f,%.2fx\n", variant, servers,
+                  r.fm_nodes_per_txn, r.pm_nodes_per_txn,
+                  r.gm_nodes_per_txn,
+                  r.fm_nodes_per_txn > 0 ? base_nodes / r.fm_nodes_per_txn
+                                         : 0.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 13: tree nodes visited per transaction in each stage of the meld
+// pipeline (final meld on the critical path vs premeld/group meld running
+// in parallel threads).
+//
+// Paper result: the critical-path (final meld) work decreases with every
+// optimization, while the aggregate work done by the parallel stages is
+// often HIGHER than the unoptimized sequential meld — the optimizations
+// trade total work for critical-path work.
+
+#include <string>
+
+#include "bench_common.h"
+
+using namespace hyder;
+using namespace hyder::bench;
+
+int main() {
+  PrintHeader("fig13_pipeline_stage_nodes", "Fig. 13",
+              "final-meld (critical path) nodes fall with each "
+              "optimization; parallel-stage totals exceed the base's "
+              "sequential work");
+
+  std::printf(
+      "variant,fm_nodes_per_txn,pm_nodes_per_txn,gm_nodes_per_txn,"
+      "total_nodes_per_txn,total_vs_base\n");
+  double base_total = 0;
+  for (const char* variant : {"base", "grp", "pre", "opt"}) {
+    ExperimentConfig config = DefaultWriteOnlyConfig();
+    ApplyVariant(variant, &config);
+    config.intentions = uint64_t(1200 * BenchScale());
+    config.warmup = config.inflight / 2 + 200;
+    ExperimentResult r = RunExperiment(config);
+    const double total =
+        r.fm_nodes_per_txn + r.pm_nodes_per_txn + r.gm_nodes_per_txn;
+    if (std::string(variant) == "base") base_total = total;
+    std::printf("%s,%.1f,%.1f,%.1f,%.1f,%.2fx\n", variant,
+                r.fm_nodes_per_txn, r.pm_nodes_per_txn, r.gm_nodes_per_txn,
+                total, base_total > 0 ? total / base_total : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 15: serializable (SR) vs snapshot isolation (SI), no optimizations.
+//
+// Paper result: for 8-read/2-write transactions, SI omits the readset from
+// intentions (~4x smaller), cutting meld's node visits 3-4x and improving
+// throughput ~2.5x — less than 4x because reads are cheaper to meld than
+// writes (reads only conflict-test; writes create ephemeral nodes).
+
+#include "bench_common.h"
+
+using namespace hyder;
+using namespace hyder::bench;
+
+int main() {
+  PrintHeader("fig15_sr_vs_si", "Fig. 15",
+              "SI ~2.5x the throughput of SR with ~3-4x fewer meld nodes "
+              "(readsets are not logged or validated under SI)");
+
+  std::printf(
+      "isolation,tps_model,fm_nodes_per_txn,fm_ephemeral_per_txn,"
+      "intention_blocks_avg\n");
+  double sr_tps = 0, sr_nodes = 0;
+  for (IsolationLevel iso :
+       {IsolationLevel::kSerializable, IsolationLevel::kSnapshot}) {
+    ExperimentConfig config = DefaultWriteOnlyConfig();
+    ApplyVariant("base", &config);
+    config.isolation = iso;
+    config.intentions = uint64_t(1200 * BenchScale());
+    config.warmup = config.inflight / 2 + 200;
+    ExperimentResult r = RunExperiment(config);
+    const double blocks_per_intention =
+        double(r.stats.intentions) > 0
+            ? double(r.stats.deserialize.nodes_visited) /
+                  double(r.stats.intentions)
+            : 0;  // node count per intention as a size proxy
+    if (iso == IsolationLevel::kSerializable) {
+      sr_tps = r.meld_bound_tps;
+      sr_nodes = r.fm_nodes_per_txn;
+    }
+    std::printf("%s,%.0f,%.1f,%.1f,%.1f\n",
+                iso == IsolationLevel::kSerializable ? "SR" : "SI",
+                r.meld_bound_tps, r.fm_nodes_per_txn, r.fm_ephemeral_per_txn,
+                blocks_per_intention);
+    if (iso == IsolationLevel::kSnapshot) {
+      std::printf("# SI/SR: tps %.2fx, nodes %.2fx fewer\n",
+                  sr_tps > 0 ? r.meld_bound_tps / sr_tps : 0,
+                  r.fm_nodes_per_txn > 0 ? sr_nodes / r.fm_nodes_per_txn
+                                         : 0);
+    }
+  }
+  return 0;
+}

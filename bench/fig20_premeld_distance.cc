@@ -1,0 +1,34 @@
+// Fig. 20: transaction throughput as a function of the premeld distance d
+// (five premeld threads, as in the paper's best configuration).
+//
+// Paper result: smaller d -> smaller post-premeld conflict zone (t*d+1
+// intentions) -> less final-meld work -> higher throughput; d=10 was the
+// paper's sweet spot (large enough that premeld finishes before final meld
+// needs its output — a real-time property a wall-clock deployment needs,
+// while this calibrated run shows the pure work trade-off).
+
+#include "bench_common.h"
+
+using namespace hyder;
+using namespace hyder::bench;
+
+int main() {
+  PrintHeader("fig20_premeld_distance", "Fig. 20",
+              "throughput falls as premeld distance d grows (post-premeld "
+              "zone = t*d+1)");
+
+  std::printf("premeld_distance,post_zone_intentions,tps_model,fm_us\n");
+  for (int d : {2, 5, 10, 20, 40, 80}) {
+    ExperimentConfig config = DefaultWriteOnlyConfig();
+    ApplyVariant("pre", &config);
+    config.pipeline.premeld_distance = d;
+    config.pipeline.state_retention =
+        config.inflight + uint64_t(5) * uint64_t(d) + 256;
+    config.intentions = uint64_t(1800 * BenchScale());
+    config.warmup = config.inflight / 2 + 200;
+    ExperimentResult r = RunExperiment(config);
+    std::printf("%d,%d,%.0f,%.1f\n", d, 5 * d + 1, r.meld_bound_tps,
+                r.times.fm_us);
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 21 (Appendix B): throughput vs operations per transaction (20%
+// updates, at least one).
+//
+// Paper result: throughput decreases roughly proportionally as transaction
+// size grows (more nodes per intention, more ephemeral-node work for the
+// pipeline); premeld stays ~3x ahead throughout.
+
+#include "bench_common.h"
+
+using namespace hyder;
+using namespace hyder::bench;
+
+int main() {
+  PrintHeader("fig21_txn_size_throughput", "Fig. 21 (Appendix B)",
+              "throughput falls ~proportionally with ops/txn; premeld "
+              "keeps a ~3x lead");
+
+  std::printf("variant,ops_per_txn,tps_model,fm_us\n");
+  for (const char* variant : {"base", "pre"}) {
+    for (int ops : {4, 8, 16, 32}) {
+      ExperimentConfig config = DefaultWriteOnlyConfig();
+      ApplyVariant(variant, &config);
+      config.workload.ops_per_txn = ops;
+      config.workload.update_fraction = 0.2;
+      config.intentions = uint64_t(1000 * BenchScale());
+      config.warmup = config.inflight / 2 + 200;
+      ExperimentResult r = RunExperiment(config);
+      std::printf("%s,%d,%.0f,%.1f\n", variant, ops, r.meld_bound_tps,
+                  r.times.fm_us);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 22 (Appendix B): final-meld node visits and ephemeral-node creation
+// vs transaction size.
+//
+// Paper result: final-meld nodes grow with transaction size; premeld keeps
+// a ~7x reduction throughout. Ephemeral nodes per transaction grow with
+// size too (paper: 23 at 4 ops -> 171 at 32 ops with premeld).
+
+#include "bench_common.h"
+
+using namespace hyder;
+using namespace hyder::bench;
+
+int main() {
+  PrintHeader("fig22_txn_size_nodes", "Fig. 22 (Appendix B)",
+              "final-meld nodes grow with ops/txn; premeld keeps ~7x "
+              "reduction; ephemeral nodes/txn grow with size");
+
+  std::printf(
+      "variant,ops_per_txn,fm_nodes_per_txn,total_ephemeral_per_txn\n");
+  for (const char* variant : {"base", "pre"}) {
+    for (int ops : {4, 8, 16, 32}) {
+      ExperimentConfig config = DefaultWriteOnlyConfig();
+      ApplyVariant(variant, &config);
+      config.workload.ops_per_txn = ops;
+      config.workload.update_fraction = 0.2;
+      config.intentions = uint64_t(1000 * BenchScale());
+      config.warmup = config.inflight / 2 + 200;
+      ExperimentResult r = RunExperiment(config);
+      std::printf("%s,%d,%.1f,%.1f\n", variant, ops, r.fm_nodes_per_txn,
+                  r.total_ephemeral_per_txn);
+    }
+  }
+  return 0;
+}

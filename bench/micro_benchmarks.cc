@@ -1,0 +1,103 @@
+// Component microbenchmarks (google-benchmark): the copy-on-write tree,
+// the intention codec, and the meld operator at varying conflict-zone
+// lengths. These measure the primitives the calibrated figure benches are
+// built from.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "test_support.h"
+#include "tree/tree_ops.h"
+#include "txn/codec.h"
+
+namespace hyder {
+namespace {
+
+Ref BuildTree(uint64_t n, uint64_t owner) {
+  Ref root;
+  CowContext ctx;
+  ctx.owner = owner;
+  Rng rng(7);
+  for (uint64_t i = 0; i < n; ++i) {
+    auto r = TreeInsert(ctx, root, rng.Next(), "v", nullptr);
+    root = *r;
+  }
+  return root;
+}
+
+void BM_TreeInsert(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  Ref base = BuildTree(n, 1);
+  Rng rng(11);
+  uint64_t owner = 2;
+  for (auto _ : state) {
+    CowContext ctx;
+    ctx.owner = ++owner;
+    auto r = TreeInsert(ctx, base, rng.Next(), "value-16-bytes!", nullptr);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeInsert)->Arg(1000)->Arg(100000);
+
+void BM_TreeLookup(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  Ref base = BuildTree(n, 1);
+  Rng rng(13);
+  for (auto _ : state) {
+    CowContext ctx;
+    ctx.owner = 2;
+    std::optional<std::string> payload;
+    auto r = TreeLookup(ctx, base, rng.Next(), &payload);
+    benchmark::DoNotOptimize(payload);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeLookup)->Arg(1000)->Arg(100000);
+
+void BM_SerializeIntention(benchmark::State& state) {
+  // A transaction with 8 annotated reads + 2 writes against a 100K tree.
+  HarnessServer exec;
+  SeedKeys(exec, 100000);
+  Rng rng(17);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto txn = MakeTransaction(exec, rng, 8, 2);
+    state.ResumeTiming();
+    auto blocks = SerializeIntention(*txn.builder, txn.txn_id, 8192);
+    benchmark::DoNotOptimize(blocks);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SerializeIntention);
+
+void BM_MeldConflictZone(benchmark::State& state) {
+  // Meld one 8R2W intention whose conflict zone is `range(0)` intentions.
+  const uint64_t zone = state.range(0);
+  HarnessServer exec;
+  SeedKeys(exec, 100000);
+  Rng rng(19);
+  // Build up a backlog of concurrent intentions.
+  for (auto _ : state) {
+    state.PauseTiming();
+    double us = MeldOneWithZone(exec, rng, zone);
+    state.ResumeTiming();
+    state.SetIterationTime(us / 1e6);
+    benchmark::DoNotOptimize(us);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeldConflictZone)
+    ->Arg(0)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Iterations(12)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace hyder
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// §6.4.2: comparison with Hyder [8] and Tango on a 100K-item database.
+//
+// Paper result: Hyder II (no optimizations) reaches ~20K tps on 100K items,
+// comparable to Tango's reported 15-25K tps despite maintaining a tree
+// index instead of Tango's hash index; with premeld Hyder II is
+// significantly faster than Tango. In-memory Hyder [8] reached 50-60K tps
+// with conflict zones limited to 256 — premeld brings Hyder II's effective
+// final-meld zone into that same range.
+//
+// Method: Tango is the hash-based shared-log OCC baseline (src/baseline);
+// its roll-forward service time is measured the same way as meld's, and
+// throughput uses the same bottleneck model (its apply stage is sequential,
+// like final meld). The "Hyder [8]" row is Hyder II with the conflict zone
+// capped at 256, matching that evaluation's setup.
+
+#include <algorithm>
+
+#include "baseline/tango.h"
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+
+using namespace hyder;
+using namespace hyder::bench;
+
+namespace {
+
+// Closed-loop Tango run mirroring the Hyder workload: 8 reads + 2 writes
+// over 100K keys, with `inflight` undecided transactions outstanding.
+double RunTango(uint64_t db_size, uint64_t inflight, uint64_t txns,
+                double* abort_rate) {
+  StripedLogOptions log_options;
+  log_options.block_size = 8192;
+  StripedLog log(log_options);
+  TangoStore store(&log);
+  // Seed in chunks small enough for single-block commit records.
+  for (uint64_t k = 0; k < db_size;) {
+    auto t = store.Begin();
+    for (uint64_t i = 0; i < 200 && k < db_size; ++i, ++k) {
+      t.Put(k, "seed-val-16byte");
+    }
+    auto r = store.Commit(std::move(t));
+    if (!r.ok()) {
+      std::fprintf(stderr, "tango seed: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  Rng rng(7);
+  uint64_t submitted = 0, committed = 0, aborted = 0, applied = 0;
+  uint64_t work_before = store.apply_work().cpu_nanos;
+  uint64_t applied_before = store.applied();
+  while (applied < txns) {
+    while (submitted - (committed + aborted) < inflight &&
+           submitted < txns + inflight) {
+      auto t = store.Begin();
+      for (int i = 0; i < 8; ++i) (void)t.Get(rng.Uniform(db_size));
+      t.Put(rng.Uniform(db_size), "new-val-16bytes!");
+      t.Put(rng.Uniform(db_size), "new-val-16bytes!");
+      auto ticket = store.Submit(std::move(t));
+      if (!ticket.ok()) {
+        std::fprintf(stderr, "tango submit: %s\n",
+                     ticket.status().ToString().c_str());
+        std::exit(1);
+      }
+      submitted++;
+    }
+    auto decisions = store.Poll();
+    if (!decisions.ok()) std::exit(1);
+    for (auto& [ticket, ok] : *decisions) {
+      ok ? ++committed : ++aborted;
+      applied++;
+    }
+  }
+  const double apply_us = double(store.apply_work().cpu_nanos - work_before) /
+                          1e3 / double(store.applied() - applied_before);
+  *abort_rate = double(aborted) / double(committed + aborted);
+  return 1e6 / apply_us * (1.0 - *abort_rate);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("sec642_tango_hyder_compare", "§6.4.2 comparison",
+              "on 100K items: Hyder II base ~ Tango (15-25K tps); "
+              "Hyder II + premeld clearly faster; zone-capped Hyder II "
+              "matches in-memory Hyder [8] (50-60K tps)");
+
+  const uint64_t kDb = 100'000;
+  const uint64_t kTxns = uint64_t(1500 * BenchScale());
+  std::printf("system,tps_model,abort_rate,notes\n");
+
+  // Tango baseline. Its hash apply stage is far cheaper per CPU than tree
+  // meld (no structural merging), so on pure CPU it is not the bottleneck:
+  // Tango's reported 15-25K tps was bound by its log/network path. We
+  // report both the raw apply capacity and the log-capped figure (the
+  // shared log saturates at ~143K appends/s, Fig. 9).
+  {
+    double abort_rate = 0;
+    double apply_tps = RunTango(kDb, 1500, kTxns, &abort_rate);
+    const double log_capacity = 6.0 * 1e9 / 42'000.0;
+    std::printf("tango_apply_capacity,%.0f,%.4f,hash apply only - not its "
+                "real bottleneck\n",
+                apply_tps, abort_rate);
+    std::printf("tango_log_capped,%.0f,%.4f,capped by shared-log append "
+                "capacity\n",
+                std::min(apply_tps, log_capacity), abort_rate);
+  }
+
+  // Hyder II without optimizations.
+  auto hyder_run = [&](const char* variant, uint64_t inflight,
+                       const char* label, const char* note) {
+    ExperimentConfig config = DefaultWriteOnlyConfig();
+    ApplyVariant(variant, &config);
+    config.workload.db_size = kDb;
+    config.inflight = inflight;
+    config.pipeline.state_retention = inflight + 1024;
+    config.intentions = kTxns;
+    config.warmup = inflight / 2 + 200;
+    ExperimentResult r = RunExperiment(config);
+    std::printf("%s,%.0f,%.4f,%s (bottleneck=%s)\n", label,
+                r.meld_bound_tps, r.abort_rate, note, r.bottleneck.c_str());
+  };
+  hyder_run("base", 1500, "hyder2_base", "tree index; final meld only");
+  hyder_run("pre", 1000, "hyder2_premeld", "5 premeld threads d=10");
+  // In-memory Hyder [8]: conflict zones were limited to 256.
+  hyder_run("base", 256, "hyder_vldb11_zone256",
+            "zone capped at 256 like the in-memory Hyder evaluation");
+
+  std::printf("# paper: tango 15-25K, hyder2 ~20K, hyder[8] 50-60K tps\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#ifndef HYDER2_BENCH_TEST_SUPPORT_H_
+#define HYDER2_BENCH_TEST_SUPPORT_H_
+
+// Helpers for the microbenchmarks: a compact server wrapper and direct
+// intention construction against its latest state.
+
+#include <memory>
+
+#include "common/random.h"
+#include "log/striped_log.h"
+#include "server/server.h"
+
+namespace hyder {
+
+struct HarnessServer {
+  HarnessServer()
+      : log(StripedLogOptions{}), server(&log, MakeOptions()) {}
+
+  static ServerOptions MakeOptions() {
+    ServerOptions o;
+    o.max_inflight = 1 << 20;
+    o.pipeline.state_retention = 8192;
+    return o;
+  }
+
+  StripedLog log;
+  HyderServer server;
+};
+
+inline void SeedKeys(HarnessServer& h, uint64_t n) {
+  uint64_t next = 0;
+  while (next < n) {
+    Transaction txn = h.server.Begin(IsolationLevel::kSnapshot);
+    uint64_t end = std::min(n, next + 100000);
+    for (; next < end; ++next) {
+      (void)txn.Put(next, "seed-val-16byte");
+    }
+    (void)h.server.Submit(std::move(txn));
+    (void)h.server.Poll();
+  }
+}
+
+struct BuiltTxn {
+  std::unique_ptr<IntentionBuilder> builder;
+  uint64_t txn_id;
+};
+
+/// Builds an annotated reads+writes workspace against the latest state.
+inline BuiltTxn MakeTransaction(HarnessServer& h, Rng& rng, int reads,
+                                int writes, uint64_t db = 100000) {
+  static uint64_t next_txn = 1;
+  BuiltTxn out;
+  out.txn_id = 77'000'000 + next_txn++;
+  DatabaseState latest = h.server.LatestState();
+  out.builder = std::make_unique<IntentionBuilder>(
+      kWorkspaceTagBit | out.txn_id, latest.seq, latest.root,
+      IsolationLevel::kSerializable, &h.server.resolver());
+  for (int i = 0; i < reads; ++i) (void)out.builder->Get(rng.Uniform(db));
+  for (int i = 0; i < writes; ++i) {
+    (void)out.builder->Put(rng.Uniform(db), "new-val-16bytes!");
+  }
+  return out;
+}
+
+/// Creates `zone` concurrent filler intentions plus one probe intention
+/// whose conflict zone covers all of them, melds everything, and returns
+/// the final-meld CPU microseconds spent on the probe.
+inline double MeldOneWithZone(HarnessServer& h, Rng& rng, uint64_t zone) {
+  // Probe executes first (so the fillers land in its conflict zone).
+  Transaction probe = h.server.Begin(IsolationLevel::kSerializable);
+  for (int i = 0; i < 8; ++i) (void)probe.Get(rng.Uniform(100000));
+  for (int i = 0; i < 2; ++i) {
+    (void)probe.Put(rng.Uniform(100000), "new-val-16bytes!");
+  }
+  for (uint64_t z = 0; z < zone; ++z) {
+    Transaction filler = h.server.Begin(IsolationLevel::kSerializable);
+    (void)filler.Put(rng.Uniform(100000), "filler-16-bytes!");
+    (void)h.server.Submit(std::move(filler));
+  }
+  (void)h.server.Submit(std::move(probe));
+  // Meld the fillers, then measure the probe's final meld.
+  (void)h.server.Poll(zone);
+  const uint64_t before = h.server.stats().final_meld.cpu_nanos;
+  (void)h.server.Poll();
+  const uint64_t after = h.server.stats().final_meld.cpu_nanos;
+  return double(after - before) / 1e3;
+}
+
+}  // namespace hyder
+
+#endif  // HYDER2_BENCH_TEST_SUPPORT_H_

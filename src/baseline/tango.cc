@@ -1,0 +1,170 @@
+#include "baseline/tango.h"
+
+#include "common/stopwatch.h"
+#include "common/varint.h"
+
+namespace hyder {
+
+TangoStore::TangoStore(SharedLog* log) : log_(log) {}
+
+TangoStore::Transaction::Transaction(TangoStore* store)
+    : store_(store), snapshot_pos_(store->next_read_pos_ - 1) {}
+
+Result<std::optional<std::string>> TangoStore::Transaction::Get(Key key) {
+  // Reads-own-writes first.
+  auto w = writes_.find(key);
+  if (w != writes_.end()) return w->second;
+  // Tango reads run against the runtime's current materialized view; the
+  // observed version is recorded for validation at roll-forward.
+  auto it = store_->state_.find(key);
+  const uint64_t version = it == store_->state_.end() ? 0 : it->second.version;
+  reads_.emplace(key, version);
+  if (it == store_->state_.end() || !it->second.value.has_value()) {
+    return std::optional<std::string>{};
+  }
+  return it->second.value;
+}
+
+void TangoStore::Transaction::Put(Key key, std::string value) {
+  if (reads_.count(key) == 0 && writes_.count(key) == 0) {
+    // Blind write: record the version it overwrites for first-committer-
+    // wins validation.
+    auto it = store_->state_.find(key);
+    reads_.emplace(key, it == store_->state_.end() ? 0 : it->second.version);
+  }
+  writes_[key] = std::move(value);
+}
+
+void TangoStore::Transaction::Delete(Key key) {
+  if (reads_.count(key) == 0 && writes_.count(key) == 0) {
+    auto it = store_->state_.find(key);
+    reads_.emplace(key, it == store_->state_.end() ? 0 : it->second.version);
+  }
+  writes_[key] = std::nullopt;
+}
+
+Status TangoStore::Transaction::Scan(Key lo, Key hi) {
+  return Status::NotSupported(
+      "Tango's hashed access method cannot serve range predicates (§6.4.2)");
+}
+
+std::string TangoStore::EncodeRecord(const Record& r) {
+  std::string out;
+  PutVarint64(&out, r.ticket);
+  PutVarint64(&out, r.snapshot_pos);
+  PutVarint64(&out, r.reads.size());
+  for (const auto& [k, v] : r.reads) {
+    PutVarint64(&out, k);
+    PutVarint64(&out, v);
+  }
+  PutVarint64(&out, r.writes.size());
+  for (const auto& [k, v] : r.writes) {
+    PutVarint64(&out, k);
+    if (v.has_value()) {
+      PutVarint64(&out, v->size() + 1);
+      out.append(*v);
+    } else {
+      PutVarint64(&out, 0);  // Tombstone.
+    }
+  }
+  return out;
+}
+
+Result<TangoStore::Record> TangoStore::DecodeRecord(
+    std::string_view payload) {
+  Record r;
+  const char* p = payload.data();
+  const char* limit = payload.data() + payload.size();
+  uint64_t n = 0;
+  if ((p = GetVarint64(p, limit, &r.ticket)) == nullptr ||
+      (p = GetVarint64(p, limit, &r.snapshot_pos)) == nullptr ||
+      (p = GetVarint64(p, limit, &n)) == nullptr) {
+    return Status::Corruption("truncated tango record");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t k = 0, v = 0;
+    if ((p = GetVarint64(p, limit, &k)) == nullptr ||
+        (p = GetVarint64(p, limit, &v)) == nullptr) {
+      return Status::Corruption("truncated tango readset");
+    }
+    r.reads.emplace_back(k, v);
+  }
+  if ((p = GetVarint64(p, limit, &n)) == nullptr) {
+    return Status::Corruption("truncated tango writeset");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t k = 0, len = 0;
+    if ((p = GetVarint64(p, limit, &k)) == nullptr ||
+        (p = GetVarint64(p, limit, &len)) == nullptr) {
+      return Status::Corruption("truncated tango write");
+    }
+    if (len == 0) {
+      r.writes.emplace_back(k, std::nullopt);
+    } else {
+      if (size_t(limit - p) < len - 1) {
+        return Status::Corruption("truncated tango value");
+      }
+      r.writes.emplace_back(k, std::string(p, len - 1));
+      p += len - 1;
+    }
+  }
+  return r;
+}
+
+Result<uint64_t> TangoStore::Submit(Transaction&& txn) {
+  if (!txn.has_writes()) return 0;  // Read-only: commits locally.
+  Record record;
+  record.ticket = next_ticket_++;
+  record.snapshot_pos = txn.snapshot_pos_;
+  record.reads.assign(txn.reads_.begin(), txn.reads_.end());
+  record.writes.assign(txn.writes_.begin(), txn.writes_.end());
+  std::string payload = EncodeRecord(record);
+  if (payload.size() > log_->block_size()) {
+    return Status::InvalidArgument("tango record exceeds one block");
+  }
+  HYDER_ASSIGN_OR_RETURN(uint64_t pos, log_->Append(std::move(payload)));
+  (void)pos;
+  return record.ticket;
+}
+
+Result<std::vector<std::pair<uint64_t, bool>>> TangoStore::Poll() {
+  std::vector<std::pair<uint64_t, bool>> decisions;
+  while (next_read_pos_ < log_->Tail()) {
+    HYDER_ASSIGN_OR_RETURN(std::string block, log_->Read(next_read_pos_));
+    const uint64_t pos = next_read_pos_++;
+    HYDER_ASSIGN_OR_RETURN(Record record, DecodeRecord(block));
+    CpuStopwatch cpu;
+    bool valid = true;
+    for (const auto& [k, observed] : record.reads) {
+      apply_work_.conflict_checks++;
+      auto it = state_.find(k);
+      const uint64_t current = it == state_.end() ? 0 : it->second.version;
+      if (current != observed) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      for (const auto& [k, v] : record.writes) {
+        state_[k] = Entry{v, pos};
+        apply_work_.nodes_visited++;  // One hash-entry touch per write.
+      }
+    }
+    apply_work_.cpu_nanos += cpu.ElapsedNanos();
+    applied_++;
+    decisions.emplace_back(record.ticket, valid);
+  }
+  return decisions;
+}
+
+Result<bool> TangoStore::Commit(Transaction&& txn) {
+  HYDER_ASSIGN_OR_RETURN(uint64_t ticket, Submit(std::move(txn)));
+  if (ticket == 0) return true;
+  HYDER_ASSIGN_OR_RETURN(auto decisions, Poll());
+  for (const auto& [t, committed] : decisions) {
+    if (t == ticket) return committed;
+  }
+  return Status::Internal("tango ticket not decided after poll");
+}
+
+}  // namespace hyder

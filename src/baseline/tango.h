@@ -1,0 +1,97 @@
+#ifndef HYDER2_BASELINE_TANGO_H_
+#define HYDER2_BASELINE_TANGO_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "log/shared_log.h"
+#include "tree/node.h"
+
+namespace hyder {
+
+/// Comparison baseline modeled on Tango (Balakrishnan et al., SOSP'13), the
+/// system the paper calls closest to Hyder II (§6.4.2, §7): a distributed
+/// object store over a CORFU shared log whose concurrency control is
+/// Hyder-inspired OCC — but with a **hashed access method** instead of a
+/// tree, so roll-forward validates per-key versions rather than melding
+/// trees.
+///
+/// Transactions read a snapshot of the local materialized map, buffer
+/// writes, and append a commit record (readset with observed versions +
+/// writeset) to the shared log. Every server rolls the log forward,
+/// validating each record against per-key last-writer positions; decisions
+/// are deterministic because they depend only on log order.
+///
+/// As the paper notes, hashing "suffers the usual weakness of failing to
+/// handle range predicates": `Scan` returns NotSupported.
+class TangoStore {
+ public:
+  explicit TangoStore(SharedLog* log);
+
+  class Transaction {
+   public:
+    Result<std::optional<std::string>> Get(Key key);
+    void Put(Key key, std::string value);
+    void Delete(Key key);
+    /// Hash access method: no range predicates (§6.4.2).
+    Status Scan(Key lo, Key hi);
+    bool has_writes() const { return !writes_.empty(); }
+
+   private:
+    friend class TangoStore;
+    explicit Transaction(TangoStore* store);
+    TangoStore* store_;
+    uint64_t snapshot_pos_;
+    std::unordered_map<Key, uint64_t> reads_;  ///< key -> observed version.
+    std::map<Key, std::optional<std::string>> writes_;  ///< nullopt = delete.
+  };
+
+  Transaction Begin() { return Transaction(this); }
+
+  /// Appends the transaction's commit record; outcome via Poll/Commit.
+  /// Read-only transactions commit immediately against their snapshot.
+  Result<uint64_t> Submit(Transaction&& txn);  ///< Returns a ticket (0 = RO).
+
+  /// Rolls the log forward, returning (ticket, committed) decisions.
+  Result<std::vector<std::pair<uint64_t, bool>>> Poll();
+
+  /// Submit + poll to decision.
+  Result<bool> Commit(Transaction&& txn);
+
+  /// Per-record roll-forward work counters (for the §6.4.2 comparison).
+  const MeldWork& apply_work() const { return apply_work_; }
+  uint64_t applied() const { return applied_; }
+  size_t size() const { return state_.size(); }
+
+ private:
+  struct Record {
+    uint64_t snapshot_pos;
+    std::vector<std::pair<Key, uint64_t>> reads;
+    std::vector<std::pair<Key, std::optional<std::string>>> writes;
+    uint64_t ticket;
+  };
+  static std::string EncodeRecord(const Record& r);
+  static Result<Record> DecodeRecord(std::string_view payload);
+
+  SharedLog* const log_;
+  uint64_t next_read_pos_ = 1;
+  uint64_t next_ticket_ = 1;
+  struct Entry {
+    std::optional<std::string> value;  ///< nullopt after a delete.
+    uint64_t version = 0;              ///< Log position of the last writer.
+  };
+  /// Materialized state (the hashed access method).
+  std::unordered_map<Key, Entry> state_;
+  MeldWork apply_work_;
+  uint64_t applied_ = 0;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_BASELINE_TANGO_H_

@@ -1,0 +1,90 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hyder {
+
+namespace {
+// 16 sub-buckets per power of two: bucket = 16*log2(v) + sub.
+constexpr int kSubBucketsLog = 4;
+constexpr int kSubBuckets = 1 << kSubBucketsLog;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  int msb = 63 - __builtin_clzll(value);
+  int shift = msb - kSubBucketsLog;
+  int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  int bucket = ((msb - kSubBucketsLog + 1) << kSubBucketsLog) + sub;
+  return bucket >= kBuckets ? kBuckets - 1 : bucket;
+}
+
+uint64_t Histogram::BucketUpper(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<uint64_t>(bucket);
+  int exp = (bucket >> kSubBucketsLog) - 1 + kSubBucketsLog;
+  int sub = bucket & (kSubBuckets - 1);
+  return (1ull << exp) + (static_cast<uint64_t>(sub + 1) << (exp - kSubBucketsLog)) - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+void Histogram::Reset() {
+  buckets_.assign(kBuckets, 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / double(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+  auto target = static_cast<uint64_t>(std::ceil(double(count_) * p / 100.0));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      uint64_t upper = BucketUpper(i);
+      return upper > max_ ? max_ : upper;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(Percentile(50)),
+                static_cast<unsigned long long>(Percentile(95)),
+                static_cast<unsigned long long>(Percentile(99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace hyder

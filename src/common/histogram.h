@@ -1,0 +1,48 @@
+#ifndef HYDER2_COMMON_HISTOGRAM_H_
+#define HYDER2_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyder {
+
+/// Log-bucketed histogram for latency-like values (e.g. microseconds).
+///
+/// Buckets grow geometrically (~4% relative width), so percentile queries are
+/// accurate to a few percent across nine decades while the footprint stays
+/// constant. Not thread-safe; aggregate per-thread instances with `Merge`.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const;
+
+  /// Value at percentile `p` in [0, 100]; 0 for an empty histogram.
+  uint64_t Percentile(double p) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBuckets = 512;
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpper(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_COMMON_HISTOGRAM_H_

@@ -1,0 +1,54 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace hyder {
+
+std::string MeldWork::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "visited=%llu ephemeral=%llu grafts=%llu checks=%llu "
+                "splits=%llu cpu_us=%.1f",
+                static_cast<unsigned long long>(nodes_visited),
+                static_cast<unsigned long long>(ephemeral_created),
+                static_cast<unsigned long long>(grafts),
+                static_cast<unsigned long long>(conflict_checks),
+                static_cast<unsigned long long>(splits),
+                double(cpu_nanos) / 1e3);
+  return buf;
+}
+
+PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
+  intentions += o.intentions;
+  committed += o.committed;
+  aborted += o.aborted;
+  premeld_aborts += o.premeld_aborts;
+  premeld_skips += o.premeld_skips;
+  group_singletons += o.group_singletons;
+  deserialize += o.deserialize;
+  premeld += o.premeld;
+  group_meld += o.group_meld;
+  final_meld += o.final_meld;
+  conflict_zone_sum += o.conflict_zone_sum;
+  final_melds += o.final_melds;
+  return *this;
+}
+
+std::string PipelineStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "intentions=%llu committed=%llu aborted=%llu (premeld_aborts=%llu) "
+      "fm[%s] pm[%s] gm[%s] avg_conflict_zone=%.1f",
+      static_cast<unsigned long long>(intentions),
+      static_cast<unsigned long long>(committed),
+      static_cast<unsigned long long>(aborted),
+      static_cast<unsigned long long>(premeld_aborts),
+      final_meld.ToString().c_str(), premeld.ToString().c_str(),
+      group_meld.ToString().c_str(),
+      final_melds == 0 ? 0.0
+                       : double(conflict_zone_sum) / double(final_melds));
+  return buf;
+}
+
+}  // namespace hyder

@@ -1,0 +1,62 @@
+#ifndef HYDER2_COMMON_METRICS_H_
+#define HYDER2_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hyder {
+
+/// Work counters for one meld execution (one call of the meld operator).
+///
+/// These are the paper's evaluation currency: Figures 11–13, 17, 19, 22 and
+/// 24 are all plots of "tree nodes visited" and "ephemeral nodes created"
+/// per transaction at different pipeline stages. The counters are exact and
+/// deterministic, so the reproduction can compare shapes precisely.
+struct MeldWork {
+  uint64_t nodes_visited = 0;      ///< Tree nodes examined by the traversal.
+  uint64_t ephemeral_created = 0;  ///< Ephemeral nodes generated.
+  uint64_t grafts = 0;             ///< Fast-path subtree grafts taken.
+  uint64_t conflict_checks = 0;    ///< Per-node conflict evaluations.
+  uint64_t splits = 0;             ///< Key-alignment splits performed.
+  uint64_t cpu_nanos = 0;          ///< CPU service time of the call.
+
+  MeldWork& operator+=(const MeldWork& o) {
+    nodes_visited += o.nodes_visited;
+    ephemeral_created += o.ephemeral_created;
+    grafts += o.grafts;
+    conflict_checks += o.conflict_checks;
+    splits += o.splits;
+    cpu_nanos += o.cpu_nanos;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+/// Aggregate statistics of a pipeline run, broken down by stage.
+struct PipelineStats {
+  uint64_t intentions = 0;      ///< Intentions entering the pipeline.
+  uint64_t committed = 0;       ///< Transactions committed by final meld.
+  uint64_t aborted = 0;         ///< Aborted (incl. premeld early aborts).
+  uint64_t premeld_aborts = 0;  ///< Aborts detected during premeld.
+  uint64_t premeld_skips = 0;   ///< Premelds skipped (target <= snapshot).
+  uint64_t group_singletons = 0;  ///< Group intentions that degenerated to one.
+
+  MeldWork deserialize;  ///< ds stage work (cpu_nanos only).
+  MeldWork premeld;      ///< pm stage work.
+  MeldWork group_meld;   ///< gm stage work.
+  MeldWork final_meld;   ///< fm stage work.
+
+  /// Sum over conflict-zone lengths (in intentions) observed by final meld,
+  /// for Fig. 12. Divide by `final_melds` for the average.
+  uint64_t conflict_zone_sum = 0;
+  uint64_t final_melds = 0;
+
+  PipelineStats& operator+=(const PipelineStats& o);
+
+  std::string ToString() const;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_COMMON_METRICS_H_

@@ -1,0 +1,79 @@
+#ifndef HYDER2_COMMON_RESULT_H_
+#define HYDER2_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hyder {
+
+/// Holds either a value of type `T` or a non-OK `Status`.
+///
+/// This is the StatusOr idiom: functions that can fail and produce a value
+/// return `Result<T>`. The invariant is that exactly one of {value, error}
+/// is present; constructing a `Result` from an OK status is a programming
+/// error (asserted).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit by design, mirroring
+  /// absl::StatusOr, so `return value;` works in functions returning
+  /// Result<T>).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result error constructor requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status, or OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The held value; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error; on success binds
+/// the value to `lhs`. Usable in functions returning Status or Result<U>.
+#define HYDER_INTERNAL_CONCAT2(a, b) a##b
+#define HYDER_INTERNAL_CONCAT(a, b) HYDER_INTERNAL_CONCAT2(a, b)
+#define HYDER_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+#define HYDER_ASSIGN_OR_RETURN(lhs, rexpr)                                   \
+  HYDER_INTERNAL_ASSIGN_OR_RETURN(                                           \
+      HYDER_INTERNAL_CONCAT(_hyder_result_tmp_, __LINE__), lhs, rexpr)
+
+}  // namespace hyder
+
+#endif  // HYDER2_COMMON_RESULT_H_

@@ -1,0 +1,132 @@
+#ifndef HYDER2_COMMON_STATUS_H_
+#define HYDER2_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hyder {
+
+/// Error category for a `Status`.
+///
+/// The library does not use exceptions; every fallible operation returns a
+/// `Status` (or a `Result<T>`, see result.h). The codes mirror the situations
+/// that arise in a shared-log OCC system:
+///  - `kAborted`        the transaction experienced an OCC conflict and the
+///                      meld algorithm discarded its intention;
+///  - `kSnapshotTooOld` the transaction referenced state (e.g. an ephemeral
+///                      node) that has been retired from the retained window;
+///  - `kBusy`           admission control rejected the request (too many
+///                      in-flight transactions);
+///  - the rest are conventional storage-system codes.
+enum class StatusCode : int {
+  kOk = 0,
+  kAborted = 1,
+  kNotFound = 2,
+  kInvalidArgument = 3,
+  kCorruption = 4,
+  kResourceExhausted = 5,
+  kTimedOut = 6,
+  kSnapshotTooOld = 7,
+  kBusy = 8,
+  kNotSupported = 9,
+  kOutOfRange = 10,
+  kInternal = 11,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "Aborted", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-type result of a fallible operation: a code plus optional message.
+///
+/// `Status` is cheap to copy when OK (no allocation) and carries an explanatory
+/// message otherwise. Use the static factories (`Status::Aborted(...)`) to
+/// construct errors and the `ok()` / `IsAborted()` / ... predicates to test.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status SnapshotTooOld(std::string msg) {
+    return Status(StatusCode::kSnapshotTooOld, std::move(msg));
+  }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsSnapshotTooOld() const {
+    return code_ == StatusCode::kSnapshotTooOld;
+  }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // Messages are informational only.
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Usable only in functions that
+/// themselves return `Status`.
+#define HYDER_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::hyder::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace hyder
+
+#endif  // HYDER2_COMMON_STATUS_H_

@@ -1,0 +1,54 @@
+#ifndef HYDER2_COMMON_STOPWATCH_H_
+#define HYDER2_COMMON_STOPWATCH_H_
+
+#include <time.h>
+
+#include <cstdint>
+
+namespace hyder {
+
+/// Wall-clock stopwatch (monotonic), nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = NowNanos(); }
+
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMicros() const { return double(ElapsedNanos()) / 1e3; }
+  double ElapsedSeconds() const { return double(ElapsedNanos()) / 1e9; }
+
+  static uint64_t NowNanos() {
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return uint64_t(ts.tv_sec) * 1000000000ull + uint64_t(ts.tv_nsec);
+  }
+
+ private:
+  uint64_t start_;
+};
+
+/// Per-thread CPU-time stopwatch. The calibrated pipeline model (see
+/// meld/pipeline.h) charges each stage its CPU service time, so stage costs
+/// must exclude time lost to preemption on oversubscribed hosts.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() { Restart(); }
+
+  void Restart() { start_ = NowNanos(); }
+
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+
+  static uint64_t NowNanos() {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return uint64_t(ts.tv_sec) * 1000000000ull + uint64_t(ts.tv_nsec);
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_COMMON_STOPWATCH_H_

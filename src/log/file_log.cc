@@ -1,0 +1,117 @@
+#include "log/file_log.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+
+#include "common/varint.h"
+
+namespace hyder {
+
+Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
+                                               Options options) {
+  if (options.block_size < 64) {
+    return Status::InvalidArgument("block size too small for a file log");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    file = std::fopen(path.c_str(), "w+b");
+  }
+  if (file == nullptr) {
+    return Status::Internal("cannot open log file " + path);
+  }
+  // Recover the tail: scan slot headers until the first unwritten slot.
+  const size_t slot = options.block_size + 4;
+  uint64_t tail = 1;
+  for (;;) {
+    if (std::fseek(file, long((tail - 1) * slot), SEEK_SET) != 0) break;
+    char header[4];
+    if (std::fread(header, 1, 4, file) != 4) break;
+    const uint32_t len = DecodeFixed32(header);
+    if (len == 0 || len > options.block_size) break;
+    // Verify the slot body is fully present (guards a torn final write).
+    if (std::fseek(file, long((tail - 1) * slot + 4 + len - 1), SEEK_SET) !=
+            0 ||
+        std::fgetc(file) == EOF) {
+      break;
+    }
+    tail++;
+  }
+  return std::unique_ptr<FileLog>(new FileLog(file, options, tail));
+}
+
+FileLog::FileLog(std::FILE* file, Options options, uint64_t tail)
+    : options_(options), file_(file), tail_(tail) {}
+
+FileLog::~FileLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<uint64_t> FileLog::Append(std::string block) {
+  if (block.size() > options_.block_size) {
+    return Status::InvalidArgument("block exceeds the configured block size");
+  }
+  if (block.empty()) {
+    return Status::InvalidArgument("empty blocks are not valid log entries");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t pos = tail_;
+  std::string slot;
+  slot.reserve(SlotSize());
+  PutFixed32(&slot, static_cast<uint32_t>(block.size()));
+  slot.append(block);
+  slot.resize(SlotSize(), '\0');
+  if (std::fseek(file_, long((pos - 1) * SlotSize()), SEEK_SET) != 0 ||
+      std::fwrite(slot.data(), 1, slot.size(), file_) != slot.size()) {
+    return Status::Internal("log append I/O failed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("log flush failed");
+  }
+  if (options_.sync_each_append) {
+    if (fdatasync(fileno(file_)) != 0) {
+      return Status::Internal("log fdatasync failed");
+    }
+  }
+  tail_++;
+  stats_.appends++;
+  stats_.bytes_appended += block.size();
+  return pos;
+}
+
+Result<std::string> FileLog::Read(uint64_t position) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (position == 0 || position >= tail_) {
+    return Status::NotFound("log position " + std::to_string(position) +
+                            " past tail " + std::to_string(tail_));
+  }
+  char header[4];
+  if (std::fseek(file_, long((position - 1) * SlotSize()), SEEK_SET) != 0 ||
+      std::fread(header, 1, 4, file_) != 4) {
+    return Status::Internal("log read I/O failed (header)");
+  }
+  const uint32_t len = DecodeFixed32(header);
+  if (len == 0 || len > options_.block_size) {
+    return Status::Corruption("bad slot length at position " +
+                              std::to_string(position));
+  }
+  std::string block(len, '\0');
+  if (std::fread(block.data(), 1, len, file_) != len) {
+    return Status::Internal("log read I/O failed (body)");
+  }
+  stats_.reads++;
+  return block;
+}
+
+uint64_t FileLog::Tail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tail_;
+}
+
+LogStats FileLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace hyder

@@ -1,0 +1,65 @@
+#ifndef HYDER2_LOG_FILE_LOG_H_
+#define HYDER2_LOG_FILE_LOG_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "log/shared_log.h"
+
+namespace hyder {
+
+/// Durable, file-backed shared log: the persistence half of the CORFU
+/// substitution (DESIGN.md). Blocks live in fixed-size slots of an
+/// append-only file — position p occupies byte range [(p-1)·slot, p·slot) —
+/// so reads are a single positioned I/O, exactly the random-access pattern
+/// the paper prescribes for SSD-backed logs (§1: "the log should be stored
+/// on solid state disks").
+///
+/// Slot layout: [u32 length][payload][zero padding]. A length of 0 marks an
+/// unwritten slot; recovery scans forward from the start until the first
+/// unwritten slot to find the tail (a torn final slot is truncated away).
+///
+/// Single-process writer; all servers in the process share one instance
+/// (matching the in-process cluster model). `Sync` controls whether each
+/// append is fdatasync'ed (off by default for benchmarks; the paper treats
+/// durability latency via the CORFU model, Fig. 9).
+class FileLog : public SharedLog {
+ public:
+  struct Options {
+    size_t block_size = 8192;
+    /// fdatasync every append (durability over throughput).
+    bool sync_each_append = false;
+  };
+
+  /// Opens or creates the log at `path`, recovering the tail.
+  static Result<std::unique_ptr<FileLog>> Open(const std::string& path,
+                                               Options options);
+  ~FileLog() override;
+
+  FileLog(const FileLog&) = delete;
+  FileLog& operator=(const FileLog&) = delete;
+
+  Result<uint64_t> Append(std::string block) override;
+  Result<std::string> Read(uint64_t position) override;
+  uint64_t Tail() const override;
+  size_t block_size() const override { return options_.block_size; }
+
+  LogStats stats() const;
+
+ private:
+  FileLog(std::FILE* file, Options options, uint64_t tail);
+
+  size_t SlotSize() const { return options_.block_size + 4; }
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::FILE* file_;
+  uint64_t tail_;  // Next position to assign (1-based).
+  LogStats stats_;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_LOG_FILE_LOG_H_

@@ -1,0 +1,46 @@
+#ifndef HYDER2_LOG_SHARED_LOG_H_
+#define HYDER2_LOG_SHARED_LOG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace hyder {
+
+/// The shared, totally-ordered log at the heart of the Hyder architecture
+/// (§1, §5.1): the database's only persistent representation and the only
+/// point of arbitration between servers.
+///
+/// The unit of I/O is a fixed-size page, the *intention block*. `Append`
+/// assigns the next position in the total order and stores the block;
+/// `Read` returns the block at a position. Positions are 1-based; position
+/// 0 is reserved ("before the first block").
+class SharedLog {
+ public:
+  virtual ~SharedLog() = default;
+
+  /// Appends a block, returning its assigned position. Blocks longer than
+  /// `block_size()` are rejected with InvalidArgument.
+  virtual Result<uint64_t> Append(std::string block) = 0;
+
+  /// Reads the block at `position`. Fails with NotFound past the tail.
+  virtual Result<std::string> Read(uint64_t position) = 0;
+
+  /// The position that the next append will receive.
+  virtual uint64_t Tail() const = 0;
+
+  /// The configured block size in bytes.
+  virtual size_t block_size() const = 0;
+};
+
+/// Aggregate counters exposed by log implementations.
+struct LogStats {
+  uint64_t appends = 0;
+  uint64_t reads = 0;
+  uint64_t bytes_appended = 0;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_LOG_SHARED_LOG_H_

@@ -1,0 +1,49 @@
+#include "log/striped_log.h"
+
+namespace hyder {
+
+StripedLog::StripedLog(StripedLogOptions options) : options_(options) {
+  units_.resize(options_.storage_units < 1 ? 1 : options_.storage_units);
+}
+
+Result<uint64_t> StripedLog::Append(std::string block) {
+  if (block.size() > options_.block_size) {
+    return Status::InvalidArgument("block exceeds the configured block size");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t pos = tail_++;
+  StorageUnit& unit = units_[(pos - 1) % units_.size()];
+  unit.bytes += block.size();
+  stats_.appends++;
+  stats_.bytes_appended += block.size();
+  unit.blocks.push_back(std::move(block));
+  return pos;
+}
+
+Result<std::string> StripedLog::Read(uint64_t position) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (position == 0 || position >= tail_) {
+    return Status::NotFound("log position " + std::to_string(position) +
+                            " past tail " + std::to_string(tail_));
+  }
+  stats_.reads++;
+  const StorageUnit& unit = units_[(position - 1) % units_.size()];
+  return unit.blocks[(position - 1) / units_.size()];
+}
+
+uint64_t StripedLog::Tail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tail_;
+}
+
+LogStats StripedLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t StripedLog::UnitBytes(int unit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return units_[unit].bytes;
+}
+
+}  // namespace hyder

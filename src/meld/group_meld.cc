@@ -1,0 +1,76 @@
+#include "meld/group_meld.h"
+
+#include <algorithm>
+
+namespace hyder {
+
+Result<GroupOutcome> RunGroupMeld(const IntentionPtr& first,
+                                  const IntentionPtr& second,
+                                  EphemeralAllocator* alloc,
+                                  NodeResolver* resolver, MeldWork* work) {
+  GroupOutcome out;
+  // Members already known to abort (e.g. from an earlier premeld) drop out
+  // of the pair before any merge work.
+  if (first->known_aborted && second->known_aborted) {
+    out.intention = nullptr;
+    return out;
+  }
+  if (first->known_aborted) {
+    out.intention = second;
+    return out;
+  }
+  if (second->known_aborted) {
+    out.intention = first;
+    out.second_aborted = true;
+    return out;
+  }
+
+  MeldContext ctx;
+  ctx.out_tag = second->seq | kGroupTagBit;
+  ctx.alloc = alloc;
+  ctx.resolver = resolver;
+  ctx.work = work;
+  ctx.mode = MeldMode::kGroup;
+  ctx.group_base = first.get();
+  HYDER_ASSIGN_OR_RETURN(MeldResult melded, Meld(ctx, *second, first->root));
+
+  if (melded.conflict) {
+    // §4: the earlier intention is inside the later one's conflict zone, so
+    // this conflict would abort `second` at final meld regardless. The
+    // first intention survives alone — no fate sharing in this direction.
+    out.intention = first;
+    out.second_aborted = true;
+    return out;
+  }
+
+  auto group = std::make_shared<Intention>();
+  group->seq = second->seq;
+  group->seq_first = first->seq_first;
+  group->txn_id = second->txn_id;
+  // Final meld must validate the union of both conflict zones, hence the
+  // earlier snapshot (§4's "maximum of n1's and n2's conflict zones").
+  group->snapshot_seq =
+      std::min(first->snapshot_seq, second->snapshot_seq);
+  group->isolation = (first->isolation == IsolationLevel::kSerializable ||
+                      second->isolation == IsolationLevel::kSerializable)
+                         ? IsolationLevel::kSerializable
+                         : IsolationLevel::kSnapshot;
+  group->root = std::move(melded.root);
+  group->tombstones = first->tombstones;
+  group->tombstones.insert(group->tombstones.end(),
+                           second->tombstones.begin(),
+                           second->tombstones.end());
+  group->inside = first->inside;
+  group->inside.insert(group->inside.end(), second->inside.begin(),
+                       second->inside.end());
+  group->inside.push_back(ctx.out_tag);
+  group->node_count = first->node_count + second->node_count;
+  group->block_count = first->block_count + second->block_count;
+  group->members = first->members;
+  group->members.insert(group->members.end(), second->members.begin(),
+                        second->members.end());
+  out.intention = std::move(group);
+  return out;
+}
+
+}  // namespace hyder

@@ -1,0 +1,35 @@
+#ifndef HYDER2_MELD_GROUP_MELD_H_
+#define HYDER2_MELD_GROUP_MELD_H_
+
+#include "common/metrics.h"
+#include "meld/meld.h"
+#include "txn/intention.h"
+
+namespace hyder {
+
+/// Outcome of combining one adjacent pair of intentions (§4).
+struct GroupOutcome {
+  /// The intention final meld should process in place of the pair: the
+  /// group intention, or `first` alone when `second` conflicted with it.
+  IntentionPtr intention;
+  /// True when the pair collapsed to the first member (the §4 exception to
+  /// fate sharing: the earlier intention is in the later one's conflict
+  /// zone, so the later one would abort anyway).
+  bool second_aborted = false;
+};
+
+/// Combines the adjacent pair (first, second) — first precedes second in
+/// the log — into a single group intention. Overlapping nodes collapse
+/// (Fig. 7) so final meld processes them once; the merged metadata refers
+/// to the earlier snapshot so final meld still validates both members'
+/// conflict zones. The group commits iff both members commit (fate
+/// sharing), except when `second` conflicts with `first` itself, in which
+/// case `first` survives alone.
+Result<GroupOutcome> RunGroupMeld(const IntentionPtr& first,
+                                  const IntentionPtr& second,
+                                  EphemeralAllocator* alloc,
+                                  NodeResolver* resolver, MeldWork* work);
+
+}  // namespace hyder
+
+#endif  // HYDER2_MELD_GROUP_MELD_H_

@@ -1,0 +1,192 @@
+#include "meld/pipeline.h"
+
+#include "common/stopwatch.h"
+
+namespace hyder {
+
+namespace {
+/// Ephemeral thread-id assignment: final meld is thread 0, group meld is
+/// thread 1, premeld threads are 2..t+1. The slots are fixed (independent
+/// of t) so that any two engines running the same (t, d, group)
+/// configuration — sequential or multithreaded — generate identical
+/// two-part ephemeral identities (§3.4).
+constexpr uint32_t kFinalMeldThreadId = 0;
+constexpr uint32_t kGroupMeldThreadId = 1;
+constexpr uint32_t kPremeldThreadIdBase = 2;
+}  // namespace
+
+SequentialPipeline::SequentialPipeline(
+    const PipelineConfig& config, DatabaseState initial,
+    NodeResolver* resolver, std::function<void(const NodePtr&)> registrar)
+    : config_(config),
+      states_(config.state_retention, initial),
+      resolver_(resolver),
+      fm_alloc_(kFinalMeldThreadId),
+      gm_alloc_(kGroupMeldThreadId) {
+  fm_alloc_.registrar = registrar;
+  gm_alloc_.registrar = registrar;
+  for (int t = 0; t < config_.premeld_threads; ++t) {
+    pm_allocs_.push_back(std::make_unique<EphemeralAllocator>(
+        kPremeldThreadIdBase + uint32_t(t)));
+    pm_allocs_.back()->registrar = registrar;
+  }
+  // Prefixes for seqs 0..initial.seq (zero history when bootstrapping from
+  // a checkpoint: pre-checkpoint conflict-zone block counts are unknown and
+  // irrelevant — premeld targets beyond retention fail with SnapshotTooOld
+  // as they would on any server).
+  block_prefix_.assign(states_.Latest().seq + 1, 0);
+  published_seq_ = states_.Latest().seq;
+}
+
+uint64_t SequentialPipeline::BlocksUpTo(uint64_t seq) const {
+  if (seq >= block_prefix_.size()) return block_prefix_.back();
+  return block_prefix_[seq];
+}
+
+Result<std::vector<MeldDecision>> SequentialPipeline::Process(
+    IntentionPtr intent) {
+  if (intent->seq != block_prefix_.size()) {
+    return Status::InvalidArgument(
+        "pipeline requires consecutive sequences; got " +
+        std::to_string(intent->seq));
+  }
+  block_prefix_.push_back(block_prefix_.back() + intent->block_count);
+  stats_.intentions++;
+
+  // --- Premeld stage (Algorithm 1). ---
+  if (config_.premeld_threads > 0 && !intent->known_aborted) {
+    const int thread =
+        PremeldThreadFor(intent->seq, config_.premeld_threads);
+    CpuStopwatch cpu;
+    MeldWork work;
+    HYDER_ASSIGN_OR_RETURN(
+        PremeldOutcome out,
+        RunPremeld(intent, states_, config_.premeld_threads,
+                   config_.premeld_distance, pm_allocs_[thread].get(),
+                   resolver_, &work, config_.disable_graft_fastpath));
+    work.cpu_nanos = cpu.ElapsedNanos();
+    stats_.premeld += work;
+    if (out.skipped) stats_.premeld_skips++;
+    if (out.intention->known_aborted) stats_.premeld_aborts++;
+    intent = out.intention;
+  }
+  return AfterPremeld(std::move(intent));
+}
+
+Result<std::vector<MeldDecision>> SequentialPipeline::AfterPremeld(
+    IntentionPtr intent) {
+  if (!config_.group_meld) return FinalMeld(std::move(intent));
+  // --- Group meld stage (§4): pair odd seq with the following even seq. ---
+  if (!pending_group_) {
+    pending_group_ = std::move(intent);
+    return std::vector<MeldDecision>{};
+  }
+  IntentionPtr first = std::move(pending_group_);
+  pending_group_ = nullptr;
+  CpuStopwatch cpu;
+  MeldWork work;
+  HYDER_ASSIGN_OR_RETURN(
+      GroupOutcome out,
+      RunGroupMeld(first, intent, &gm_alloc_, resolver_, &work));
+  work.cpu_nanos = cpu.ElapsedNanos();
+  stats_.group_meld += work;
+
+  std::vector<MeldDecision> decisions;
+  if (out.second_aborted) {
+    // The later member conflicted with the earlier one inside the pair (or
+    // was already premeld-aborted): it aborts now; the earlier one proceeds
+    // alone as the group intention.
+    decisions.push_back(MeldDecision{intent->seq, intent->txn_id, false,
+                                     "conflict within group pair"});
+    stats_.aborted++;
+    stats_.group_singletons++;
+  }
+  if (out.intention == nullptr) {
+    // Both members were already known (from premeld) to abort.
+    for (const IntentionPtr& member : {first, intent}) {
+      for (const auto& [seq, txn] : member->members) {
+        decisions.push_back(
+            MeldDecision{seq, txn, false, "premeld conflict"});
+        stats_.aborted++;
+      }
+    }
+    PublishUpTo(intent->seq, states_.Latest().root);
+    return decisions;
+  }
+  if (out.intention->members.size() == 1 && !out.second_aborted &&
+      out.intention.get() == intent.get() && first->known_aborted) {
+    decisions.push_back(
+        MeldDecision{first->seq, first->txn_id, false, "premeld conflict"});
+    stats_.aborted++;
+  }
+  HYDER_ASSIGN_OR_RETURN(std::vector<MeldDecision> fm,
+                         FinalMeld(out.intention));
+  // Guarantee states exist for every sequence up to the pair's end even
+  // when the group collapsed to its first member.
+  PublishUpTo(intent->seq, states_.Latest().root);
+  decisions.insert(decisions.end(), fm.begin(), fm.end());
+  return decisions;
+}
+
+Result<std::vector<MeldDecision>> SequentialPipeline::Flush() {
+  if (!pending_group_) return std::vector<MeldDecision>{};
+  IntentionPtr last = std::move(pending_group_);
+  pending_group_ = nullptr;
+  stats_.group_singletons++;
+  return FinalMeld(std::move(last));
+}
+
+void SequentialPipeline::PublishUpTo(uint64_t seq, const Ref& root) {
+  while (published_seq_ < seq) {
+    ++published_seq_;
+    states_.Publish(DatabaseState{published_seq_, root});
+  }
+}
+
+Result<std::vector<MeldDecision>> SequentialPipeline::FinalMeld(
+    IntentionPtr intent) {
+  std::vector<MeldDecision> decisions;
+  if (intent->known_aborted) {
+    // Premeld already proved the conflict; final meld skips the intention
+    // entirely (§3.1) and the state passes through unchanged.
+    for (const auto& [seq, txn] : intent->members) {
+      decisions.push_back(MeldDecision{seq, txn, false, "premeld conflict"});
+      stats_.aborted++;
+    }
+    PublishUpTo(intent->seq, states_.Latest().root);
+    return decisions;
+  }
+
+  DatabaseState latest = states_.Latest();
+  MeldContext ctx;
+  ctx.out_tag = intent->seq | kFinalTagBit;
+  ctx.alloc = &fm_alloc_;
+  ctx.resolver = resolver_;
+  MeldWork work;
+  ctx.work = &work;
+  ctx.mode = MeldMode::kState;
+  ctx.output_is_state = true;
+  ctx.disable_graft_fastpath = config_.disable_graft_fastpath;
+  CpuStopwatch cpu;
+  HYDER_ASSIGN_OR_RETURN(MeldResult melded, Meld(ctx, *intent, latest.root));
+  work.cpu_nanos = cpu.ElapsedNanos();
+  stats_.final_meld += work;
+  stats_.final_melds++;
+  stats_.conflict_zone_sum +=
+      block_prefix_.back() - BlocksUpTo(intent->snapshot_seq);
+
+  const Ref& new_root = melded.conflict ? latest.root : melded.root;
+  for (const auto& [seq, txn] : intent->members) {
+    if (melded.conflict) {
+      decisions.push_back(MeldDecision{seq, txn, false, melded.reason});
+      stats_.aborted++;
+    } else {
+      decisions.push_back(MeldDecision{seq, txn, true, ""});
+      stats_.committed++;
+    }
+  }
+  PublishUpTo(intent->seq, new_root);
+  return decisions;
+}
+
+}  // namespace hyder

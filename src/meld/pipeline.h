@@ -1,0 +1,103 @@
+#ifndef HYDER2_MELD_PIPELINE_H_
+#define HYDER2_MELD_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "meld/group_meld.h"
+#include "meld/meld.h"
+#include "meld/premeld.h"
+#include "meld/state_table.h"
+#include "txn/intention.h"
+
+namespace hyder {
+
+/// Owner-tag bit for ephemeral nodes created by the final meld stage. Must
+/// differ from the intention's own tag (its seq): final meld's tombstone
+/// application restructures the melded tree, and intention nodes themselves
+/// remain live in the resolver as snapshot content for later transactions —
+/// they must be cloned, never mutated in place.
+constexpr uint64_t kFinalTagBit = 1ull << 59;
+
+/// Configuration of the meld pipeline (Fig. 2).
+struct PipelineConfig {
+  /// Number of premeld threads `t`; 0 disables premeld. Each intention v is
+  /// handled by thread v mod t and melds against state v - t*d - 1 (§3.4).
+  int premeld_threads = 0;
+  /// Premeld distance `d` (the paper's best setting is 5 threads, d=10).
+  int premeld_distance = 10;
+  /// Enables group meld: adjacent pairs (odd, even) combine (§4).
+  bool group_meld = false;
+  /// States retained for premeld and executor snapshots.
+  uint64_t state_retention = 4096;
+  /// Ablation only (bench/ablation_graft_fastpath): turn off the meld
+  /// operator's subtree-graft fast path.
+  bool disable_graft_fastpath = false;
+};
+
+/// Commit/abort decision for one transaction, in log order.
+struct MeldDecision {
+  uint64_t seq = 0;
+  uint64_t txn_id = 0;
+  bool committed = false;
+  std::string reason;  ///< Abort reason, empty on commit.
+};
+
+/// Deterministic single-threaded driver of the meld pipeline.
+///
+/// Runs the premeld → group-meld → final-meld stages as ordinary calls in
+/// dependency order, which produces *bit-identical states and decisions* to
+/// the multithreaded pipeline (that is the paper's determinism requirement,
+/// §3.4 — the stages are deterministic functions of (intention, state)
+/// pairs chosen by index arithmetic, so thread interleaving cannot matter).
+/// Each stage's CPU time and tree-node work is recorded per stage, which is
+/// what the evaluation's figures plot and what the calibrated throughput
+/// model consumes (see DESIGN.md on the single-core substitution).
+class SequentialPipeline {
+ public:
+  /// `eph_registrar` is invoked for every ephemeral node created by any
+  /// stage, feeding the server's registry (may be null in tests that keep
+  /// everything reachable).
+  SequentialPipeline(const PipelineConfig& config, DatabaseState initial,
+                     NodeResolver* resolver,
+                     std::function<void(const NodePtr&)> eph_registrar);
+
+  /// Feeds the next intention in log order (seq must be consecutive).
+  /// Returns the decisions completed by this step — none while a group
+  /// pair's first member is buffered, possibly two when a pair flushes.
+  Result<std::vector<MeldDecision>> Process(IntentionPtr intent);
+
+  /// Flushes a buffered unpaired intention (end of stream).
+  Result<std::vector<MeldDecision>> Flush();
+
+  StateTable& states() { return states_; }
+  const PipelineStats& stats() const { return stats_; }
+  PipelineStats* mutable_stats() { return &stats_; }
+
+  /// Cumulative serialized blocks up to (and including) sequence `seq`;
+  /// used to express conflict zones in blocks (Fig. 12).
+  uint64_t BlocksUpTo(uint64_t seq) const;
+
+ private:
+  Result<std::vector<MeldDecision>> AfterPremeld(IntentionPtr intent);
+  Result<std::vector<MeldDecision>> FinalMeld(IntentionPtr intent);
+  void PublishUpTo(uint64_t seq, const Ref& root);
+
+  const PipelineConfig config_;
+  StateTable states_;
+  NodeResolver* resolver_;
+  PipelineStats stats_;
+  EphemeralAllocator fm_alloc_;
+  EphemeralAllocator gm_alloc_;
+  std::vector<std::unique_ptr<EphemeralAllocator>> pm_allocs_;
+  IntentionPtr pending_group_;  ///< Odd member awaiting its pair.
+  std::vector<uint64_t> block_prefix_;  ///< block_prefix_[seq] = cumulative.
+  uint64_t published_seq_ = 0;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_MELD_PIPELINE_H_

@@ -1,0 +1,79 @@
+#include "meld/state_table.h"
+
+namespace hyder {
+
+StateTable::StateTable(uint64_t capacity, DatabaseState initial)
+    : capacity_(capacity < 2 ? 2 : capacity) {
+  states_.push_back(std::move(initial));
+}
+
+void StateTable::Publish(DatabaseState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  states_.push_back(std::move(state));
+  while (states_.size() > capacity_) states_.pop_front();
+  published_.notify_all();
+}
+
+Result<DatabaseState> StateTable::WaitFor(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  published_.wait(lock, [&] {
+    return shutdown_ || (!states_.empty() && states_.back().seq >= seq);
+  });
+  if (states_.empty() || states_.back().seq < seq) {
+    return Status::TimedOut("state table shut down while waiting for state " +
+                            std::to_string(seq));
+  }
+  const uint64_t oldest = states_.front().seq;
+  if (seq < oldest) {
+    return Status::SnapshotTooOld("state " + std::to_string(seq) +
+                                  " retired; oldest retained is " +
+                                  std::to_string(oldest));
+  }
+  return states_[seq - oldest];
+}
+
+Result<DatabaseState> StateTable::Get(uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (states_.empty() || states_.back().seq < seq) {
+    return Status::NotFound("state " + std::to_string(seq) +
+                            " not yet published");
+  }
+  const uint64_t oldest = states_.front().seq;
+  if (seq < oldest) {
+    return Status::SnapshotTooOld("state " + std::to_string(seq) +
+                                  " retired; oldest retained is " +
+                                  std::to_string(oldest));
+  }
+  return states_[seq - oldest];
+}
+
+DatabaseState StateTable::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_.back();
+}
+
+uint64_t StateTable::OldestRetained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_.front().seq;
+}
+
+Status StateTable::ReplaceInitial(DatabaseState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (states_.size() != 1) {
+    return Status::InvalidArgument(
+        "ReplaceInitial is only legal before any state is published");
+  }
+  if (states_.front().seq != state.seq) {
+    return Status::InvalidArgument("initial state sequence mismatch");
+  }
+  states_.front() = std::move(state);
+  return Status::OK();
+}
+
+void StateTable::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  published_.notify_all();
+}
+
+}  // namespace hyder

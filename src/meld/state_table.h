@@ -1,0 +1,71 @@
+#ifndef HYDER2_MELD_STATE_TABLE_H_
+#define HYDER2_MELD_STATE_TABLE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/result.h"
+#include "tree/node.h"
+
+namespace hyder {
+
+/// One immutable database state: the last-committed state after melding the
+/// intention with sequence `seq` (identical to state seq-1 when that
+/// intention aborted). State 0 is the initial (usually empty) database.
+struct DatabaseState {
+  uint64_t seq = 0;
+  Ref root;
+};
+
+/// Ring of recent database states, published by final meld and consumed by
+/// premeld threads and the transaction executor.
+///
+/// Algorithm 1 requires intention v to meld against state v - t*d - 1; the
+/// system "must retain each state until the intention that premelds against
+/// it has executed", so the table retains a bounded window and blocks
+/// premeld threads until final meld catches up (line 5: "wait for Sm").
+class StateTable {
+ public:
+  /// `capacity` bounds retained states; must exceed t*d + the deepest
+  /// pipeline lag, or premeld inputs would already be retired.
+  StateTable(uint64_t capacity, DatabaseState initial);
+
+  /// Publishes the state produced after intention `seq` (must be the next
+  /// sequence). Wakes waiters; retires states beyond the capacity window.
+  void Publish(DatabaseState state);
+
+  /// Returns state `seq`, blocking until it is published. Fails with
+  /// SnapshotTooOld when it has already been retired, or TimedOut if the
+  /// table is shut down while waiting.
+  Result<DatabaseState> WaitFor(uint64_t seq);
+
+  /// Non-blocking lookup.
+  Result<DatabaseState> Get(uint64_t seq) const;
+
+  /// The most recently published state (what new transactions snapshot).
+  DatabaseState Latest() const;
+
+  /// Sequence of the oldest retained state.
+  uint64_t OldestRetained() const;
+
+  /// Replaces the initial state before any publication — the checkpoint
+  /// bootstrap path, where the reconstructed tree becomes available only
+  /// after the owning server (and its resolver) exist.
+  Status ReplaceInitial(DatabaseState state);
+
+  /// Wakes all waiters with TimedOut; used at pipeline shutdown.
+  void Shutdown();
+
+ private:
+  const uint64_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable published_;
+  std::deque<DatabaseState> states_;  // Contiguous seqs; front() oldest.
+  bool shutdown_ = false;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_MELD_STATE_TABLE_H_

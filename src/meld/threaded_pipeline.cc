@@ -1,0 +1,196 @@
+#include "meld/threaded_pipeline.h"
+
+#include "common/stopwatch.h"
+
+namespace hyder {
+
+namespace {
+constexpr size_t kStageQueueCapacity = 64;
+
+PipelineConfig EngineConfig(const PipelineConfig& config) {
+  PipelineConfig engine = config;
+  engine.premeld_threads = 0;  // Premeld runs in this class's workers.
+  return engine;
+}
+}  // namespace
+
+ThreadedPipeline::ThreadedPipeline(
+    const PipelineConfig& config, DatabaseState initial,
+    NodeResolver* resolver, std::function<void(const NodePtr&)> registrar,
+    DecisionCallback on_decision)
+    : config_(config),
+      engine_(EngineConfig(config), std::move(initial), resolver, registrar),
+      resolver_(resolver),
+      on_decision_(std::move(on_decision)),
+      ordered_(kStageQueueCapacity),
+      next_ordered_(1) {
+  for (int t = 0; t < config_.premeld_threads; ++t) {
+    // Premeld thread ids 2..t+1, matching SequentialPipeline's fixed slots
+    // so both engines generate identical ephemeral identities (§3.4).
+    pm_allocs_.push_back(
+        std::make_unique<EphemeralAllocator>(2 + uint32_t(t)));
+    pm_allocs_.back()->registrar = registrar;
+    pm_queues_.push_back(
+        std::make_unique<BoundedQueue<IntentionPtr>>(kStageQueueCapacity));
+  }
+}
+
+ThreadedPipeline::~ThreadedPipeline() {
+  if (started_) {
+    Close();
+    Join();
+  }
+}
+
+void ThreadedPipeline::Start() {
+  started_ = true;
+  for (int t = 0; t < config_.premeld_threads; ++t) {
+    threads_.emplace_back([this, t] { PremeldWorker(t); });
+  }
+  threads_.emplace_back([this] { MeldWorker(); });
+}
+
+Status ThreadedPipeline::Feed(IntentionPtr intent) {
+  if (poisoned_.load(std::memory_order_acquire)) return FirstError();
+  if (closed_) return Status::InvalidArgument("pipeline already closed");
+  if (intent->seq != fed_seq_ + 1) {
+    return Status::InvalidArgument("intentions must be fed in log order");
+  }
+  fed_seq_ = intent->seq;
+  if (config_.premeld_threads == 0) {
+    if (!ordered_.Push(std::move(intent))) return FirstError();
+    return Status::OK();
+  }
+  const int thread =
+      PremeldThreadFor(fed_seq_, config_.premeld_threads);
+  if (!pm_queues_[thread]->Push(std::move(intent))) return FirstError();
+  return Status::OK();
+}
+
+void ThreadedPipeline::Close() {
+  if (closed_) return;
+  closed_ = true;
+  if (config_.premeld_threads == 0) {
+    ordered_.Close();
+  } else {
+    for (auto& q : pm_queues_) q->Close();
+  }
+}
+
+void ThreadedPipeline::Join() {
+  if (!started_) return;
+  const size_t pm_count = pm_queues_.size();
+  for (size_t i = 0; i < pm_count; ++i) {
+    if (threads_[i].joinable()) threads_[i].join();
+  }
+  // All premeld outputs are in the reorder buffer / ordered queue now.
+  ordered_.Close();
+  if (threads_.back().joinable()) threads_.back().join();
+}
+
+void ThreadedPipeline::Poison(const Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (first_error_.ok()) first_error_ = status;
+  }
+  poisoned_.store(true, std::memory_order_release);
+  for (auto& q : pm_queues_) q->Close();
+  ordered_.Close();
+  engine_.states().Shutdown();  // Wake premeld waiters.
+}
+
+Status ThreadedPipeline::FirstError() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_.ok()
+             ? Status::Aborted("pipeline closed")
+             : first_error_;
+}
+
+void ThreadedPipeline::ReorderAdd(uint64_t seq, IntentionPtr intent) {
+  {
+    std::lock_guard<std::mutex> lock(reorder_mu_);
+    reorder_buffer_[seq] = std::move(intent);
+  }
+  // Only one thread pushes downstream at a time, so ready items leave in
+  // strictly increasing sequence order.
+  std::lock_guard<std::mutex> push_lock(push_mu_);
+  for (;;) {
+    IntentionPtr ready;
+    {
+      std::lock_guard<std::mutex> lock(reorder_mu_);
+      auto it = reorder_buffer_.find(next_ordered_);
+      if (it == reorder_buffer_.end()) break;
+      ready = std::move(it->second);
+      reorder_buffer_.erase(it);
+      next_ordered_++;
+    }
+    if (!ordered_.Push(std::move(ready))) break;  // Poisoned/closing.
+  }
+}
+
+void ThreadedPipeline::PremeldWorker(int thread_index) {
+  BoundedQueue<IntentionPtr>& queue = *pm_queues_[thread_index];
+  while (auto item = queue.Pop()) {
+    IntentionPtr intent = std::move(*item);
+    const uint64_t seq = intent->seq;
+    if (intent->known_aborted) {
+      ReorderAdd(seq, std::move(intent));
+      continue;
+    }
+    CpuStopwatch cpu;
+    MeldWork work;
+    auto out = RunPremeld(intent, engine_.states(), config_.premeld_threads,
+                          config_.premeld_distance,
+                          pm_allocs_[thread_index].get(), resolver_, &work);
+    if (!out.ok()) {
+      if (!out.status().IsTimedOut()) Poison(out.status());
+      return;
+    }
+    work.cpu_nanos = cpu.ElapsedNanos();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      pm_stats_.premeld += work;
+      if (out->skipped) pm_stats_.premeld_skips++;
+      if (out->intention->known_aborted) pm_stats_.premeld_aborts++;
+    }
+    ReorderAdd(seq, std::move(out->intention));
+  }
+}
+
+void ThreadedPipeline::MeldWorker() {
+  while (auto item = ordered_.Pop()) {
+    auto decisions = engine_.Process(std::move(*item));
+    if (!decisions.ok()) {
+      Poison(decisions.status());
+      return;
+    }
+    if (on_decision_) {
+      for (const MeldDecision& d : *decisions) on_decision_(d);
+    }
+  }
+  if (poisoned_.load(std::memory_order_acquire)) return;
+  auto tail = engine_.Flush();
+  if (!tail.ok()) {
+    Poison(tail.status());
+    return;
+  }
+  if (on_decision_) {
+    for (const MeldDecision& d : *tail) on_decision_(d);
+  }
+}
+
+PipelineStats ThreadedPipeline::StatsSnapshot() const {
+  PipelineStats out = engine_.stats();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out.premeld = pm_stats_.premeld;
+    out.premeld_skips = pm_stats_.premeld_skips;
+    // Premeld aborts are also tallied by the engine when the known-aborted
+    // intention reaches final meld; keep the engine's count for decisions
+    // and report the stage-detected count here.
+    out.premeld_aborts = pm_stats_.premeld_aborts;
+  }
+  return out;
+}
+
+}  // namespace hyder

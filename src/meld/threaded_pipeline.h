@@ -1,0 +1,105 @@
+#ifndef HYDER2_MELD_THREADED_PIPELINE_H_
+#define HYDER2_MELD_THREADED_PIPELINE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "meld/pipeline.h"
+
+namespace hyder {
+
+/// The real multithreaded meld pipeline of Fig. 2: premeld worker threads
+/// run in parallel with a group-meld/final-meld thread, exactly the
+/// structure the paper deploys. The deterministic index arithmetic of §3.4
+/// guarantees the outputs are bit-identical to `SequentialPipeline` under
+/// the same configuration — a property the tests verify — so the two
+/// engines are interchangeable; the sequential engine exists because this
+/// reproduction's evaluation host has a single core (see DESIGN.md).
+///
+/// Stage layout (t = premeld threads):
+///   Feed (caller thread, log order)
+///     -> per-thread premeld input queues (intention v to thread v mod t)
+///     -> premeld workers (block on StateTable::WaitFor, Algorithm 1)
+///     -> sequence reorder buffer
+///     -> group-meld + final-meld thread (an embedded SequentialPipeline
+///        with premeld disabled, preserving the gm/fm semantics verbatim)
+///
+/// Decisions are delivered through the callback from the fm thread.
+class ThreadedPipeline {
+ public:
+  using DecisionCallback = std::function<void(const MeldDecision&)>;
+
+  ThreadedPipeline(const PipelineConfig& config, DatabaseState initial,
+                   NodeResolver* resolver,
+                   std::function<void(const NodePtr&)> registrar,
+                   DecisionCallback on_decision);
+  ~ThreadedPipeline();
+
+  ThreadedPipeline(const ThreadedPipeline&) = delete;
+  ThreadedPipeline& operator=(const ThreadedPipeline&) = delete;
+
+  /// Launches the worker threads. Call exactly once.
+  void Start();
+
+  /// Feeds the next intention in log order. Blocks when the pipeline is
+  /// backed up (this is the back-pressure that ultimately throttles the
+  /// executors, §5.2). Fails after Close or on a poisoned pipeline.
+  Status Feed(IntentionPtr intent);
+
+  /// Ends the input stream: workers drain, the trailing unpaired group
+  /// member (if any) is final-melded, and threads exit.
+  void Close();
+
+  /// Waits for all worker threads (implies the stream was Closed).
+  void Join();
+
+  /// The state table (shared with premeld waiters and executors).
+  StateTable& states() { return engine_.states(); }
+
+  /// Aggregated stats (call after Join, or accept racy reads).
+  PipelineStats StatsSnapshot() const;
+
+  /// First error encountered by any stage, if the pipeline was poisoned.
+  Status FirstError() const;
+
+ private:
+  void PremeldWorker(int thread_index);
+  void MeldWorker();
+  void Poison(const Status& status);
+  void ReorderAdd(uint64_t seq, IntentionPtr intent);
+
+  const PipelineConfig config_;
+  /// gm + fm stages, with premeld handled by this class's workers.
+  SequentialPipeline engine_;
+  NodeResolver* const resolver_;
+  DecisionCallback on_decision_;
+
+  std::vector<std::unique_ptr<EphemeralAllocator>> pm_allocs_;
+  std::vector<std::unique_ptr<BoundedQueue<IntentionPtr>>> pm_queues_;
+  BoundedQueue<IntentionPtr> ordered_;
+
+  std::mutex reorder_mu_;
+  std::map<uint64_t, IntentionPtr> reorder_buffer_;
+  uint64_t next_ordered_;
+  std::mutex push_mu_;
+
+  mutable std::mutex stats_mu_;
+  PipelineStats pm_stats_;
+
+  mutable std::mutex error_mu_;
+  Status first_error_;
+  std::atomic<bool> poisoned_{false};
+
+  std::vector<std::thread> threads_;
+  uint64_t fed_seq_ = 0;
+  bool started_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_MELD_THREADED_PIPELINE_H_

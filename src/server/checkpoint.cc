@@ -1,0 +1,264 @@
+#include "server/checkpoint.h"
+
+#include <unordered_map>
+
+#include "common/varint.h"
+#include "txn/codec.h"
+
+namespace hyder {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0xC4C4C4C4;
+
+/// Post-order serialization of a fully materialized state tree. Children
+/// are encoded as post-order indices (like the intention codec); the flags
+/// byte carries color and child presence.
+Status SerializeState(NodeResolver* resolver, const NodePtr& n,
+                      std::unordered_map<const Node*, uint32_t>& index,
+                      std::string* out, uint64_t* count) {
+  if (!n) return Status::OK();
+  HYDER_ASSIGN_OR_RETURN(NodePtr left, n->left().Get(resolver));
+  HYDER_RETURN_IF_ERROR(SerializeState(resolver, left, index, out, count));
+  HYDER_ASSIGN_OR_RETURN(NodePtr right, n->right().Get(resolver));
+  HYDER_RETURN_IF_ERROR(SerializeState(resolver, right, index, out, count));
+
+  uint8_t flags = 0;
+  if (n->color() == Color::kRed) flags |= 1;
+  if (left) flags |= 2;
+  if (right) flags |= 4;
+  out->push_back(static_cast<char>(flags));
+  PutVarint64(out, n->key());
+  PutVarint64(out, n->vn().raw());
+  PutVarint64(out, n->cv().raw());
+  PutVarint64(out, n->payload().size());
+  out->append(n->payload());
+  if (left) PutVarint64(out, index.at(left.get()));
+  if (right) PutVarint64(out, index.at(right.get()));
+  index[n.get()] = static_cast<uint32_t>(index.size());
+  ++*count;
+  return Status::OK();
+}
+
+Result<Ref> DeserializeState(const char*& p, const char* limit,
+                             uint64_t node_count,
+                             ServerResolver* resolver) {
+  std::vector<NodePtr> nodes;
+  nodes.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    if (p >= limit) return Status::Corruption("truncated checkpoint node");
+    const uint8_t flags = static_cast<uint8_t>(*p++);
+    uint64_t key = 0, vn = 0, cv = 0, len = 0;
+    if ((p = GetVarint64(p, limit, &key)) == nullptr ||
+        (p = GetVarint64(p, limit, &vn)) == nullptr ||
+        (p = GetVarint64(p, limit, &cv)) == nullptr ||
+        (p = GetVarint64(p, limit, &len)) == nullptr) {
+      return Status::Corruption("truncated checkpoint node fields");
+    }
+    if (len > size_t(limit - p)) {
+      return Status::Corruption("truncated checkpoint payload");
+    }
+    NodePtr n = MakeNode(key, std::string(p, len));
+    p += len;
+    n->set_vn(VersionId::FromRaw(vn));
+    n->set_cv(VersionId::FromRaw(cv));
+    n->set_color((flags & 1) ? Color::kRed : Color::kBlack);
+    for (int side = 0; side < 2; ++side) {
+      if (!(flags & (side == 0 ? 2 : 4))) continue;
+      uint64_t child = 0;
+      if ((p = GetVarint64(p, limit, &child)) == nullptr || child >= i) {
+        return Status::Corruption("bad checkpoint child index");
+      }
+      (side == 0 ? n->left() : n->right()).Reset(Ref::To(nodes[child]));
+    }
+    // Ephemeral identities must stay resolvable for intentions that
+    // reference them (§3.4); register into the bootstrapping resolver.
+    if (n->vn().IsEphemeral()) resolver->RegisterEphemeral(n);
+    nodes.push_back(std::move(n));
+  }
+  if (nodes.empty()) return Ref::Null();
+  return Ref::To(nodes.back());
+}
+
+}  // namespace
+
+Result<CheckpointInfo> WriteCheckpoint(HyderServer& server) {
+  if (server.assembler_pending() != 0) {
+    return Status::Busy(
+        "cannot checkpoint with partially assembled intentions in flight; "
+        "poll to quiescence first");
+  }
+  if (server.next_read_position() < server.log()->Tail()) {
+    return Status::Busy("unprocessed log blocks remain; poll first");
+  }
+  DatabaseState state = server.LatestState();
+
+  std::string payload;
+  PutFixed32(&payload, kCheckpointMagic);
+  PutVarint64(&payload, state.seq);
+  PutVarint64(&payload, server.next_read_position());
+  // Directory for lazy-reference refetches of pre-checkpoint intentions.
+  auto directory = server.resolver().ExportDirectory();
+  PutVarint64(&payload, directory.size());
+  for (const auto& entry : directory) {
+    PutVarint64(&payload, entry.seq);
+    PutVarint64(&payload, entry.txn_id);
+    PutVarint64(&payload, entry.positions.size());
+    for (uint64_t pos : entry.positions) PutVarint64(&payload, pos);
+  }
+  // The tree itself.
+  std::string tree;
+  uint64_t node_count = 0;
+  std::unordered_map<const Node*, uint32_t> index;
+  NodePtr root = state.root.node;
+  if (!root && !state.root.vn.IsNull()) {
+    HYDER_ASSIGN_OR_RETURN(root,
+                           server.resolver().Resolve(state.root.vn));
+  }
+  HYDER_RETURN_IF_ERROR(SerializeState(&server.resolver(), root, index,
+                                       &tree, &node_count));
+  PutVarint64(&payload, node_count);
+  payload.append(tree);
+
+  // Chop into checkpoint-tagged blocks.
+  const size_t capacity = server.log()->block_size() - kBlockHeaderSize;
+  const uint32_t total =
+      static_cast<uint32_t>((payload.size() + capacity - 1) / capacity);
+  CheckpointInfo info;
+  info.state_seq = state.seq;
+  info.resume_position = server.next_read_position();
+  info.block_count = total;
+  info.node_count = node_count;
+  size_t off = 0;
+  for (uint32_t i = 0; i < total; ++i) {
+    const size_t len = std::min(capacity, payload.size() - off);
+    BlockHeader h;
+    h.txn_id = kCheckpointTxnBit | state.seq;
+    h.index = i;
+    h.total = total;
+    h.chunk_len = static_cast<uint32_t>(len);
+    std::string block;
+    EncodeBlockHeader(h, &block);
+    block.append(payload, off, len);
+    off += len;
+    HYDER_ASSIGN_OR_RETURN(uint64_t pos,
+                           server.log()->Append(std::move(block)));
+    if (i == 0) info.first_block = pos;
+  }
+  return info;
+}
+
+Result<std::optional<CheckpointInfo>> FindLatestCheckpoint(SharedLog& log) {
+  std::optional<CheckpointInfo> best;
+  std::unordered_map<uint64_t, CheckpointInfo> partial;
+  std::unordered_map<uint64_t, uint32_t> seen;
+  for (uint64_t pos = 1; pos < log.Tail(); ++pos) {
+    HYDER_ASSIGN_OR_RETURN(std::string block, log.Read(pos));
+    auto header = DecodeBlockHeader(block);
+    if (!header.ok()) continue;
+    if (!(header->txn_id & kCheckpointTxnBit)) continue;
+    const uint64_t id = header->txn_id;
+    if (header->index == 0) {
+      CheckpointInfo info;
+      info.state_seq = header->txn_id & ~kCheckpointTxnBit;
+      info.first_block = pos;
+      info.block_count = header->total;
+      partial[id] = info;
+      seen[id] = 0;
+    }
+    if (partial.count(id)) {
+      if (++seen[id] == header->total) {
+        if (!best || partial[id].state_seq > best->state_seq) {
+          best = partial[id];
+        }
+      }
+    }
+  }
+  if (!best) return std::optional<CheckpointInfo>{};
+  // Recover resume_position and node_count from the payload header.
+  HYDER_ASSIGN_OR_RETURN(std::string first, log.Read(best->first_block));
+  HYDER_ASSIGN_OR_RETURN(BlockHeader h, DecodeBlockHeader(first));
+  const char* p = first.data() + kBlockHeaderSize;
+  const char* limit = p + h.chunk_len;
+  if (h.chunk_len < 4 || DecodeFixed32(p) != kCheckpointMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  p += 4;
+  uint64_t seq = 0, resume = 0;
+  if ((p = GetVarint64(p, limit, &seq)) == nullptr ||
+      (p = GetVarint64(p, limit, &resume)) == nullptr) {
+    return Status::Corruption("truncated checkpoint header");
+  }
+  best->state_seq = seq;
+  best->resume_position = resume;
+  return best;
+}
+
+Result<std::unique_ptr<HyderServer>> BootstrapFromCheckpoint(
+    SharedLog* log, const CheckpointInfo& info, ServerOptions options) {
+  // Reassemble the checkpoint payload.
+  std::string payload;
+  uint32_t collected = 0;
+  for (uint64_t pos = info.first_block;
+       pos < log->Tail() && collected < info.block_count; ++pos) {
+    HYDER_ASSIGN_OR_RETURN(std::string block, log->Read(pos));
+    auto header = DecodeBlockHeader(block);
+    if (!header.ok()) continue;
+    if (header->txn_id != (kCheckpointTxnBit | info.state_seq)) continue;
+    payload.append(block, kBlockHeaderSize, header->chunk_len);
+    collected++;
+  }
+  if (collected != info.block_count) {
+    return Status::Corruption("incomplete checkpoint in the log");
+  }
+  const char* p = payload.data();
+  const char* limit = payload.data() + payload.size();
+  if (payload.size() < 4 || DecodeFixed32(p) != kCheckpointMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  p += 4;
+  uint64_t seq = 0, resume = 0, dir_count = 0;
+  if ((p = GetVarint64(p, limit, &seq)) == nullptr ||
+      (p = GetVarint64(p, limit, &resume)) == nullptr ||
+      (p = GetVarint64(p, limit, &dir_count)) == nullptr) {
+    return Status::Corruption("truncated checkpoint header");
+  }
+  std::vector<ServerResolver::DirectoryExport> directory;
+  directory.reserve(dir_count);
+  for (uint64_t i = 0; i < dir_count; ++i) {
+    ServerResolver::DirectoryExport entry;
+    uint64_t npos = 0;
+    if ((p = GetVarint64(p, limit, &entry.seq)) == nullptr ||
+        (p = GetVarint64(p, limit, &entry.txn_id)) == nullptr ||
+        (p = GetVarint64(p, limit, &npos)) == nullptr) {
+      return Status::Corruption("truncated checkpoint directory");
+    }
+    for (uint64_t j = 0; j < npos; ++j) {
+      uint64_t pos = 0;
+      if ((p = GetVarint64(p, limit, &pos)) == nullptr) {
+        return Status::Corruption("truncated checkpoint directory entry");
+      }
+      entry.positions.push_back(pos);
+    }
+    directory.push_back(std::move(entry));
+  }
+  uint64_t node_count = 0;
+  if ((p = GetVarint64(p, limit, &node_count)) == nullptr) {
+    return Status::Corruption("truncated checkpoint node count");
+  }
+
+  auto server = std::make_unique<HyderServer>(
+      log, options, DatabaseState{seq, Ref::Null()}, resume);
+  HYDER_ASSIGN_OR_RETURN(
+      Ref root, DeserializeState(p, limit, node_count, &server->resolver()));
+  if (p != limit) {
+    return Status::Corruption("trailing bytes after checkpoint");
+  }
+  server->resolver().ImportDirectory(directory);
+  // Install the reconstructed root as the initial state.
+  HYDER_RETURN_IF_ERROR(
+      server->pipeline().states().ReplaceInitial(DatabaseState{seq, root}));
+  return server;
+}
+
+}  // namespace hyder

@@ -1,0 +1,86 @@
+#include "server/cluster.h"
+
+namespace hyder {
+
+Cluster::Cluster(int num_servers, StripedLogOptions log_options,
+                 ServerOptions base_options)
+    : log_(log_options) {
+  for (int i = 0; i < num_servers; ++i) {
+    ServerOptions options = base_options;
+    options.server_id = i;
+    servers_.push_back(std::make_unique<HyderServer>(&log_, options));
+  }
+}
+
+Status Cluster::PollAll() {
+  for (auto& server : servers_) {
+    HYDER_ASSIGN_OR_RETURN(auto decisions, server->Poll());
+    (void)decisions;
+  }
+  return Status::OK();
+}
+
+Status Cluster::Seed(const std::map<Key, std::string>& content) {
+  Transaction txn = servers_[0]->Begin(IsolationLevel::kSnapshot);
+  for (const auto& [k, v] : content) {
+    HYDER_RETURN_IF_ERROR(txn.Put(k, v));
+  }
+  HYDER_ASSIGN_OR_RETURN(auto submitted, servers_[0]->Submit(std::move(txn)));
+  (void)submitted;
+  return PollAll();
+}
+
+Result<bool> Cluster::StatesConverged(std::string* diff) {
+  HYDER_RETURN_IF_ERROR(PollAll());
+  for (size_t i = 1; i < servers_.size(); ++i) {
+    DatabaseState a = servers_[0]->LatestState();
+    DatabaseState b = servers_[i]->LatestState();
+    if (a.seq != b.seq) {
+      *diff = "state sequences differ: " + std::to_string(a.seq) + " vs " +
+              std::to_string(b.seq);
+      return false;
+    }
+    HYDER_ASSIGN_OR_RETURN(
+        bool same, PhysicallyEqual(&servers_[0]->resolver(), a.root,
+                                   &servers_[i]->resolver(), b.root, diff));
+    if (!same) {
+      *diff = "server 0 vs " + std::to_string(i) + ": " + *diff;
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> PhysicallyEqual(NodeResolver* ra, const Ref& a, NodeResolver* rb,
+                             const Ref& b, std::string* diff) {
+  NodePtr na = a.node;
+  if (!na && !a.vn.IsNull()) {
+    HYDER_ASSIGN_OR_RETURN(na, ra->Resolve(a.vn));
+  }
+  NodePtr nb = b.node;
+  if (!nb && !b.vn.IsNull()) {
+    HYDER_ASSIGN_OR_RETURN(nb, rb->Resolve(b.vn));
+  }
+  if (!na || !nb) {
+    if (static_cast<bool>(na) != static_cast<bool>(nb)) {
+      *diff = "null/non-null mismatch";
+      return false;
+    }
+    return true;
+  }
+  if (na->vn() != nb->vn() || na->key() != nb->key() ||
+      na->payload() != nb->payload() || na->color() != nb->color()) {
+    *diff = "node mismatch: keys " + std::to_string(na->key()) + "/" +
+            std::to_string(nb->key()) + " vns " + na->vn().ToString() + "/" +
+            nb->vn().ToString();
+    return false;
+  }
+  HYDER_ASSIGN_OR_RETURN(bool left,
+                         PhysicallyEqual(ra, na->left().GetLocal(), rb,
+                                         nb->left().GetLocal(), diff));
+  if (!left) return false;
+  return PhysicallyEqual(ra, na->right().GetLocal(), rb,
+                         nb->right().GetLocal(), diff);
+}
+
+}  // namespace hyder

@@ -1,0 +1,52 @@
+#ifndef HYDER2_SERVER_CLUSTER_H_
+#define HYDER2_SERVER_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "log/striped_log.h"
+#include "server/server.h"
+
+namespace hyder {
+
+/// An in-process Hyder II deployment: one shared striped log plus N
+/// transaction servers (Fig. 1). Transactions may run on any server; every
+/// server independently rolls the shared log forward and — because meld is
+/// deterministic — reaches physically identical states (§2, §3.4).
+class Cluster {
+ public:
+  /// All servers receive `base_options` (with per-server ids); they must,
+  /// per the paper, share one pipeline configuration.
+  Cluster(int num_servers, StripedLogOptions log_options,
+          ServerOptions base_options);
+
+  HyderServer& server(int i) { return *servers_[i]; }
+  int size() const { return static_cast<int>(servers_.size()); }
+  StripedLog& log() { return log_; }
+
+  /// Rolls every server forward to the current log tail.
+  Status PollAll();
+
+  /// Seeds initial database content through server 0 and rolls everyone
+  /// forward. Call once, before any other transactions.
+  Status Seed(const std::map<Key, std::string>& content);
+
+  /// Verifies all servers' latest states are *physically identical*
+  /// (same node identities, §3.4). Polls first.
+  Result<bool> StatesConverged(std::string* diff);
+
+ private:
+  StripedLog log_;
+  std::vector<std::unique_ptr<HyderServer>> servers_;
+};
+
+/// Physical equality of two (sub)trees resolved through their servers'
+/// resolvers: identical version ids, keys, payloads and colors.
+Result<bool> PhysicallyEqual(NodeResolver* ra, const Ref& a, NodeResolver* rb,
+                             const Ref& b, std::string* diff);
+
+}  // namespace hyder
+
+#endif  // HYDER2_SERVER_CLUSTER_H_

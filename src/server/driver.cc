@@ -1,0 +1,38 @@
+#include "server/driver.h"
+
+namespace hyder {
+
+Status ClosedLoopDriver::FillWindow() {
+  while (server_->inflight() < target_inflight_) {
+    Transaction txn = server_->Begin(isolation_);
+    HYDER_RETURN_IF_ERROR(factory_(txn));
+    HYDER_ASSIGN_OR_RETURN(HyderServer::Submitted sub,
+                           server_->Submit(std::move(txn)));
+    report_.submitted++;
+    if (sub.decided) {
+      // Read-only: decided immediately without logging.
+      report_.read_only++;
+    }
+  }
+  return Status::OK();
+}
+
+Status ClosedLoopDriver::Run(uint64_t intentions) {
+  uint64_t processed = 0;
+  while (processed < intentions) {
+    HYDER_RETURN_IF_ERROR(FillWindow());
+    HYDER_ASSIGN_OR_RETURN(std::vector<MeldDecision> decisions,
+                           server_->Poll(1));
+    processed++;
+    for (const MeldDecision& d : decisions) {
+      if (d.committed) {
+        report_.committed++;
+      } else {
+        report_.aborted++;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hyder

@@ -1,0 +1,59 @@
+#ifndef HYDER2_SERVER_DRIVER_H_
+#define HYDER2_SERVER_DRIVER_H_
+
+#include <functional>
+
+#include "server/server.h"
+
+namespace hyder {
+
+/// Result of one closed-loop run.
+struct DriverReport {
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t read_only = 0;
+};
+
+/// Closed-loop load driver (§6.1): keeps a target number of transactions
+/// in flight — executed and appended but not yet melded — before letting
+/// the pipeline advance one intention at a time.
+///
+/// The in-flight target is what controls the conflict-zone geometry the
+/// paper's evaluation turns on: a transaction appended with Z transactions
+/// outstanding has a conflict zone of ≈ Z intentions (Fig. 5, §3.2's
+/// "10K–30K transactions at ~50K tps"). In the paper this arises from
+/// 20 update threads × 80 in-flight per server across N servers; here it is
+/// set explicitly so experiments can sweep it deterministically.
+class ClosedLoopDriver {
+ public:
+  /// `factory` builds one transaction's operations (Begin is called by the
+  /// driver; the factory fills in the ops).
+  using TxnFactory = std::function<Status(Transaction&)>;
+
+  ClosedLoopDriver(HyderServer* server, uint64_t target_inflight,
+                   IsolationLevel isolation, TxnFactory factory)
+      : server_(server),
+        target_inflight_(target_inflight),
+        isolation_(isolation),
+        factory_(std::move(factory)) {}
+
+  /// Processes `intentions` through the pipeline (filling the in-flight
+  /// window as needed) and accumulates decisions into `report_`.
+  Status Run(uint64_t intentions);
+
+  const DriverReport& report() const { return report_; }
+
+ private:
+  Status FillWindow();
+
+  HyderServer* const server_;
+  const uint64_t target_inflight_;
+  const IsolationLevel isolation_;
+  TxnFactory factory_;
+  DriverReport report_;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_SERVER_DRIVER_H_

@@ -1,0 +1,171 @@
+#include "server/resolver.h"
+
+#include <algorithm>
+
+#include "txn/codec.h"
+
+namespace hyder {
+
+ServerResolver::ServerResolver(SharedLog* log, ResolverOptions options)
+    : log_(log), options_(options) {}
+
+Result<NodePtr> ServerResolver::Resolve(VersionId vn) {
+  if (vn.IsNull()) {
+    return Status::InvalidArgument("cannot resolve a null version id");
+  }
+  if (vn.IsEphemeral()) {
+    std::lock_guard<std::mutex> lock(eph_mu_);
+    auto it = ephemerals_.find(vn);
+    if (it == ephemerals_.end()) {
+      return Status::SnapshotTooOld("ephemeral node " + vn.ToString() +
+                                    " has been retired");
+    }
+    return it->second;
+  }
+  return ResolveLogged(vn);
+}
+
+Result<NodePtr> ServerResolver::ResolveLogged(VersionId vn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HYDER_ASSIGN_OR_RETURN(const std::vector<NodePtr>* nodes,
+                         MaterializeLocked(vn.intention_seq()));
+  if (vn.node_index() >= nodes->size()) {
+    return Status::Corruption("node index " +
+                              std::to_string(vn.node_index()) +
+                              " out of range in intention " +
+                              std::to_string(vn.intention_seq()));
+  }
+  return (*nodes)[vn.node_index()];
+}
+
+Result<const std::vector<NodePtr>*> ServerResolver::MaterializeLocked(
+    uint64_t seq) {
+  auto it = intentions_.find(seq);
+  if (it != intentions_.end()) {
+    TouchLocked(seq);
+    return &it->second.nodes;
+  }
+  // Refetch from the log: the paper's "random access to the log" path
+  // (§1) taken when data is not in this server's partial cached copy.
+  auto dir = directory_.find(seq);
+  if (dir == directory_.end()) {
+    return Status::NotFound("no directory entry for intention " +
+                            std::to_string(seq));
+  }
+  refetches_++;
+  std::vector<std::string> chunks(dir->second.positions.size());
+  for (uint64_t pos : dir->second.positions) {
+    HYDER_ASSIGN_OR_RETURN(std::string block, log_->Read(pos));
+    HYDER_ASSIGN_OR_RETURN(BlockHeader h, DecodeBlockHeader(block));
+    if (h.index >= chunks.size()) {
+      return Status::Corruption("block index out of range on refetch");
+    }
+    chunks[h.index] = block.substr(kBlockHeaderSize, h.chunk_len);
+  }
+  std::string payload;
+  for (std::string& c : chunks) payload.append(c);
+  std::vector<NodePtr> nodes;
+  HYDER_ASSIGN_OR_RETURN(
+      IntentionPtr intent,
+      DeserializeIntention(payload, seq,
+                           static_cast<uint32_t>(chunks.size()), this,
+                           dir->second.txn_id, &nodes));
+  (void)intent;
+  CachedIntention entry;
+  entry.nodes = std::move(nodes);
+  lru_.push_front(seq);
+  entry.lru_pos = lru_.begin();
+  intentions_.emplace(seq, std::move(entry));
+  EvictLocked();
+  // Re-find: eviction never removes the most recently used entry.
+  return &intentions_.at(seq).nodes;
+}
+
+void ServerResolver::TouchLocked(uint64_t seq) {
+  auto it = intentions_.find(seq);
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(seq);
+  it->second.lru_pos = lru_.begin();
+}
+
+void ServerResolver::EvictLocked() {
+  while (intentions_.size() > options_.intention_cache_capacity) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    intentions_.erase(victim);
+  }
+}
+
+void ServerResolver::RecordIntentionBlocks(uint64_t seq,
+                                           std::vector<uint64_t> positions,
+                                           uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  directory_[seq] = DirectoryEntry{std::move(positions), txn_id};
+}
+
+void ServerResolver::CacheIntention(uint64_t seq,
+                                    std::vector<NodePtr> nodes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (intentions_.count(seq) != 0) return;
+  CachedIntention entry;
+  entry.nodes = std::move(nodes);
+  lru_.push_front(seq);
+  entry.lru_pos = lru_.begin();
+  intentions_.emplace(seq, std::move(entry));
+  EvictLocked();
+}
+
+void ServerResolver::RegisterEphemeral(const NodePtr& n) {
+  std::lock_guard<std::mutex> lock(eph_mu_);
+  ephemerals_[n->vn()] = n;
+}
+
+size_t ServerResolver::SweepEphemerals() {
+  std::lock_guard<std::mutex> lock(eph_mu_);
+  size_t dropped = 0;
+  for (auto it = ephemerals_.begin(); it != ephemerals_.end();) {
+    // RefCount == 1 means only the registry still holds the node: it is
+    // unreachable from every retained state, live intention and cache, so
+    // nothing can ever reference it again except a transaction whose
+    // snapshot has itself been retired (which is answered with
+    // SnapshotTooOld, the same as in the real system).
+    if (it->second->RefCount() == 1) {
+      it = ephemerals_.erase(it);
+      dropped++;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::vector<ServerResolver::DirectoryExport> ServerResolver::ExportDirectory()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DirectoryExport> out;
+  out.reserve(directory_.size());
+  for (const auto& [seq, entry] : directory_) {
+    out.push_back(DirectoryExport{seq, entry.txn_id, entry.positions});
+  }
+  return out;
+}
+
+void ServerResolver::ImportDirectory(
+    const std::vector<DirectoryExport>& entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const DirectoryExport& e : entries) {
+    directory_[e.seq] = DirectoryEntry{e.positions, e.txn_id};
+  }
+}
+
+size_t ServerResolver::cached_intentions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return intentions_.size();
+}
+
+size_t ServerResolver::ephemeral_count() const {
+  std::lock_guard<std::mutex> lock(eph_mu_);
+  return ephemerals_.size();
+}
+
+}  // namespace hyder

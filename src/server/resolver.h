@@ -1,0 +1,98 @@
+#ifndef HYDER2_SERVER_RESOLVER_H_
+#define HYDER2_SERVER_RESOLVER_H_
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "log/shared_log.h"
+#include "tree/node.h"
+#include "txn/intention.h"
+
+namespace hyder {
+
+/// Options for the server-side reference resolver.
+struct ResolverOptions {
+  /// Materialized intentions kept for lazy logged-reference resolution
+  /// before LRU eviction (evicted intentions are refetched from the log on
+  /// demand — the paper's random log read path, §1/§5.2).
+  size_t intention_cache_capacity = 4096;
+  /// Ephemeral registry entries are swept once the registry exceeds this
+  /// size; only entries no longer referenced anywhere else are dropped.
+  size_t ephemeral_soft_limit = 1 << 20;
+};
+
+/// Resolves node references for one server: logged references through a
+/// materialized-intention cache backed by the shared log, ephemeral
+/// references through the registry fed by the meld pipeline's allocators.
+///
+/// Ephemeral nodes cannot be refetched (they are never logged, §2); a
+/// reference to a swept ephemeral yields `SnapshotTooOld`, which surfaces to
+/// the transaction as an abort-and-retry — the same contract as a retired
+/// snapshot.
+class ServerResolver : public NodeResolver {
+ public:
+  ServerResolver(SharedLog* log, ResolverOptions options);
+
+  Result<NodePtr> Resolve(VersionId vn) override;
+
+  /// Records that intention `seq` lives in the given log block positions
+  /// (called by the log reader as intentions complete).
+  void RecordIntentionBlocks(uint64_t seq, std::vector<uint64_t> positions,
+                             uint64_t txn_id);
+
+  /// Caches a freshly deserialized intention's node array (index = node
+  /// index within the intention).
+  void CacheIntention(uint64_t seq, std::vector<NodePtr> nodes);
+
+  /// Registers an ephemeral node (meld allocator registrar hook).
+  void RegisterEphemeral(const NodePtr& n);
+
+  /// Drops ephemeral entries that nothing else references. Safe at any
+  /// time; affects only this server's memory, never cross-server state.
+  size_t SweepEphemerals();
+
+  struct DirectoryExport {
+    uint64_t seq;
+    uint64_t txn_id;
+    std::vector<uint64_t> positions;
+  };
+  /// Snapshot of the intention directory (for checkpoints).
+  std::vector<DirectoryExport> ExportDirectory() const;
+  /// Restores directory entries (bootstrap path).
+  void ImportDirectory(const std::vector<DirectoryExport>& entries);
+
+  size_t cached_intentions() const;
+  size_t ephemeral_count() const;
+  uint64_t refetches() const { return refetches_; }
+
+ private:
+  Result<NodePtr> ResolveLogged(VersionId vn);
+  Result<const std::vector<NodePtr>*> MaterializeLocked(uint64_t seq);
+  void TouchLocked(uint64_t seq);
+  void EvictLocked();
+
+  SharedLog* const log_;
+  const ResolverOptions options_;
+
+  mutable std::mutex mu_;
+  struct CachedIntention {
+    std::vector<NodePtr> nodes;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+  std::unordered_map<uint64_t, CachedIntention> intentions_;
+  std::list<uint64_t> lru_;  // Front = most recently used.
+  struct DirectoryEntry {
+    std::vector<uint64_t> positions;
+    uint64_t txn_id = 0;
+  };
+  std::unordered_map<uint64_t, DirectoryEntry> directory_;
+  mutable std::mutex eph_mu_;
+  std::unordered_map<VersionId, NodePtr> ephemerals_;
+  uint64_t refetches_ = 0;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_SERVER_RESOLVER_H_

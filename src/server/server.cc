@@ -1,0 +1,146 @@
+#include "server/server.h"
+
+#include "common/stopwatch.h"
+
+namespace hyder {
+
+HyderServer::HyderServer(SharedLog* log, ServerOptions options)
+    : HyderServer(log, options, DatabaseState{0, Ref::Null()},
+                  /*start_position=*/1) {}
+
+HyderServer::HyderServer(SharedLog* log, ServerOptions options,
+                         DatabaseState initial, uint64_t start_position)
+    : log_(log),
+      options_(options),
+      resolver_(log, options.resolver),
+      pipeline_(options.pipeline, initial, &resolver_,
+                [this](const NodePtr& n) { resolver_.RegisterEphemeral(n); }),
+      assembler_(initial.seq + 1),
+      next_read_pos_(start_position) {}
+
+Transaction HyderServer::Begin() { return Begin(options_.default_isolation); }
+
+Transaction HyderServer::Begin(IsolationLevel isolation) {
+  const uint64_t txn_id =
+      (uint64_t(options_.server_id + 1) << 40) | next_txn_++;
+  DatabaseState snapshot = pipeline_.states().Latest();
+  IntentionBuilder builder(kWorkspaceTagBit | txn_id, snapshot.seq,
+                           snapshot.root, isolation, &resolver_);
+  return Transaction(txn_id, std::move(builder));
+}
+
+Result<Transaction> HyderServer::BeginAt(uint64_t seq,
+                                          IsolationLevel isolation) {
+  const uint64_t txn_id =
+      (uint64_t(options_.server_id + 1) << 40) | next_txn_++;
+  HYDER_ASSIGN_OR_RETURN(DatabaseState snapshot,
+                         pipeline_.states().Get(seq));
+  IntentionBuilder builder(kWorkspaceTagBit | txn_id, snapshot.seq,
+                           snapshot.root, isolation, &resolver_);
+  return Transaction(txn_id, std::move(builder));
+}
+
+Result<HyderServer::Submitted> HyderServer::Submit(Transaction&& txn) {
+  Submitted out;
+  out.txn_id = txn.txn_id();
+  if (!txn.has_writes()) {
+    // Read-only transactions commit locally against their snapshot; they
+    // are never logged or melded (§1).
+    out.decided = true;
+    out.committed = true;
+    return out;
+  }
+  if (pending_.size() >= options_.max_inflight) {
+    return Status::Busy("in-flight transaction limit reached (" +
+                        std::to_string(options_.max_inflight) + ")");
+  }
+  HYDER_ASSIGN_OR_RETURN(
+      std::vector<std::string> blocks,
+      SerializeIntention(txn.builder_, txn.txn_id(), log_->block_size()));
+  for (std::string& block : blocks) {
+    HYDER_ASSIGN_OR_RETURN(uint64_t pos, log_->Append(std::move(block)));
+    (void)pos;  // Positions are re-discovered while tailing the log, which
+                // keeps remote and local intentions on one code path.
+  }
+  pending_.insert(txn.txn_id());
+  return out;
+}
+
+Result<std::vector<MeldDecision>> HyderServer::Poll(size_t max_intentions) {
+  std::vector<MeldDecision> all;
+  size_t processed = 0;
+  while (processed < max_intentions && next_read_pos_ < log_->Tail()) {
+    HYDER_ASSIGN_OR_RETURN(std::string block, log_->Read(next_read_pos_));
+    const uint64_t pos = next_read_pos_++;
+    HYDER_ASSIGN_OR_RETURN(BlockHeader header, DecodeBlockHeader(block));
+    if (header.txn_id & (1ull << 63)) {
+      // Checkpoint block (server/checkpoint.h): not an intention; every
+      // server skips it identically, preserving sequence determinism.
+      continue;
+    }
+    partial_positions_[header.txn_id].push_back(pos);
+    HYDER_ASSIGN_OR_RETURN(auto done, assembler_.AddBlock(block));
+    if (!done.has_value()) continue;
+
+    auto positions = std::move(partial_positions_[header.txn_id]);
+    partial_positions_.erase(header.txn_id);
+    resolver_.RecordIntentionBlocks(done->seq, std::move(positions),
+                                    done->txn_id);
+
+    std::vector<NodePtr> nodes;
+    CpuStopwatch ds_cpu;
+    HYDER_ASSIGN_OR_RETURN(
+        IntentionPtr intent,
+        DeserializeIntention(done->payload, done->seq, done->block_count,
+                             &resolver_, done->txn_id, &nodes));
+    pipeline_.mutable_stats()->deserialize.cpu_nanos = 
+        pipeline_.mutable_stats()->deserialize.cpu_nanos + ds_cpu.ElapsedNanos();
+    pipeline_.mutable_stats()->deserialize.nodes_visited += intent->node_count;
+    resolver_.CacheIntention(done->seq, std::move(nodes));
+
+    HYDER_ASSIGN_OR_RETURN(std::vector<MeldDecision> decisions,
+                           pipeline_.Process(std::move(intent)));
+    processed++;
+    for (const MeldDecision& d : decisions) {
+      if (pending_.erase(d.txn_id) > 0) {
+        outcomes_[d.txn_id] = d.committed;
+      }
+      all.push_back(d);
+    }
+    if (++melds_since_sweep_ >= options_.sweep_interval) {
+      melds_since_sweep_ = 0;
+      resolver_.SweepEphemerals();
+    }
+  }
+  return all;
+}
+
+Result<bool> HyderServer::Commit(Transaction&& txn) {
+  const uint64_t id = txn.txn_id();
+  HYDER_ASSIGN_OR_RETURN(Submitted sub, Submit(std::move(txn)));
+  if (sub.decided) return sub.committed;
+  for (;;) {
+    HYDER_ASSIGN_OR_RETURN(std::vector<MeldDecision> decisions, Poll());
+    auto it = outcomes_.find(id);
+    if (it != outcomes_.end()) {
+      bool committed = it->second;
+      outcomes_.erase(it);
+      return committed;
+    }
+    if (decisions.empty() && next_read_pos_ >= log_->Tail()) {
+      // Log drained and still undecided: the intention sits in a group-meld
+      // pair buffer awaiting a partner from future traffic.
+      return Status::TimedOut(
+          "transaction awaiting a group-meld pair; drive more traffic or "
+          "use Submit/Poll");
+    }
+  }
+}
+
+std::optional<bool> HyderServer::Outcome(uint64_t txn_id) const {
+  auto it = outcomes_.find(txn_id);
+  if (it == outcomes_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace hyder

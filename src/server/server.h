@@ -1,0 +1,149 @@
+#ifndef HYDER2_SERVER_SERVER_H_
+#define HYDER2_SERVER_SERVER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "meld/pipeline.h"
+#include "server/resolver.h"
+#include "txn/codec.h"
+#include "txn/intention_builder.h"
+
+namespace hyder {
+
+/// Per-server configuration.
+struct ServerOptions {
+  int server_id = 0;
+  PipelineConfig pipeline;
+  ResolverOptions resolver;
+  IsolationLevel default_isolation = IsolationLevel::kSerializable;
+  /// Admission control: maximum transactions appended but not yet decided
+  /// (§5.2 — "the executer stops processing transactions if the number of
+  /// transactions awaiting their outcome exceeds a configurable threshold").
+  size_t max_inflight = 1600;
+  /// Melds between ephemeral-registry sweeps.
+  uint64_t sweep_interval = 1024;
+};
+
+/// One optimistically executing transaction (§1, steps 1–2). Obtained from
+/// `HyderServer::Begin`; all operations run against the immutable snapshot
+/// the server held at Begin time, accumulating effects in a private
+/// intention. Hand it back via `Submit`/`Commit` to append it to the log.
+class Transaction {
+ public:
+  Status Put(Key key, std::string value) {
+    return builder_.Put(key, std::move(value));
+  }
+  Result<std::optional<std::string>> Get(Key key) { return builder_.Get(key); }
+  Result<bool> Delete(Key key) { return builder_.Delete(key); }
+  Result<std::vector<std::pair<Key, std::string>>> Scan(Key lo, Key hi) {
+    return builder_.Scan(lo, hi);
+  }
+
+  uint64_t txn_id() const { return txn_id_; }
+  IsolationLevel isolation() const { return builder_.isolation(); }
+  bool has_writes() const { return builder_.has_writes(); }
+  uint64_t snapshot_seq() const { return builder_.snapshot_seq(); }
+
+ private:
+  friend class HyderServer;
+  Transaction(uint64_t txn_id, IntentionBuilder builder)
+      : txn_id_(txn_id), builder_(std::move(builder)) {}
+
+  uint64_t txn_id_;
+  IntentionBuilder builder_;
+};
+
+/// One Hyder II transaction server (§5.2): executes transactions against
+/// locally cached snapshots, serializes intentions into blocks on the shared
+/// log, and rolls the log forward through the meld pipeline. Every server
+/// sharing a log must run the same pipeline configuration (§3.4).
+///
+/// Thread model: this simulation drives the pipeline via `Poll` from the
+/// caller's thread (on the single-core evaluation host the multithreaded
+/// pipeline cannot add wall-clock speedup; see DESIGN.md). The class is not
+/// itself thread-safe; use one instance per thread or external locking.
+class HyderServer {
+ public:
+  HyderServer(SharedLog* log, ServerOptions options);
+
+  /// Bootstrap constructor (see server/checkpoint.h): starts the pipeline
+  /// at `initial` (a reconstructed checkpoint state) and the log cursor at
+  /// `start_position`; intention sequences continue from initial.seq + 1.
+  HyderServer(SharedLog* log, ServerOptions options, DatabaseState initial,
+              uint64_t start_position);
+
+  /// Starts a transaction against the latest locally-known committed state.
+  Transaction Begin();
+  Transaction Begin(IsolationLevel isolation);
+
+  /// Starts a transaction against the historical state after intention
+  /// `seq` — time-travel reads over the multi-versioned database. Fails
+  /// with SnapshotTooOld once the state has left the retention window.
+  /// Write transactions begun this way are valid too: they simply carry a
+  /// long conflict zone and abort if anything they touched has changed.
+  Result<Transaction> BeginAt(uint64_t seq, IsolationLevel isolation);
+
+  struct Submitted {
+    uint64_t txn_id = 0;
+    /// Read-only transactions are decided immediately (they commit locally
+    /// and never touch the log, §1).
+    bool decided = false;
+    bool committed = false;
+  };
+
+  /// Serializes and appends the transaction's intention. The outcome
+  /// becomes available through `Poll`/`Outcome` once this server's meld
+  /// passes the intention. Fails with `Busy` when admission control is at
+  /// its in-flight limit.
+  Result<Submitted> Submit(Transaction&& txn);
+
+  /// Rolls the log forward: reads new blocks, deserializes completed
+  /// intentions and runs them through the meld pipeline. Returns all
+  /// decisions made (for transactions from every server).
+  Result<std::vector<MeldDecision>> Poll(size_t max_intentions = SIZE_MAX);
+
+  /// Convenience for synchronous callers: Submit, then Poll until decided.
+  /// With group meld enabled a lone trailing transaction can stay paired-
+  /// pending until more traffic arrives; that returns `TimedOut`.
+  Result<bool> Commit(Transaction&& txn);
+
+  /// Outcome of a locally submitted transaction, if decided.
+  std::optional<bool> Outcome(uint64_t txn_id) const;
+
+  DatabaseState LatestState() { return pipeline_.states().Latest(); }
+  size_t inflight() const { return pending_.size(); }
+  const PipelineStats& stats() const { return pipeline_.stats(); }
+  SequentialPipeline& pipeline() { return pipeline_; }
+  ServerResolver& resolver() { return resolver_; }
+  const ServerOptions& options() const { return options_; }
+  SharedLog* log() { return log_; }
+  /// Intentions whose blocks are only partially seen (checkpoint quiescence
+  /// check).
+  size_t assembler_pending() const { return assembler_.pending(); }
+  /// The next log position this server will read.
+  uint64_t next_read_position() const { return next_read_pos_; }
+
+ private:
+  SharedLog* const log_;
+  const ServerOptions options_;
+  ServerResolver resolver_;
+  SequentialPipeline pipeline_;
+  IntentionAssembler assembler_;
+  uint64_t next_txn_ = 1;
+  uint64_t next_read_pos_;
+  uint64_t melds_since_sweep_ = 0;
+  /// Positions of blocks per not-yet-completed intention (for the
+  /// directory), keyed by txn id.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> partial_positions_;
+  std::unordered_set<uint64_t> pending_;           ///< Local undecided txns.
+  std::unordered_map<uint64_t, bool> outcomes_;    ///< Local decided txns.
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_SERVER_SERVER_H_

@@ -1,0 +1,64 @@
+#include "tree/node.h"
+
+#include <vector>
+
+namespace hyder {
+
+namespace {
+std::atomic<uint64_t> g_live_nodes{0};
+}  // namespace
+
+uint64_t LiveNodeCount() { return g_live_nodes.load(std::memory_order_relaxed); }
+
+NodePtr MakeNode(Key key, std::string payload) {
+  g_live_nodes.fetch_add(1, std::memory_order_relaxed);
+  return NodePtr::Adopt(new Node(key, std::move(payload)));
+}
+
+void NodeUnref(Node* n) {
+  if (n == nullptr) return;
+  if (n->refs_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Destroy iteratively: dropping a large state must not recurse to the
+  // tree height times the cascade depth.
+  std::vector<Node*> dead;
+  dead.push_back(n);
+  while (!dead.empty()) {
+    Node* d = dead.back();
+    dead.pop_back();
+    for (ChildSlot* slot : {&d->left_, &d->right_}) {
+      Node* c = slot->node_.exchange(nullptr, std::memory_order_acq_rel);
+      if (c != nullptr &&
+          c->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        dead.push_back(c);
+      }
+    }
+    g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
+    delete d;
+  }
+}
+
+Result<NodePtr> ChildSlot::Get(NodeResolver* resolver) const {
+  Node* n = node_.load(std::memory_order_acquire);
+  if (n != nullptr) return NodePtr::Share(n);
+  if (vn_.IsNull()) return NodePtr();
+  if (resolver == nullptr) {
+    return Status::Internal("lazy reference " + vn_.ToString() +
+                            " with no resolver");
+  }
+  HYDER_ASSIGN_OR_RETURN(NodePtr fetched, resolver->Resolve(vn_));
+  if (!fetched) {
+    return Status::Corruption("resolver returned null for " + vn_.ToString());
+  }
+  // Memoize. If another thread won the race, drop our fetch and use theirs.
+  Node* expected = nullptr;
+  Node* raw = fetched.get();
+  NodeRef(raw);  // The slot's strong reference.
+  if (node_.compare_exchange_strong(expected, raw,
+                                    std::memory_order_acq_rel)) {
+    return fetched;
+  }
+  NodeUnref(raw);  // Lost the race; release the slot's would-be reference.
+  return NodePtr::Share(expected);
+}
+
+}  // namespace hyder

@@ -1,0 +1,40 @@
+#ifndef HYDER2_TREE_VALIDATE_H_
+#define HYDER2_TREE_VALIDATE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "tree/node.h"
+
+namespace hyder {
+
+/// Structural facts about a tree, produced by `ValidateTree`.
+struct TreeCheck {
+  uint64_t node_count = 0;
+  uint32_t height = 0;
+  int black_height = 0;  ///< -1 when the black-height invariant is violated.
+  bool bst_ok = false;
+  bool rb_ok = false;  ///< Red-black invariants (root black, no red-red,
+                       ///< equal black heights).
+};
+
+/// Walks the whole tree checking BST ordering and red-black invariants.
+/// Resolves lazy edges through `resolver` (may be null for materialized
+/// trees). Intended for tests; cost is O(n).
+Result<TreeCheck> ValidateTree(NodeResolver* resolver, const Ref& root);
+
+/// In-order dump of (key, payload) pairs.
+Status TreeCollect(NodeResolver* resolver, const Ref& root,
+                   std::vector<std::pair<Key, std::string>>* out);
+
+/// Counts nodes reachable from `root`.
+Result<uint64_t> TreeCount(NodeResolver* resolver, const Ref& root);
+
+/// Renders the tree as an indented multi-line string (debugging aid).
+Result<std::string> TreeToString(NodeResolver* resolver, const Ref& root);
+
+}  // namespace hyder
+
+#endif  // HYDER2_TREE_VALIDATE_H_

@@ -1,0 +1,21 @@
+#include "tree/version_id.h"
+
+#include <cstdio>
+
+namespace hyder {
+
+std::string VersionId::ToString() const {
+  if (IsNull()) return "vn:null";
+  char buf[64];
+  if (IsEphemeral()) {
+    std::snprintf(buf, sizeof(buf), "e[%u,%llu]", thread_id(),
+                  static_cast<unsigned long long>(sequence()));
+  } else {
+    std::snprintf(buf, sizeof(buf), "L[%llu,%u]",
+                  static_cast<unsigned long long>(intention_seq()),
+                  node_index());
+  }
+  return buf;
+}
+
+}  // namespace hyder

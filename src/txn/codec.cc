@@ -1,0 +1,339 @@
+#include "txn/codec.h"
+
+#include <unordered_map>
+
+#include "common/varint.h"
+
+namespace hyder {
+
+namespace {
+
+void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Node flag byte layout on the wire.
+enum WireFlags : uint8_t {
+  kWireAltered = 1u << 0,
+  kWireRead = 1u << 1,
+  kWireSubtreeRead = 1u << 2,
+  kWireRed = 1u << 3,
+  kWireLeftPresent = 1u << 4,
+  kWireLeftInternal = 1u << 5,
+  kWireRightPresent = 1u << 6,
+  kWireRightInternal = 1u << 7,
+};
+
+struct EdgeEncoding {
+  bool present = false;
+  bool internal = false;
+  uint64_t value = 0;  // Internal: post-order index. External: raw vn.
+};
+
+Result<EdgeEncoding> EncodeEdge(
+    const Ref& edge, uint64_t workspace_tag,
+    const std::unordered_map<const Node*, uint32_t>& index) {
+  EdgeEncoding enc;
+  if (edge.IsNull()) return enc;
+  enc.present = true;
+  if (edge.node && edge.node->owner() == workspace_tag) {
+    auto it = index.find(edge.node.get());
+    if (it == index.end()) {
+      return Status::Internal(
+          "post-order violation: child serialized after parent");
+    }
+    enc.internal = true;
+    enc.value = it->second;
+    return enc;
+  }
+  // External reference: must have a stable identity.
+  if (edge.vn.IsNull()) {
+    return Status::Internal(
+        "intention references a foreign node with no version id");
+  }
+  enc.value = edge.vn.raw();
+  return enc;
+}
+
+Status SerializeNodes(const NodePtr& n, uint64_t workspace_tag,
+                      std::unordered_map<const Node*, uint32_t>& index,
+                      std::string* out) {
+  if (!n || n->owner() != workspace_tag) return Status::OK();
+  // Post-order: children first.
+  HYDER_RETURN_IF_ERROR(
+      SerializeNodes(n->left().GetLocal().node, workspace_tag, index, out));
+  HYDER_RETURN_IF_ERROR(
+      SerializeNodes(n->right().GetLocal().node, workspace_tag, index, out));
+
+  HYDER_ASSIGN_OR_RETURN(
+      EdgeEncoding left,
+      EncodeEdge(n->left().GetLocal(), workspace_tag, index));
+  HYDER_ASSIGN_OR_RETURN(
+      EdgeEncoding right,
+      EncodeEdge(n->right().GetLocal(), workspace_tag, index));
+
+  uint8_t flags = 0;
+  if (n->altered()) flags |= kWireAltered;
+  if (n->read_dependent()) flags |= kWireRead;
+  if (n->subtree_read()) flags |= kWireSubtreeRead;
+  if (n->color() == Color::kRed) flags |= kWireRed;
+  if (left.present) flags |= kWireLeftPresent;
+  if (left.internal) flags |= kWireLeftInternal;
+  if (right.present) flags |= kWireRightPresent;
+  if (right.internal) flags |= kWireRightInternal;
+
+  out->push_back(static_cast<char>(flags));
+  PutVarint64(out, n->key());
+  PutVarint64(out, n->ssv().raw());
+  PutVarint64(out, n->base_cv().raw());
+  PutVarint64(out, n->payload().size());
+  out->append(n->payload());
+  if (left.present) PutVarint64(out, left.value);
+  if (right.present) PutVarint64(out, right.value);
+
+  index[n.get()] = static_cast<uint32_t>(index.size());
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeBlockHeader(const BlockHeader& h, std::string* out) {
+  PutFixed64(out, h.txn_id);
+  PutFixed32(out, h.index);
+  PutFixed32(out, h.total);
+  PutFixed32(out, h.chunk_len);
+}
+
+Result<BlockHeader> DecodeBlockHeader(std::string_view block) {
+  if (block.size() < kBlockHeaderSize) {
+    return Status::Corruption("intention block shorter than its header");
+  }
+  BlockHeader h;
+  h.txn_id = DecodeFixed64(block.data());
+  h.index = DecodeFixed32(block.data() + 8);
+  h.total = DecodeFixed32(block.data() + 12);
+  h.chunk_len = DecodeFixed32(block.data() + 16);
+  if (h.total == 0 || h.index >= h.total ||
+      h.chunk_len + kBlockHeaderSize > block.size()) {
+    return Status::Corruption("malformed intention block header");
+  }
+  return h;
+}
+
+Result<std::vector<std::string>> SerializeIntention(
+    const IntentionBuilder& builder, uint64_t txn_id, size_t block_size) {
+  if (block_size <= kBlockHeaderSize + 16) {
+    return Status::InvalidArgument("block size too small");
+  }
+  // Header + nodes into one contiguous payload, then chop into blocks.
+  std::string payload;
+  PutVarint64(&payload, builder.snapshot_seq());
+  payload.push_back(static_cast<char>(builder.isolation()));
+  PutVarint64(&payload, builder.tombstones().size());
+  for (const Tombstone& t : builder.tombstones()) {
+    PutVarint64(&payload, t.key);
+    PutVarint64(&payload, t.base_cv.raw());
+    PutVarint64(&payload, t.ssv.raw());
+  }
+  std::string nodes;
+  std::unordered_map<const Node*, uint32_t> index;
+  HYDER_RETURN_IF_ERROR(SerializeNodes(builder.root().node,
+                                       builder.workspace_tag(), index,
+                                       &nodes));
+  PutVarint64(&payload, index.size());
+  payload.append(nodes);
+
+  const size_t capacity = block_size - kBlockHeaderSize;
+  const uint32_t total =
+      static_cast<uint32_t>((payload.size() + capacity - 1) / capacity);
+  std::vector<std::string> blocks;
+  blocks.reserve(total == 0 ? 1 : total);
+  size_t off = 0;
+  const uint32_t nblocks = total == 0 ? 1 : total;
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    const size_t len = std::min(capacity, payload.size() - off);
+    BlockHeader h;
+    h.txn_id = txn_id;
+    h.index = i;
+    h.total = nblocks;
+    h.chunk_len = static_cast<uint32_t>(len);
+    std::string block;
+    block.reserve(kBlockHeaderSize + len);
+    EncodeBlockHeader(h, &block);
+    block.append(payload, off, len);
+    off += len;
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+Result<IntentionPtr> DeserializeIntention(std::string_view payload,
+                                          uint64_t seq, uint32_t block_count,
+                                          NodeResolver* ephemeral_resolver,
+                                          uint64_t txn_id,
+                                          std::vector<NodePtr>* nodes_out) {
+  auto intent = std::make_shared<Intention>();
+  intent->seq = seq;
+  intent->seq_first = seq;
+  intent->txn_id = txn_id;
+  intent->block_count = block_count;
+  intent->inside = {seq};
+  intent->members = {{seq, txn_id}};
+
+  const char* p = payload.data();
+  const char* limit = payload.data() + payload.size();
+  uint64_t v = 0;
+  if ((p = GetVarint64(p, limit, &v)) == nullptr) {
+    return Status::Corruption("truncated intention header");
+  }
+  intent->snapshot_seq = v;
+  if (p >= limit) return Status::Corruption("truncated isolation byte");
+  intent->isolation = static_cast<IsolationLevel>(*p++);
+  uint64_t tomb_count = 0;
+  if ((p = GetVarint64(p, limit, &tomb_count)) == nullptr) {
+    return Status::Corruption("truncated tombstone count");
+  }
+  for (uint64_t i = 0; i < tomb_count; ++i) {
+    Tombstone t;
+    uint64_t key = 0, cv = 0, ssv = 0;
+    if ((p = GetVarint64(p, limit, &key)) == nullptr ||
+        (p = GetVarint64(p, limit, &cv)) == nullptr ||
+        (p = GetVarint64(p, limit, &ssv)) == nullptr) {
+      return Status::Corruption("truncated tombstone");
+    }
+    t.key = key;
+    t.base_cv = VersionId::FromRaw(cv);
+    t.ssv = VersionId::FromRaw(ssv);
+    intent->tombstones.push_back(t);
+  }
+  uint64_t node_count = 0;
+  if ((p = GetVarint64(p, limit, &node_count)) == nullptr) {
+    return Status::Corruption("truncated node count");
+  }
+  if (node_count >= (1u << VersionId::kIndexBits)) {
+    return Status::Corruption("intention too large for the version id space");
+  }
+  intent->node_count = static_cast<uint32_t>(node_count);
+
+  std::vector<NodePtr> nodes;
+  nodes.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    if (p >= limit) return Status::Corruption("truncated node record");
+    const uint8_t flags = static_cast<uint8_t>(*p++);
+    uint64_t key = 0, ssv = 0, base_cv = 0, payload_len = 0;
+    if ((p = GetVarint64(p, limit, &key)) == nullptr ||
+        (p = GetVarint64(p, limit, &ssv)) == nullptr ||
+        (p = GetVarint64(p, limit, &base_cv)) == nullptr ||
+        (p = GetVarint64(p, limit, &payload_len)) == nullptr) {
+      return Status::Corruption("truncated node fields");
+    }
+    if (payload_len > size_t(limit - p)) {
+      return Status::Corruption("truncated node payload");
+    }
+    NodePtr n = MakeNode(key, std::string(p, payload_len));
+    p += payload_len;
+    n->set_vn(VersionId::Logged(seq, static_cast<uint32_t>(i)));
+    n->set_owner(seq);
+    n->set_ssv(VersionId::FromRaw(ssv));
+    n->set_base_cv(VersionId::FromRaw(base_cv));
+    n->set_color((flags & kWireRed) ? Color::kRed : Color::kBlack);
+    uint8_t nf = 0;
+    if (flags & kWireAltered) nf |= kFlagAltered | kFlagSubtreeHasWrites;
+    if (flags & kWireRead) nf |= kFlagRead;
+    if (flags & kWireSubtreeRead) nf |= kFlagSubtreeRead;
+    n->set_flags(nf);
+    // Content version: an altered node's payload was created by this very
+    // node; otherwise it inherits the observed content version.
+    n->set_cv(n->altered() ? n->vn() : n->base_cv());
+
+    for (int side = 0; side < 2; ++side) {
+      const bool present =
+          flags & (side == 0 ? kWireLeftPresent : kWireRightPresent);
+      if (!present) continue;
+      const bool internal =
+          flags & (side == 0 ? kWireLeftInternal : kWireRightInternal);
+      uint64_t ev = 0;
+      if ((p = GetVarint64(p, limit, &ev)) == nullptr) {
+        return Status::Corruption("truncated child reference");
+      }
+      ChildSlot& slot = side == 0 ? n->left() : n->right();
+      if (internal) {
+        if (ev >= i) {
+          return Status::Corruption("child index violates post-order");
+        }
+        // Propagate the write bit up the intention (post-order guarantees
+        // children are finalized first).
+        if (nodes[ev]->subtree_has_writes()) {
+          n->set_flags(n->flags() | kFlagSubtreeHasWrites);
+        }
+        slot.Reset(Ref::To(nodes[ev]));
+      } else {
+        VersionId target = VersionId::FromRaw(ev);
+        if (target.IsNull()) {
+          return Status::Corruption("null external child reference");
+        }
+        // External references stay lazy — including ephemeral ones. The
+        // deserialization stage runs ahead of final meld (Fig. 2), so an
+        // intention may reference ephemeral nodes this server has not yet
+        // generated; they resolve on first dereference, by which time the
+        // in-order meld has produced them. (A reference to an ephemeral
+        // that has been *retired* surfaces SnapshotTooOld at that point.)
+        if (target.IsEphemeral() && ephemeral_resolver != nullptr) {
+          // Opportunistic resolution keeps the common case pointer-direct.
+          auto resolved = ephemeral_resolver->Resolve(target);
+          if (resolved.ok()) {
+            slot.Reset(Ref(std::move(*resolved), target));
+            continue;
+          }
+        }
+        slot.Reset(Ref::Lazy(target));
+      }
+    }
+    nodes.push_back(std::move(n));
+  }
+  if (!nodes.empty()) {
+    intent->root = Ref::To(nodes.back());
+  }
+  if (p != limit) {
+    return Status::Corruption("trailing bytes after intention");
+  }
+  if (nodes_out != nullptr) *nodes_out = std::move(nodes);
+  return intent;
+}
+
+Result<std::optional<IntentionAssembler::Completed>>
+IntentionAssembler::AddBlock(std::string_view block) {
+  HYDER_ASSIGN_OR_RETURN(BlockHeader h, DecodeBlockHeader(block));
+  Partial& part = partial_[h.txn_id];
+  if (part.total == 0) {
+    part.total = h.total;
+    part.chunks.resize(h.total);
+  } else if (part.total != h.total) {
+    return Status::Corruption("inconsistent block_count within intention");
+  }
+  if (h.index >= part.total || !part.chunks[h.index].empty()) {
+    return Status::Corruption("duplicate or out-of-range intention block");
+  }
+  part.chunks[h.index].assign(block.data() + kBlockHeaderSize, h.chunk_len);
+  part.received++;
+  // An intention completes at the log position of its final missing block;
+  // sequence numbers are assigned in that (deterministic) order.
+  if (part.received != part.total) return std::optional<Completed>{};
+  Completed done;
+  done.seq = next_seq_++;
+  done.txn_id = h.txn_id;
+  done.block_count = part.total;
+  for (std::string& chunk : part.chunks) done.payload.append(chunk);
+  partial_.erase(h.txn_id);
+  return std::optional<Completed>(std::move(done));
+}
+
+}  // namespace hyder

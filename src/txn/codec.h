@@ -1,0 +1,97 @@
+#ifndef HYDER2_TXN_CODEC_H_
+#define HYDER2_TXN_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "txn/intention.h"
+#include "txn/intention_builder.h"
+
+namespace hyder {
+
+/// Wire format (see also DESIGN.md):
+///
+/// An intention serializes to a byte stream — header (txn id, snapshot seq,
+/// isolation, tombstones, node count) followed by the nodes in **post-order**
+/// (§5.2: "post-order ensures that each node points to children that are
+/// either in the log or already serialized"; the block containing the root
+/// is appended last). Each node carries its key, flags, provenance
+/// (ssv/base_cv), payload, and two child references that are either
+/// *internal* (the post-order index of another node in this intention) or
+/// *external* (the raw VersionId of a node outside it).
+///
+/// The stream is chopped into fixed-size intention blocks, each with a
+/// 20-byte header {txn_id, block_index, block_count, chunk_len}; blocks of
+/// one intention need not be contiguous in the log (§5.1).
+
+/// Fixed per-block header size.
+constexpr size_t kBlockHeaderSize = 20;
+
+struct BlockHeader {
+  uint64_t txn_id = 0;
+  uint32_t index = 0;
+  uint32_t total = 0;
+  uint32_t chunk_len = 0;
+};
+
+void EncodeBlockHeader(const BlockHeader& h, std::string* out);
+Result<BlockHeader> DecodeBlockHeader(std::string_view block);
+
+/// Serializes the transaction accumulated in `builder` into intention
+/// blocks of at most `block_size` bytes. Fails if the workspace contains a
+/// foreign provisional node (a bug) or if a single node exceeds a block.
+Result<std::vector<std::string>> SerializeIntention(
+    const IntentionBuilder& builder, uint64_t txn_id, size_t block_size);
+
+/// Parses a reassembled intention payload. `seq` is the deterministic
+/// log-order sequence assigned by the assembler; node `i` receives
+/// `VersionId::Logged(seq, i)` and owner tag `seq`. External ephemeral
+/// references are resolved immediately through `ephemeral_resolver`
+/// (ephemeral nodes cannot be refetched from the log); external logged
+/// references are left lazy.
+Result<IntentionPtr> DeserializeIntention(std::string_view payload,
+                                          uint64_t seq, uint32_t block_count,
+                                          NodeResolver* ephemeral_resolver,
+                                          uint64_t txn_id = 0,
+                                          std::vector<NodePtr>* nodes_out = nullptr);
+
+/// Reassembles intention payloads from the block stream, assigning each
+/// completed intention its sequence number in completion order — the order
+/// of each intention's **last** block in the log, which is identical on
+/// every server and is what makes meld deterministic (§2, §5.1).
+class IntentionAssembler {
+ public:
+  /// `first_seq` is the sequence the next completed intention receives
+  /// (1 for a fresh log; checkpoint_seq + 1 when bootstrapping).
+  explicit IntentionAssembler(uint64_t first_seq = 1)
+      : next_seq_(first_seq) {}
+
+  struct Completed {
+    uint64_t seq = 0;
+    uint64_t txn_id = 0;
+    uint32_t block_count = 0;
+    std::string payload;
+  };
+
+  /// Feeds the block at the next log position. Returns a completed
+  /// intention when this block was the final piece of one.
+  Result<std::optional<Completed>> AddBlock(std::string_view block);
+
+  /// Number of intentions still awaiting blocks.
+  size_t pending() const { return partial_.size(); }
+
+ private:
+  struct Partial {
+    std::vector<std::string> chunks;
+    uint32_t received = 0;
+    uint32_t total = 0;
+  };
+  uint64_t next_seq_;
+  std::unordered_map<uint64_t, Partial> partial_;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_TXN_CODEC_H_

@@ -1,0 +1,78 @@
+#ifndef HYDER2_WORKLOAD_WORKLOAD_H_
+#define HYDER2_WORKLOAD_WORKLOAD_H_
+
+#include <optional>
+#include <string>
+
+#include "common/random.h"
+#include "server/server.h"
+
+namespace hyder {
+
+/// Key-access distribution for the YCSB-style generator (§6.1, §6.4.5).
+enum class AccessDistribution {
+  kUniform,
+  /// Fraction x of the items receives fraction (1-x) of the accesses.
+  kHotspot,
+  kZipf,
+};
+
+/// Parameters of the workload generator, "adapted from the Yahoo! Cloud
+/// Serving Benchmark, adding support for multi-operation transactions"
+/// (§6.1). Defaults mirror the paper's: 10 operations per transaction with
+/// 8 reads and 2 writes, keys selected uniformly.
+struct WorkloadOptions {
+  uint64_t db_size = 100'000;
+  size_t payload_bytes = 16;
+  int ops_per_txn = 10;
+  /// Fraction of a write transaction's operations that are updates
+  /// (0.2 -> the paper's default 8 reads + 2 writes); at least one update.
+  double update_fraction = 0.2;
+  /// Fraction of transactions that are read-only (run on snapshots, never
+  /// logged or melded; §6.4.3).
+  double read_only_fraction = 0.0;
+  /// Fraction of read operations issued as short range scans.
+  double scan_fraction = 0.0;
+  int scan_length = 10;
+  AccessDistribution distribution = AccessDistribution::kUniform;
+  /// Hotspot parameter x (§6.4.5); 1.0 degenerates to uniform.
+  double hotspot_fraction = 1.0;
+  double zipf_theta = 0.99;
+  uint64_t seed = 42;
+};
+
+/// Deterministic multi-operation transaction generator.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadOptions options);
+
+  /// True when the next transaction should be read-only.
+  bool NextIsReadOnly();
+
+  /// Fills `txn` with one write transaction's operations (reads first, then
+  /// updates, matching the paper's read-then-write transactions).
+  Status FillWriteTransaction(Transaction& txn);
+
+  /// Fills `txn` with read-only operations.
+  Status FillReadOnlyTransaction(Transaction& txn);
+
+  /// Seeds the database with `db_size` items through chunked transactions
+  /// on `server` (call once on an empty cluster, then poll all servers).
+  Status SeedDatabase(HyderServer& server);
+
+  Key NextKey();
+  std::string NextValue();
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  WorkloadOptions options_;
+  Rng rng_;
+  std::optional<HotspotGenerator> hotspot_;
+  std::optional<ZipfGenerator> zipf_;
+  uint64_t value_counter_ = 0;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,134 @@
+#include "baseline/tango.h"
+
+#include <gtest/gtest.h>
+
+#include "log/striped_log.h"
+
+namespace hyder {
+namespace {
+
+StripedLogOptions SmallLog() {
+  StripedLogOptions o;
+  o.block_size = 4096;
+  return o;
+}
+
+TEST(TangoTest, CommitAndReadBack) {
+  StripedLog log(SmallLog());
+  TangoStore store(&log);
+  auto t = store.Begin();
+  t.Put(1, "one");
+  t.Put(2, "two");
+  auto r = store.Commit(std::move(t));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(*r);
+
+  auto t2 = store.Begin();
+  auto v = t2.Get(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(**v, "one");
+}
+
+TEST(TangoTest, FirstCommitterWins) {
+  StripedLog log(SmallLog());
+  TangoStore store(&log);
+  auto seed = store.Begin();
+  seed.Put(5, "base");
+  ASSERT_TRUE(store.Commit(std::move(seed)).ok());
+
+  auto a = store.Begin();
+  auto b = store.Begin();
+  (void)a.Get(5);
+  (void)b.Get(5);
+  a.Put(5, "a");
+  b.Put(5, "b");
+  EXPECT_TRUE(*store.Commit(std::move(a)));
+  EXPECT_FALSE(*store.Commit(std::move(b)));
+  auto check = store.Begin();
+  EXPECT_EQ(**check.Get(5), "a");
+}
+
+TEST(TangoTest, ReadValidation) {
+  StripedLog log(SmallLog());
+  TangoStore store(&log);
+  auto seed = store.Begin();
+  seed.Put(1, "v1");
+  ASSERT_TRUE(store.Commit(std::move(seed)).ok());
+
+  auto reader = store.Begin();
+  auto v = reader.Get(1);  // Observes version of v1.
+  ASSERT_TRUE(v.ok());
+  reader.Put(2, "w");
+  auto writer = store.Begin();
+  writer.Put(1, "v2");
+  ASSERT_TRUE(*store.Commit(std::move(writer)));
+  // The reader's observed version of key 1 is now stale.
+  EXPECT_FALSE(*store.Commit(std::move(reader)));
+}
+
+TEST(TangoTest, DeleteAndAbsence) {
+  StripedLog log(SmallLog());
+  TangoStore store(&log);
+  auto seed = store.Begin();
+  seed.Put(1, "x");
+  ASSERT_TRUE(store.Commit(std::move(seed)).ok());
+  auto del = store.Begin();
+  del.Delete(1);
+  ASSERT_TRUE(*store.Commit(std::move(del)));
+  auto check = store.Begin();
+  auto v = check.Get(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->has_value());
+}
+
+TEST(TangoTest, NoRangePredicates) {
+  StripedLog log(SmallLog());
+  TangoStore store(&log);
+  auto t = store.Begin();
+  EXPECT_TRUE(t.Scan(1, 10).IsNotSupported());
+}
+
+TEST(TangoTest, ReadOnlyCommitsWithoutLogging) {
+  StripedLog log(SmallLog());
+  TangoStore store(&log);
+  auto seed = store.Begin();
+  seed.Put(1, "x");
+  ASSERT_TRUE(store.Commit(std::move(seed)).ok());
+  uint64_t tail = log.Tail();
+  auto ro = store.Begin();
+  (void)ro.Get(1);
+  auto r = store.Commit(std::move(ro));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  EXPECT_EQ(log.Tail(), tail);
+}
+
+TEST(TangoTest, TwoStoresOnOneLogConverge) {
+  StripedLog log(SmallLog());
+  TangoStore a(&log), b(&log);
+  auto t = a.Begin();
+  t.Put(7, "seven");
+  ASSERT_TRUE(*a.Commit(std::move(t)));
+  ASSERT_TRUE(b.Poll().ok());
+  auto check = b.Begin();
+  auto v = check.Get(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(**v, "seven");
+}
+
+TEST(TangoTest, WorkCountersAdvance) {
+  StripedLog log(SmallLog());
+  TangoStore store(&log);
+  for (int i = 0; i < 20; ++i) {
+    auto t = store.Begin();
+    (void)t.Get(i % 5);
+    t.Put(i % 5, "v" + std::to_string(i));
+    ASSERT_TRUE(store.Commit(std::move(t)).ok());
+  }
+  EXPECT_EQ(store.applied(), 20u);
+  EXPECT_GT(store.apply_work().conflict_checks, 0u);
+  EXPECT_GT(store.apply_work().nodes_visited, 0u);
+}
+
+}  // namespace
+}  // namespace hyder

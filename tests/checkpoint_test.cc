@@ -1,0 +1,219 @@
+#include "server/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "server/cluster.h"
+#include "tree/validate.h"
+
+namespace hyder {
+namespace {
+
+StripedLogOptions TestLog() {
+  StripedLogOptions o;
+  o.block_size = 1024;  // Small blocks: multi-block checkpoints.
+  return o;
+}
+
+void RunTraffic(HyderServer& server, Rng& rng, int txns, Key space = 60) {
+  for (int i = 0; i < txns; ++i) {
+    Transaction t = server.Begin();
+    EXPECT_TRUE(t.Put(rng.Uniform(space), "v" + std::to_string(rng.Next() %
+                                                               1000))
+                    .ok());
+    if (rng.Bernoulli(0.4)) {
+      auto v = t.Get(rng.Uniform(space));
+      EXPECT_TRUE(v.ok());
+    }
+    auto r = server.Commit(std::move(t));
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(CheckpointTest, WriteAndFind) {
+  StripedLog log(TestLog());
+  HyderServer server(&log, ServerOptions{});
+  Rng rng(1);
+  RunTraffic(server, rng, 80, /*space=*/200);
+  auto info = WriteCheckpoint(server);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->state_seq, server.LatestState().seq);
+  EXPECT_GT(info->node_count, 0u);
+  EXPECT_GT(info->block_count, 1u) << "small blocks must split checkpoints";
+
+  auto found = FindLatestCheckpoint(log);
+  ASSERT_TRUE(found.ok()) << found.status().ToString();
+  ASSERT_TRUE(found->has_value());
+  EXPECT_EQ((*found)->state_seq, info->state_seq);
+  EXPECT_EQ((*found)->first_block, info->first_block);
+  EXPECT_EQ((*found)->resume_position, info->resume_position);
+}
+
+TEST(CheckpointTest, RequiresQuiescence) {
+  StripedLog log(TestLog());
+  HyderServer server(&log, ServerOptions{});
+  Transaction t = server.Begin();
+  ASSERT_TRUE(t.Put(1, "x").ok());
+  ASSERT_TRUE(server.Submit(std::move(t)).ok());
+  // Unpolled blocks remain: checkpoint must refuse.
+  auto info = WriteCheckpoint(server);
+  EXPECT_TRUE(info.status().IsBusy());
+  ASSERT_TRUE(server.Poll().ok());
+  EXPECT_TRUE(WriteCheckpoint(server).ok());
+}
+
+TEST(CheckpointTest, BootstrappedServerIsPhysicallyIdentical) {
+  StripedLog log(TestLog());
+  HyderServer veteran(&log, ServerOptions{});
+  Rng rng(2);
+  RunTraffic(veteran, rng, 50);
+  auto info = WriteCheckpoint(veteran);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+
+  auto rookie = BootstrapFromCheckpoint(&log, *info, ServerOptions{});
+  ASSERT_TRUE(rookie.ok()) << rookie.status().ToString();
+  std::string diff;
+  auto same = PhysicallyEqual(&veteran.resolver(),
+                              veteran.LatestState().root,
+                              &(*rookie)->resolver(),
+                              (*rookie)->LatestState().root, &diff);
+  ASSERT_TRUE(same.ok()) << same.status().ToString();
+  EXPECT_TRUE(*same) << diff;
+  EXPECT_EQ((*rookie)->LatestState().seq, veteran.LatestState().seq);
+}
+
+TEST(CheckpointTest, BootstrappedServerRollsForwardWithCluster) {
+  StripedLog log(TestLog());
+  HyderServer veteran(&log, ServerOptions{});
+  Rng rng(3);
+  RunTraffic(veteran, rng, 40);
+  auto info = WriteCheckpoint(veteran);
+  ASSERT_TRUE(info.ok());
+  auto rookie = BootstrapFromCheckpoint(&log, *info, ServerOptions{});
+  ASSERT_TRUE(rookie.ok()) << rookie.status().ToString();
+
+  // More traffic on the veteran AFTER the checkpoint: the rookie must meld
+  // it identically (the checkpoint block sits between intention blocks and
+  // is skipped by everyone).
+  RunTraffic(veteran, rng, 40);
+  ASSERT_TRUE((*rookie)->Poll().ok());
+  ASSERT_EQ((*rookie)->LatestState().seq, veteran.LatestState().seq);
+  std::string diff;
+  auto same = PhysicallyEqual(&veteran.resolver(),
+                              veteran.LatestState().root,
+                              &(*rookie)->resolver(),
+                              (*rookie)->LatestState().root, &diff);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(*same) << diff;
+}
+
+TEST(CheckpointTest, BootstrappedServerExecutesTransactions) {
+  StripedLog log(TestLog());
+  HyderServer veteran(&log, ServerOptions{});
+  Rng rng(4);
+  RunTraffic(veteran, rng, 30);
+  auto info = WriteCheckpoint(veteran);
+  ASSERT_TRUE(info.ok());
+  auto rookie = BootstrapFromCheckpoint(&log, *info, ServerOptions{});
+  ASSERT_TRUE(rookie.ok());
+
+  Transaction t = (*rookie)->Begin();
+  ASSERT_TRUE(t.Put(999, "from the rookie").ok());
+  auto committed = (*rookie)->Commit(std::move(t));
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_TRUE(*committed);
+  // Visible at the veteran too.
+  ASSERT_TRUE(veteran.Poll().ok());
+  Transaction check = veteran.Begin();
+  auto v = check.Get(999);
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(**v, "from the rookie");
+}
+
+TEST(CheckpointTest, CheckpointWithPremeldConfiguration) {
+  ServerOptions options;
+  options.pipeline.premeld_threads = 2;
+  options.pipeline.premeld_distance = 2;
+  StripedLog log(TestLog());
+  HyderServer veteran(&log, options);
+  Rng rng(5);
+  // Interleaved submissions create ephemeral nodes from premeld threads.
+  for (int round = 0; round < 15; ++round) {
+    Transaction a = veteran.Begin();
+    Transaction b = veteran.Begin();
+    ASSERT_TRUE(a.Put(rng.Uniform(40), "a").ok());
+    ASSERT_TRUE(b.Put(rng.Uniform(40) + 40, "b").ok());
+    ASSERT_TRUE(veteran.Submit(std::move(a)).ok());
+    ASSERT_TRUE(veteran.Submit(std::move(b)).ok());
+    ASSERT_TRUE(veteran.Poll().ok());
+  }
+  auto info = WriteCheckpoint(veteran);
+  ASSERT_TRUE(info.ok());
+  auto rookie = BootstrapFromCheckpoint(&log, *info, options);
+  ASSERT_TRUE(rookie.ok()) << rookie.status().ToString();
+
+  // Continue and verify convergence (ephemeral identities preserved).
+  for (int round = 0; round < 10; ++round) {
+    Transaction a = veteran.Begin();
+    ASSERT_TRUE(a.Put(rng.Uniform(80), "c").ok());
+    ASSERT_TRUE(veteran.Submit(std::move(a)).ok());
+    ASSERT_TRUE(veteran.Poll().ok());
+  }
+  ASSERT_TRUE((*rookie)->Poll().ok());
+  std::string diff;
+  auto same = PhysicallyEqual(&veteran.resolver(),
+                              veteran.LatestState().root,
+                              &(*rookie)->resolver(),
+                              (*rookie)->LatestState().root, &diff);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(*same) << diff;
+}
+
+TEST(CheckpointTest, NoCheckpointFound) {
+  StripedLog log(TestLog());
+  auto found = FindLatestCheckpoint(log);
+  ASSERT_TRUE(found.ok());
+  EXPECT_FALSE(found->has_value());
+}
+
+TEST(CheckpointTest, LatestOfSeveralCheckpointsWins) {
+  StripedLog log(TestLog());
+  HyderServer server(&log, ServerOptions{});
+  Rng rng(6);
+  RunTraffic(server, rng, 10);
+  ASSERT_TRUE(WriteCheckpoint(server).ok());
+  RunTraffic(server, rng, 10);
+  ASSERT_TRUE(server.Poll().ok());
+  auto second = WriteCheckpoint(server);
+  ASSERT_TRUE(second.ok());
+  auto found = FindLatestCheckpoint(log);
+  ASSERT_TRUE(found.ok());
+  ASSERT_TRUE(found->has_value());
+  EXPECT_EQ((*found)->state_seq, second->state_seq);
+}
+
+TEST(CheckpointTest, TimeTravelReadsViaBeginAt) {
+  StripedLog log(TestLog());
+  HyderServer server(&log, ServerOptions{});
+  Transaction t1 = server.Begin();
+  ASSERT_TRUE(t1.Put(5, "old").ok());
+  ASSERT_TRUE(server.Commit(std::move(t1)).ok());
+  const uint64_t then = server.LatestState().seq;
+  Transaction t2 = server.Begin();
+  ASSERT_TRUE(t2.Put(5, "new").ok());
+  ASSERT_TRUE(server.Commit(std::move(t2)).ok());
+
+  auto historical = server.BeginAt(then, IsolationLevel::kSnapshot);
+  ASSERT_TRUE(historical.ok());
+  auto v = historical->Get(5);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(**v, "old");
+  // Retired states fail cleanly.
+  EXPECT_TRUE(server.BeginAt(999999, IsolationLevel::kSnapshot)
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace hyder

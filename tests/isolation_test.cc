@@ -1,0 +1,172 @@
+// Isolation-level semantics (§6.4.4): the classic anomalies, executed
+// against the real system. Serializable must prevent write skew and
+// phantoms; snapshot isolation permits write skew (by design) while still
+// enforcing first-committer-wins on writes.
+
+#include <gtest/gtest.h>
+
+#include "log/striped_log.h"
+#include "server/server.h"
+
+namespace hyder {
+namespace {
+
+struct Fixture {
+  Fixture() : log(StripedLogOptions{}), server(&log, ServerOptions{}) {}
+  StripedLog log;
+  HyderServer server;
+};
+
+long Val(const Result<std::optional<std::string>>& r) {
+  return std::atol((*r)->c_str());
+}
+
+TEST(IsolationTest, LostUpdatePreventedUnderBothLevels) {
+  for (IsolationLevel iso :
+       {IsolationLevel::kSerializable, IsolationLevel::kSnapshot}) {
+    Fixture f;
+    Transaction seed = f.server.Begin();
+    ASSERT_TRUE(seed.Put(1, "100").ok());
+    ASSERT_TRUE(f.server.Commit(std::move(seed)).ok());
+
+    // Two increments from the same snapshot: read-modify-write on key 1.
+    Transaction a = f.server.Begin(iso);
+    Transaction b = f.server.Begin(iso);
+    long va = Val(a.Get(1));
+    long vb = Val(b.Get(1));
+    ASSERT_TRUE(a.Put(1, std::to_string(va + 10)).ok());
+    ASSERT_TRUE(b.Put(1, std::to_string(vb + 10)).ok());
+    auto ra = f.server.Commit(std::move(a));
+    auto rb = f.server.Commit(std::move(b));
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_TRUE(*ra);
+    EXPECT_FALSE(*rb) << "first-committer-wins must hold under both levels";
+    Transaction check = f.server.Begin();
+    EXPECT_EQ(Val(check.Get(1)), 110) << "no lost update";
+  }
+}
+
+TEST(IsolationTest, WriteSkewPreventedOnlyUnderSerializable) {
+  // The canonical write-skew: constraint x + y >= 1; each transaction reads
+  // both and zeroes one. Under SI both commit (anomaly); under SR the
+  // second aborts on its stale read.
+  auto run = [](IsolationLevel iso) -> std::pair<bool, bool> {
+    Fixture f;
+    Transaction seed = f.server.Begin();
+    EXPECT_TRUE(seed.Put(1, "1").ok());
+    EXPECT_TRUE(seed.Put(2, "1").ok());
+    EXPECT_TRUE(f.server.Commit(std::move(seed)).ok());
+
+    Transaction a = f.server.Begin(iso);
+    Transaction b = f.server.Begin(iso);
+    // a checks y then zeroes x; b checks x then zeroes y.
+    EXPECT_EQ(Val(a.Get(2)), 1);
+    EXPECT_TRUE(a.Put(1, "0").ok());
+    EXPECT_EQ(Val(b.Get(1)), 1);
+    EXPECT_TRUE(b.Put(2, "0").ok());
+    auto ra = f.server.Commit(std::move(a));
+    auto rb = f.server.Commit(std::move(b));
+    EXPECT_TRUE(ra.ok());
+    EXPECT_TRUE(rb.ok());
+    return {*ra, *rb};
+  };
+  auto [sr_a, sr_b] = run(IsolationLevel::kSerializable);
+  EXPECT_TRUE(sr_a);
+  EXPECT_FALSE(sr_b) << "serializable must reject write skew";
+  auto [si_a, si_b] = run(IsolationLevel::kSnapshot);
+  EXPECT_TRUE(si_a);
+  EXPECT_TRUE(si_b) << "snapshot isolation permits write skew by design";
+}
+
+TEST(IsolationTest, PhantomPreventedUnderSerializable) {
+  Fixture f;
+  Transaction seed = f.server.Begin();
+  for (Key k = 10; k <= 30; k += 10) ASSERT_TRUE(seed.Put(k, "x").ok());
+  ASSERT_TRUE(f.server.Commit(std::move(seed)).ok());
+
+  // The scanner aggregates a range and writes the count; a concurrent
+  // insert lands inside the range.
+  Transaction scanner = f.server.Begin(IsolationLevel::kSerializable);
+  auto items = scanner.Scan(10, 30);
+  ASSERT_TRUE(items.ok());
+  ASSERT_TRUE(
+      scanner.Put(100, std::to_string(items->size())).ok());
+
+  Transaction inserter = f.server.Begin();
+  ASSERT_TRUE(inserter.Put(25, "phantom").ok());
+  ASSERT_TRUE(*f.server.Commit(std::move(inserter)));
+
+  auto r = f.server.Commit(std::move(scanner));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r) << "the scan's structural annotations must catch the "
+                      "phantom insert";
+}
+
+TEST(IsolationTest, SnapshotIsolationIgnoresScanConflicts) {
+  Fixture f;
+  Transaction seed = f.server.Begin();
+  for (Key k = 10; k <= 30; k += 10) ASSERT_TRUE(seed.Put(k, "x").ok());
+  ASSERT_TRUE(f.server.Commit(std::move(seed)).ok());
+
+  Transaction scanner = f.server.Begin(IsolationLevel::kSnapshot);
+  auto items = scanner.Scan(10, 30);
+  ASSERT_TRUE(items.ok());
+  ASSERT_TRUE(scanner.Put(100, "count").ok());
+  Transaction inserter = f.server.Begin();
+  ASSERT_TRUE(inserter.Put(25, "phantom").ok());
+  ASSERT_TRUE(*f.server.Commit(std::move(inserter)));
+  auto r = f.server.Commit(std::move(scanner));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r) << "SI does not validate reads or scans (§6.4.4)";
+}
+
+TEST(IsolationTest, ReadOnlySeesConsistentSnapshotAcrossKeys) {
+  Fixture f;
+  Transaction seed = f.server.Begin();
+  ASSERT_TRUE(seed.Put(1, "A1").ok());
+  ASSERT_TRUE(seed.Put(2, "A2").ok());
+  ASSERT_TRUE(f.server.Commit(std::move(seed)).ok());
+
+  Transaction reader = f.server.Begin();
+  auto v1 = reader.Get(1);
+  ASSERT_TRUE(v1.ok());
+  // A writer updates both keys "atomically" in between the reads.
+  Transaction writer = f.server.Begin();
+  ASSERT_TRUE(writer.Put(1, "B1").ok());
+  ASSERT_TRUE(writer.Put(2, "B2").ok());
+  ASSERT_TRUE(*f.server.Commit(std::move(writer)));
+  auto v2 = reader.Get(2);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(**v1, "A1");
+  EXPECT_EQ(**v2, "A2") << "the snapshot must not tear across keys";
+}
+
+TEST(IsolationTest, SerializableAbortMessageNamesTheConflict) {
+  Fixture f;
+  Transaction seed = f.server.Begin();
+  ASSERT_TRUE(seed.Put(7, "x").ok());
+  ASSERT_TRUE(f.server.Commit(std::move(seed)).ok());
+  Transaction a = f.server.Begin();
+  Transaction b = f.server.Begin();
+  ASSERT_TRUE(a.Put(7, "a").ok());
+  ASSERT_TRUE(b.Put(7, "b").ok());
+  uint64_t id = b.txn_id();
+  ASSERT_TRUE(f.server.Submit(std::move(a)).ok());
+  ASSERT_TRUE(f.server.Submit(std::move(b)).ok());
+  auto decisions = f.server.Poll();
+  ASSERT_TRUE(decisions.ok());
+  bool saw = false;
+  for (const MeldDecision& d : *decisions) {
+    if (d.txn_id == id) {
+      saw = true;
+      EXPECT_FALSE(d.committed);
+      EXPECT_NE(d.reason.find("7"), std::string::npos)
+          << "abort reasons should name the conflicting key: " << d.reason;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace hyder

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "log/corfu_sim.h"
+#include "log/striped_log.h"
+
+namespace hyder {
+namespace {
+
+StripedLogOptions SmallLog() {
+  StripedLogOptions o;
+  o.block_size = 256;
+  o.storage_units = 3;
+  return o;
+}
+
+TEST(StripedLogTest, AppendAssignsSequentialPositions) {
+  StripedLog log(SmallLog());
+  for (uint64_t i = 1; i <= 10; ++i) {
+    auto pos = log.Append("block" + std::to_string(i));
+    ASSERT_TRUE(pos.ok());
+    EXPECT_EQ(*pos, i);
+  }
+  EXPECT_EQ(log.Tail(), 11u);
+}
+
+TEST(StripedLogTest, ReadReturnsAppendedBlock) {
+  StripedLog log(SmallLog());
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(log.Append("payload-" + std::to_string(i)).ok());
+  }
+  for (int i = 1; i <= 20; ++i) {
+    auto block = log.Read(i);
+    ASSERT_TRUE(block.ok()) << block.status().ToString();
+    EXPECT_EQ(*block, "payload-" + std::to_string(i));
+  }
+}
+
+TEST(StripedLogTest, ReadPastTailFails) {
+  StripedLog log(SmallLog());
+  EXPECT_TRUE(log.Read(1).status().IsNotFound());
+  ASSERT_TRUE(log.Append("x").ok());
+  EXPECT_TRUE(log.Read(0).status().IsNotFound());
+  EXPECT_TRUE(log.Read(2).status().IsNotFound());
+  EXPECT_TRUE(log.Read(1).ok());
+}
+
+TEST(StripedLogTest, OversizedBlockRejected) {
+  StripedLog log(SmallLog());
+  std::string big(257, 'x');
+  EXPECT_TRUE(log.Append(big).status().IsInvalidArgument());
+}
+
+TEST(StripedLogTest, StripesAcrossUnits) {
+  StripedLog log(SmallLog());
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(log.Append("0123456789").ok());
+  for (int u = 0; u < 3; ++u) {
+    EXPECT_EQ(log.UnitBytes(u), 100u) << "unit " << u;
+  }
+}
+
+TEST(StripedLogTest, StatsCount) {
+  StripedLog log(SmallLog());
+  ASSERT_TRUE(log.Append("abc").ok());
+  ASSERT_TRUE(log.Append("defgh").ok());
+  ASSERT_TRUE(log.Read(1).ok());
+  LogStats s = log.stats();
+  EXPECT_EQ(s.appends, 2u);
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.bytes_appended, 8u);
+}
+
+TEST(StripedLogTest, ConcurrentAppendsGetUniquePositions) {
+  StripedLogOptions o;
+  o.block_size = 64;
+  o.storage_units = 6;
+  StripedLog log(o);
+  constexpr int kThreads = 4, kPerThread = 500;
+  std::vector<std::vector<uint64_t>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto pos = log.Append("t" + std::to_string(t));
+        ASSERT_TRUE(pos.ok());
+        got[t].push_back(*pos);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<uint64_t> all;
+  for (auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i + 1);
+  // Per-thread positions must be monotone (total order respected).
+  for (auto& v : got) {
+    for (size_t i = 1; i < v.size(); ++i) EXPECT_LT(v[i - 1], v[i]);
+  }
+}
+
+CorfuSimOptions QuickSim() {
+  CorfuSimOptions o;
+  o.duration_ns = 300'000'000;  // 0.3 simulated seconds.
+  o.warmup_ns = 50'000'000;
+  return o;
+}
+
+TEST(CorfuSimTest, ThroughputScalesWithClientsUntilSaturation) {
+  CorfuSimOptions o = QuickSim();
+  o.clients = 1;
+  double one = SimulateCorfuAppends(o).appends_per_sec;
+  o.clients = 4;
+  double four = SimulateCorfuAppends(o).appends_per_sec;
+  EXPECT_GT(four, one * 1.5) << "more clients must add throughput pre-knee";
+}
+
+TEST(CorfuSimTest, SaturatesNearUnitCapacity) {
+  CorfuSimOptions o = QuickSim();
+  o.clients = 12;
+  o.threads_per_client = 30;
+  double tput = SimulateCorfuAppends(o).appends_per_sec;
+  const double capacity =
+      double(o.storage_units) * 1e9 / double(o.unit_service_ns);
+  EXPECT_GT(tput, capacity * 0.85);
+  EXPECT_LE(tput, capacity * 1.05);
+}
+
+TEST(CorfuSimTest, LatencyGrowsWithLoad) {
+  CorfuSimOptions o = QuickSim();
+  o.clients = 1;
+  auto light = SimulateCorfuAppends(o);
+  o.clients = 10;
+  o.threads_per_client = 30;
+  auto heavy = SimulateCorfuAppends(o);
+  EXPECT_GT(heavy.latency_us.Percentile(99), light.latency_us.Percentile(99));
+  // Unloaded latency is the raw path: 4 network hops + services.
+  const uint64_t floor_us =
+      (4 * o.network_oneway_ns + o.sequencer_service_ns + o.unit_service_ns) /
+      1000;
+  EXPECT_GE(light.latency_us.Percentile(50), floor_us - 2);
+}
+
+TEST(CorfuSimTest, DeterministicAcrossRuns) {
+  CorfuSimOptions o = QuickSim();
+  o.clients = 3;
+  auto a = SimulateCorfuAppends(o);
+  auto b = SimulateCorfuAppends(o);
+  EXPECT_EQ(a.appends_per_sec, b.appends_per_sec);
+  EXPECT_EQ(a.latency_us.Percentile(99), b.latency_us.Percentile(99));
+}
+
+}  // namespace
+}  // namespace hyder

@@ -1,0 +1,159 @@
+#ifndef HYDER2_TESTS_TEST_CLUSTER_H_
+#define HYDER2_TESTS_TEST_CLUSTER_H_
+
+// Test-only miniature Hyder server: a keep-everything node registry, the
+// intention assembler, and a sequential meld pipeline. Tests drive multiple
+// independent TestServer instances with the same block stream to validate
+// decisions, content, and cross-server physical determinism. The production
+// server (src/server) replaces the registry with the block-cache resolver.
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "meld/pipeline.h"
+#include "txn/codec.h"
+#include "txn/intention_builder.h"
+
+namespace hyder {
+
+/// Keep-everything resolver: every deserialized logged node and every
+/// ephemeral node stays resolvable for the process lifetime. Thread-safe:
+/// premeld workers resolve while the meld thread registers.
+class MapRegistry : public NodeResolver {
+ public:
+  Result<NodePtr> Resolve(VersionId vn) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = nodes_.find(vn);
+    if (it == nodes_.end()) {
+      return Status::SnapshotTooOld("node " + vn.ToString() +
+                                    " not in registry");
+    }
+    return it->second;
+  }
+
+  void Register(const NodePtr& n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes_[n->vn()] = n;
+  }
+
+  /// Registers every node of a freshly deserialized intention (reachable
+  /// from the root through same-owner edges).
+  void RegisterIntention(const IntentionPtr& intent) {
+    if (intent->root.IsNull()) return;
+    std::vector<NodePtr> stack = {intent->root.node};
+    while (!stack.empty()) {
+      NodePtr n = stack.back();
+      stack.pop_back();
+      Register(n);
+      for (const ChildSlot* s : {&n->left(), &n->right()}) {
+        Ref e = s->GetLocal();
+        if (e.node && e.node->owner() == intent->seq) stack.push_back(e.node);
+      }
+    }
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return nodes_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<VersionId, NodePtr> nodes_;
+};
+
+/// One logical server: feeds log blocks through assembly, deserialization
+/// and the meld pipeline.
+class TestServer {
+ public:
+  explicit TestServer(const PipelineConfig& config = PipelineConfig{})
+      : pipeline_(config, DatabaseState{0, Ref::Null()}, &registry_,
+                  [this](const NodePtr& n) { registry_.Register(n); }) {}
+
+  /// Feeds the block at the next log position.
+  Result<std::vector<MeldDecision>> FeedBlock(const std::string& block) {
+    HYDER_ASSIGN_OR_RETURN(auto done, assembler_.AddBlock(block));
+    if (!done.has_value()) return std::vector<MeldDecision>{};
+    HYDER_ASSIGN_OR_RETURN(
+        IntentionPtr intent,
+        DeserializeIntention(done->payload, done->seq, done->block_count,
+                             &registry_, done->txn_id));
+    registry_.RegisterIntention(intent);
+    last_deserialized_ = intent;
+    return pipeline_.Process(intent);
+  }
+
+  Result<std::vector<MeldDecision>> FeedBlocks(
+      const std::vector<std::string>& blocks) {
+    std::vector<MeldDecision> all;
+    for (const std::string& b : blocks) {
+      HYDER_ASSIGN_OR_RETURN(std::vector<MeldDecision> d, FeedBlock(b));
+      all.insert(all.end(), d.begin(), d.end());
+    }
+    return all;
+  }
+
+  Result<std::vector<MeldDecision>> Flush() { return pipeline_.Flush(); }
+
+  DatabaseState Latest() { return pipeline_.states().Latest(); }
+  Result<DatabaseState> StateAt(uint64_t seq) {
+    return pipeline_.states().Get(seq);
+  }
+  MapRegistry& registry() { return registry_; }
+  SequentialPipeline& pipeline() { return pipeline_; }
+  const IntentionPtr& last_deserialized() const { return last_deserialized_; }
+
+ private:
+  MapRegistry registry_;
+  IntentionAssembler assembler_;
+  SequentialPipeline pipeline_;
+  IntentionPtr last_deserialized_;
+};
+
+/// Physical equality of two database states: identical node identities,
+/// content, colors and structure — the §3.4 determinism requirement.
+inline bool StatesPhysicallyEqual(NodeResolver* ra, const Ref& a,
+                                  NodeResolver* rb, const Ref& b,
+                                  std::string* diff) {
+  NodePtr na = a.node, nb = b.node;
+  if (!na && !a.vn.IsNull()) {
+    auto r = ra->Resolve(a.vn);
+    if (!r.ok()) {
+      *diff = "resolve A: " + r.status().ToString();
+      return false;
+    }
+    na = *r;
+  }
+  if (!nb && !b.vn.IsNull()) {
+    auto r = rb->Resolve(b.vn);
+    if (!r.ok()) {
+      *diff = "resolve B: " + r.status().ToString();
+      return false;
+    }
+    nb = *r;
+  }
+  if (!na || !nb) {
+    if (static_cast<bool>(na) != static_cast<bool>(nb)) {
+      *diff = "null mismatch";
+      return false;
+    }
+    return true;
+  }
+  if (na->vn() != nb->vn() || na->key() != nb->key() ||
+      na->payload() != nb->payload() || na->color() != nb->color()) {
+    *diff = "node mismatch at keys " + std::to_string(na->key()) + "/" +
+            std::to_string(nb->key()) + " vns " + na->vn().ToString() + "/" +
+            nb->vn().ToString();
+    return false;
+  }
+  return StatesPhysicallyEqual(ra, na->left().GetLocal(), rb,
+                               nb->left().GetLocal(), diff) &&
+         StatesPhysicallyEqual(ra, na->right().GetLocal(), rb,
+                               nb->right().GetLocal(), diff);
+}
+
+}  // namespace hyder
+
+#endif  // HYDER2_TESTS_TEST_CLUSTER_H_

@@ -1,0 +1,218 @@
+#include "meld/threaded_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "test_cluster.h"
+#include "tree/validate.h"
+
+namespace hyder {
+namespace {
+
+constexpr size_t kBlockSize = 1024;
+
+/// Drives the threaded pipeline with a prepared block stream and collects
+/// its decisions and final state.
+class ThreadedHarness {
+ public:
+  explicit ThreadedHarness(const PipelineConfig& config)
+      : pipeline_(config, DatabaseState{0, Ref::Null()}, &registry_,
+                  [this](const NodePtr& n) { registry_.Register(n); },
+                  [this](const MeldDecision& d) {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    decisions_.push_back(d);
+                  }) {
+    pipeline_.Start();
+  }
+
+  Status FeedBlocks(const std::vector<std::string>& blocks) {
+    for (const std::string& b : blocks) {
+      HYDER_ASSIGN_OR_RETURN(auto done, assembler_.AddBlock(b));
+      if (!done.has_value()) continue;
+      HYDER_ASSIGN_OR_RETURN(
+          IntentionPtr intent,
+          DeserializeIntention(done->payload, done->seq, done->block_count,
+                               &registry_, done->txn_id));
+      registry_.RegisterIntention(intent);
+      HYDER_RETURN_IF_ERROR(pipeline_.Feed(std::move(intent)));
+    }
+    return Status::OK();
+  }
+
+  void Finish() {
+    pipeline_.Close();
+    pipeline_.Join();
+  }
+
+  std::vector<MeldDecision> decisions() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return decisions_;
+  }
+
+  ThreadedPipeline& pipeline() { return pipeline_; }
+  MapRegistry& registry() { return registry_; }
+
+ private:
+  MapRegistry registry_;
+  IntentionAssembler assembler_;
+  std::mutex mu_;
+  std::vector<MeldDecision> decisions_;
+  ThreadedPipeline pipeline_;
+};
+
+/// Builds a workload log using a sequential TestServer running `config`,
+/// returning the block stream plus the sequential decisions and state.
+struct SequentialRun {
+  std::vector<std::vector<std::string>> blocks;
+  std::vector<MeldDecision> decisions;
+  TestServer server;
+
+  explicit SequentialRun(const PipelineConfig& config) : server(config) {}
+};
+
+void BuildWorkload(const PipelineConfig& config, uint64_t seed, int txns,
+                   SequentialRun* run) {
+  // Genesis.
+  IntentionBuilder g(kWorkspaceTagBit | 1, 0, Ref::Null(),
+                     IsolationLevel::kSerializable, nullptr);
+  for (Key k = 0; k < 50; ++k) {
+    ASSERT_TRUE(g.Put(k, "g" + std::to_string(k)).ok());
+  }
+  auto genesis = SerializeIntention(g, 1, kBlockSize);
+  ASSERT_TRUE(genesis.ok());
+  run->blocks.push_back(*genesis);
+  auto d0 = run->server.FeedBlocks(*genesis);
+  ASSERT_TRUE(d0.ok());
+  run->decisions.insert(run->decisions.end(), d0->begin(), d0->end());
+
+  Rng rng(seed);
+  const uint64_t deep =
+      uint64_t(config.premeld_threads) * uint64_t(config.premeld_distance) +
+      2;
+  for (int i = 0; i < txns; ++i) {
+    uint64_t latest = run->server.Latest().seq;
+    uint64_t span = (i % 3 == 0) ? deep + rng.Uniform(3) : rng.Uniform(4);
+    uint64_t snap = latest > span ? latest - span : latest;
+    auto st = run->server.StateAt(snap);
+    ASSERT_TRUE(st.ok());
+    IntentionBuilder b(kWorkspaceTagBit | (100 + i), snap, st->root,
+                       IsolationLevel::kSerializable,
+                       &run->server.registry());
+    for (int o = 0; o < 4; ++o) {
+      Key k = rng.Uniform(50);
+      if (rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(b.Put(k, "v" + std::to_string(rng.Next() % 997)).ok());
+      } else {
+        ASSERT_TRUE(b.Get(k).ok());
+      }
+    }
+    auto blocks = SerializeIntention(b, 100 + i, kBlockSize);
+    ASSERT_TRUE(blocks.ok());
+    run->blocks.push_back(*blocks);
+    auto d = run->server.FeedBlocks(*blocks);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    run->decisions.insert(run->decisions.end(), d->begin(), d->end());
+  }
+  auto tail = run->server.Flush();
+  ASSERT_TRUE(tail.ok());
+  run->decisions.insert(run->decisions.end(), tail->begin(), tail->end());
+}
+
+class ThreadedEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, bool, uint64_t>> {
+};
+
+TEST_P(ThreadedEquivalenceTest, MatchesSequentialBitForBit) {
+  auto [threads, distance, group, seed] = GetParam();
+  PipelineConfig config;
+  config.premeld_threads = threads;
+  config.premeld_distance = distance;
+  config.group_meld = group;
+
+  SequentialRun sequential(config);
+  BuildWorkload(config, seed, 120, &sequential);
+
+  ThreadedHarness threaded(config);
+  for (const auto& blocks : sequential.blocks) {
+    ASSERT_TRUE(threaded.FeedBlocks(blocks).ok());
+  }
+  threaded.Finish();
+  ASSERT_TRUE(threaded.pipeline().FirstError().ok() ||
+              threaded.pipeline().FirstError().message() ==
+                  "pipeline closed");
+
+  // Decisions identical, in order.
+  std::vector<MeldDecision> td = threaded.decisions();
+  ASSERT_EQ(td.size(), sequential.decisions.size());
+  for (size_t i = 0; i < td.size(); ++i) {
+    EXPECT_EQ(td[i].seq, sequential.decisions[i].seq) << i;
+    EXPECT_EQ(td[i].txn_id, sequential.decisions[i].txn_id) << i;
+    EXPECT_EQ(td[i].committed, sequential.decisions[i].committed)
+        << "seq " << td[i].seq << ": " << td[i].reason << " vs "
+        << sequential.decisions[i].reason;
+  }
+
+  // Final states physically identical (same ephemeral identities): the
+  // §3.4 determinism property across engine implementations.
+  DatabaseState st = threaded.pipeline().states().Latest();
+  DatabaseState ss = sequential.server.Latest();
+  ASSERT_EQ(st.seq, ss.seq);
+  std::string diff;
+  EXPECT_TRUE(StatesPhysicallyEqual(&threaded.registry(), st.root,
+                                    &sequential.server.registry(), ss.root,
+                                    &diff))
+      << diff;
+
+  // Premeld work happened on premeld threads when configured.
+  if (threads > 0) {
+    EXPECT_GT(threaded.pipeline().StatsSnapshot().premeld.nodes_visited, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ThreadedEquivalenceTest,
+    ::testing::Values(std::make_tuple(0, 0, false, 1u),
+                      std::make_tuple(1, 2, false, 2u),
+                      std::make_tuple(3, 2, false, 3u),
+                      std::make_tuple(5, 10, false, 4u),
+                      std::make_tuple(0, 0, true, 5u),
+                      std::make_tuple(2, 3, true, 6u),
+                      std::make_tuple(5, 2, true, 7u)));
+
+TEST(ThreadedPipelineTest, BackpressureDoesNotDeadlock) {
+  PipelineConfig config;
+  config.premeld_threads = 2;
+  config.premeld_distance = 1;
+  SequentialRun sequential(config);
+  BuildWorkload(config, 99, 400, &sequential);
+
+  ThreadedHarness threaded(config);
+  for (const auto& blocks : sequential.blocks) {
+    ASSERT_TRUE(threaded.FeedBlocks(blocks).ok());
+  }
+  threaded.Finish();
+  EXPECT_EQ(threaded.decisions().size(), sequential.decisions.size());
+}
+
+TEST(ThreadedPipelineTest, FeedRejectsOutOfOrder) {
+  PipelineConfig config;
+  ThreadedHarness threaded(config);
+  auto intent = std::make_shared<Intention>();
+  intent->seq = 5;  // Not 1.
+  EXPECT_TRUE(threaded.pipeline().Feed(intent).IsInvalidArgument());
+  threaded.Finish();
+}
+
+TEST(ThreadedPipelineTest, CloseWithoutTrafficIsClean) {
+  PipelineConfig config;
+  config.premeld_threads = 3;
+  ThreadedHarness threaded(config);
+  threaded.Finish();
+  EXPECT_TRUE(threaded.decisions().empty());
+}
+
+}  // namespace
+}  // namespace hyder
