@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_abort_stage.dir/ablation_abort_stage.cc.o"
+  "CMakeFiles/ablation_abort_stage.dir/ablation_abort_stage.cc.o.d"
+  "ablation_abort_stage"
+  "ablation_abort_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_abort_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_graft_fastpath.dir/ablation_graft_fastpath.cc.o"
+  "CMakeFiles/ablation_graft_fastpath.dir/ablation_graft_fastpath.cc.o.d"
+  "ablation_graft_fastpath"
+  "ablation_graft_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_graft_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

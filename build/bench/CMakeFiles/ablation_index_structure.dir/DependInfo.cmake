@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_index_structure.cc" "bench/CMakeFiles/ablation_index_structure.dir/ablation_index_structure.cc.o" "gcc" "bench/CMakeFiles/ablation_index_structure.dir/ablation_index_structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/hyder_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hyder_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/hyder_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/meld/CMakeFiles/hyder_meld.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/hyder_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hyder_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/hyder_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/hyder_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hyder_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

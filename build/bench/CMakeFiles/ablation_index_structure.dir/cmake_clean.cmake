@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_index_structure.dir/ablation_index_structure.cc.o"
+  "CMakeFiles/ablation_index_structure.dir/ablation_index_structure.cc.o.d"
+  "ablation_index_structure"
+  "ablation_index_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_log_append.dir/fig09_log_append.cc.o"
+  "CMakeFiles/fig09_log_append.dir/fig09_log_append.cc.o.d"
+  "fig09_log_append"
+  "fig09_log_append.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_log_append.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_final_meld_nodes.dir/fig11_final_meld_nodes.cc.o"
+  "CMakeFiles/fig11_final_meld_nodes.dir/fig11_final_meld_nodes.cc.o.d"
+  "fig11_final_meld_nodes"
+  "fig11_final_meld_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_final_meld_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

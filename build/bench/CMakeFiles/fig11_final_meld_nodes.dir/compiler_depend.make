@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_final_meld_nodes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_conflict_zone.dir/fig12_conflict_zone.cc.o"
+  "CMakeFiles/fig12_conflict_zone.dir/fig12_conflict_zone.cc.o.d"
+  "fig12_conflict_zone"
+  "fig12_conflict_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_conflict_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

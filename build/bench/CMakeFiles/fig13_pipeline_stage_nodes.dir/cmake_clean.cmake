@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_pipeline_stage_nodes.dir/fig13_pipeline_stage_nodes.cc.o"
+  "CMakeFiles/fig13_pipeline_stage_nodes.dir/fig13_pipeline_stage_nodes.cc.o.d"
+  "fig13_pipeline_stage_nodes"
+  "fig13_pipeline_stage_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_pipeline_stage_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_pipeline_stage_nodes.
+# This may be replaced when dependencies are built.

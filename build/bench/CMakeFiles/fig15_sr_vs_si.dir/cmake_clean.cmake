@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sr_vs_si.dir/fig15_sr_vs_si.cc.o"
+  "CMakeFiles/fig15_sr_vs_si.dir/fig15_sr_vs_si.cc.o.d"
+  "fig15_sr_vs_si"
+  "fig15_sr_vs_si.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sr_vs_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

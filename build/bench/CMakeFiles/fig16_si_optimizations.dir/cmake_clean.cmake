@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_si_optimizations.dir/fig16_si_optimizations.cc.o"
+  "CMakeFiles/fig16_si_optimizations.dir/fig16_si_optimizations.cc.o.d"
+  "fig16_si_optimizations"
+  "fig16_si_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_si_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_si_nodes.dir/fig17_si_nodes.cc.o"
+  "CMakeFiles/fig17_si_nodes.dir/fig17_si_nodes.cc.o.d"
+  "fig17_si_nodes"
+  "fig17_si_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_si_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

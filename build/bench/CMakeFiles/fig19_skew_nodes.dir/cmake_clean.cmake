@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_skew_nodes.dir/fig19_skew_nodes.cc.o"
+  "CMakeFiles/fig19_skew_nodes.dir/fig19_skew_nodes.cc.o.d"
+  "fig19_skew_nodes"
+  "fig19_skew_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_skew_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_premeld_distance.dir/fig20_premeld_distance.cc.o"
+  "CMakeFiles/fig20_premeld_distance.dir/fig20_premeld_distance.cc.o.d"
+  "fig20_premeld_distance"
+  "fig20_premeld_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_premeld_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

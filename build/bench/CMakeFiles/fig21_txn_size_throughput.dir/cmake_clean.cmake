@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_txn_size_throughput.dir/fig21_txn_size_throughput.cc.o"
+  "CMakeFiles/fig21_txn_size_throughput.dir/fig21_txn_size_throughput.cc.o.d"
+  "fig21_txn_size_throughput"
+  "fig21_txn_size_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_txn_size_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_txn_size_nodes.dir/fig22_txn_size_nodes.cc.o"
+  "CMakeFiles/fig22_txn_size_nodes.dir/fig22_txn_size_nodes.cc.o.d"
+  "fig22_txn_size_nodes"
+  "fig22_txn_size_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_txn_size_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

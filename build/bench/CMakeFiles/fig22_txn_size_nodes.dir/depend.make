@@ -1,0 +1,2 @@
+# Empty dependencies file for fig22_txn_size_nodes.
+# This may be replaced when dependencies are built.

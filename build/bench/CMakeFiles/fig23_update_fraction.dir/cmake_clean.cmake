@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_update_fraction.dir/fig23_update_fraction.cc.o"
+  "CMakeFiles/fig23_update_fraction.dir/fig23_update_fraction.cc.o.d"
+  "fig23_update_fraction"
+  "fig23_update_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_update_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

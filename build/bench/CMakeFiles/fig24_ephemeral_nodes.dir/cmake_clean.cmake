@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_ephemeral_nodes.dir/fig24_ephemeral_nodes.cc.o"
+  "CMakeFiles/fig24_ephemeral_nodes.dir/fig24_ephemeral_nodes.cc.o.d"
+  "fig24_ephemeral_nodes"
+  "fig24_ephemeral_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_ephemeral_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyder_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/hyder_bench_common.dir/bench_common.cc.o.d"
+  "libhyder_bench_common.a"
+  "libhyder_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyder_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

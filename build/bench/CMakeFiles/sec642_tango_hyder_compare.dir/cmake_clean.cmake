@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec642_tango_hyder_compare.dir/sec642_tango_hyder_compare.cc.o"
+  "CMakeFiles/sec642_tango_hyder_compare.dir/sec642_tango_hyder_compare.cc.o.d"
+  "sec642_tango_hyder_compare"
+  "sec642_tango_hyder_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec642_tango_hyder_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

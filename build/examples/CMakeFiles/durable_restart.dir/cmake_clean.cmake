@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_restart.dir/durable_restart.cpp.o"
+  "CMakeFiles/durable_restart.dir/durable_restart.cpp.o.d"
+  "durable_restart"
+  "durable_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

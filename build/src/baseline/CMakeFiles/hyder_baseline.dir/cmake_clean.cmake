@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyder_baseline.dir/tango.cc.o"
+  "CMakeFiles/hyder_baseline.dir/tango.cc.o.d"
+  "libhyder_baseline.a"
+  "libhyder_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyder_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

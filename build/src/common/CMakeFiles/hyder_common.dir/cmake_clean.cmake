@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyder_common.dir/histogram.cc.o"
+  "CMakeFiles/hyder_common.dir/histogram.cc.o.d"
+  "CMakeFiles/hyder_common.dir/metrics.cc.o"
+  "CMakeFiles/hyder_common.dir/metrics.cc.o.d"
+  "CMakeFiles/hyder_common.dir/random.cc.o"
+  "CMakeFiles/hyder_common.dir/random.cc.o.d"
+  "CMakeFiles/hyder_common.dir/status.cc.o"
+  "CMakeFiles/hyder_common.dir/status.cc.o.d"
+  "libhyder_common.a"
+  "libhyder_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyder_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

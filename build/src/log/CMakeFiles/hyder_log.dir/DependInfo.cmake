@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/corfu_sim.cc" "src/log/CMakeFiles/hyder_log.dir/corfu_sim.cc.o" "gcc" "src/log/CMakeFiles/hyder_log.dir/corfu_sim.cc.o.d"
+  "/root/repo/src/log/file_log.cc" "src/log/CMakeFiles/hyder_log.dir/file_log.cc.o" "gcc" "src/log/CMakeFiles/hyder_log.dir/file_log.cc.o.d"
+  "/root/repo/src/log/striped_log.cc" "src/log/CMakeFiles/hyder_log.dir/striped_log.cc.o" "gcc" "src/log/CMakeFiles/hyder_log.dir/striped_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyder_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyder_log.dir/corfu_sim.cc.o"
+  "CMakeFiles/hyder_log.dir/corfu_sim.cc.o.d"
+  "CMakeFiles/hyder_log.dir/file_log.cc.o"
+  "CMakeFiles/hyder_log.dir/file_log.cc.o.d"
+  "CMakeFiles/hyder_log.dir/striped_log.cc.o"
+  "CMakeFiles/hyder_log.dir/striped_log.cc.o.d"
+  "libhyder_log.a"
+  "libhyder_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyder_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meld/group_meld.cc" "src/meld/CMakeFiles/hyder_meld.dir/group_meld.cc.o" "gcc" "src/meld/CMakeFiles/hyder_meld.dir/group_meld.cc.o.d"
+  "/root/repo/src/meld/meld.cc" "src/meld/CMakeFiles/hyder_meld.dir/meld.cc.o" "gcc" "src/meld/CMakeFiles/hyder_meld.dir/meld.cc.o.d"
+  "/root/repo/src/meld/pipeline.cc" "src/meld/CMakeFiles/hyder_meld.dir/pipeline.cc.o" "gcc" "src/meld/CMakeFiles/hyder_meld.dir/pipeline.cc.o.d"
+  "/root/repo/src/meld/premeld.cc" "src/meld/CMakeFiles/hyder_meld.dir/premeld.cc.o" "gcc" "src/meld/CMakeFiles/hyder_meld.dir/premeld.cc.o.d"
+  "/root/repo/src/meld/state_table.cc" "src/meld/CMakeFiles/hyder_meld.dir/state_table.cc.o" "gcc" "src/meld/CMakeFiles/hyder_meld.dir/state_table.cc.o.d"
+  "/root/repo/src/meld/threaded_pipeline.cc" "src/meld/CMakeFiles/hyder_meld.dir/threaded_pipeline.cc.o" "gcc" "src/meld/CMakeFiles/hyder_meld.dir/threaded_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/hyder_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/hyder_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hyder_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyder_meld.dir/group_meld.cc.o"
+  "CMakeFiles/hyder_meld.dir/group_meld.cc.o.d"
+  "CMakeFiles/hyder_meld.dir/meld.cc.o"
+  "CMakeFiles/hyder_meld.dir/meld.cc.o.d"
+  "CMakeFiles/hyder_meld.dir/pipeline.cc.o"
+  "CMakeFiles/hyder_meld.dir/pipeline.cc.o.d"
+  "CMakeFiles/hyder_meld.dir/premeld.cc.o"
+  "CMakeFiles/hyder_meld.dir/premeld.cc.o.d"
+  "CMakeFiles/hyder_meld.dir/state_table.cc.o"
+  "CMakeFiles/hyder_meld.dir/state_table.cc.o.d"
+  "CMakeFiles/hyder_meld.dir/threaded_pipeline.cc.o"
+  "CMakeFiles/hyder_meld.dir/threaded_pipeline.cc.o.d"
+  "libhyder_meld.a"
+  "libhyder_meld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyder_meld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyder_server.dir/checkpoint.cc.o"
+  "CMakeFiles/hyder_server.dir/checkpoint.cc.o.d"
+  "CMakeFiles/hyder_server.dir/cluster.cc.o"
+  "CMakeFiles/hyder_server.dir/cluster.cc.o.d"
+  "CMakeFiles/hyder_server.dir/driver.cc.o"
+  "CMakeFiles/hyder_server.dir/driver.cc.o.d"
+  "CMakeFiles/hyder_server.dir/resolver.cc.o"
+  "CMakeFiles/hyder_server.dir/resolver.cc.o.d"
+  "CMakeFiles/hyder_server.dir/server.cc.o"
+  "CMakeFiles/hyder_server.dir/server.cc.o.d"
+  "libhyder_server.a"
+  "libhyder_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyder_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhyder_server.a"
+)

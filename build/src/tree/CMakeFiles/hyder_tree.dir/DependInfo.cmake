@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/btree_sizer.cc" "src/tree/CMakeFiles/hyder_tree.dir/btree_sizer.cc.o" "gcc" "src/tree/CMakeFiles/hyder_tree.dir/btree_sizer.cc.o.d"
+  "/root/repo/src/tree/node.cc" "src/tree/CMakeFiles/hyder_tree.dir/node.cc.o" "gcc" "src/tree/CMakeFiles/hyder_tree.dir/node.cc.o.d"
+  "/root/repo/src/tree/tree_ops.cc" "src/tree/CMakeFiles/hyder_tree.dir/tree_ops.cc.o" "gcc" "src/tree/CMakeFiles/hyder_tree.dir/tree_ops.cc.o.d"
+  "/root/repo/src/tree/validate.cc" "src/tree/CMakeFiles/hyder_tree.dir/validate.cc.o" "gcc" "src/tree/CMakeFiles/hyder_tree.dir/validate.cc.o.d"
+  "/root/repo/src/tree/version_id.cc" "src/tree/CMakeFiles/hyder_tree.dir/version_id.cc.o" "gcc" "src/tree/CMakeFiles/hyder_tree.dir/version_id.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyder_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

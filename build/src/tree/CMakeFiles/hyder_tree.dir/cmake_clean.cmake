@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyder_tree.dir/btree_sizer.cc.o"
+  "CMakeFiles/hyder_tree.dir/btree_sizer.cc.o.d"
+  "CMakeFiles/hyder_tree.dir/node.cc.o"
+  "CMakeFiles/hyder_tree.dir/node.cc.o.d"
+  "CMakeFiles/hyder_tree.dir/tree_ops.cc.o"
+  "CMakeFiles/hyder_tree.dir/tree_ops.cc.o.d"
+  "CMakeFiles/hyder_tree.dir/validate.cc.o"
+  "CMakeFiles/hyder_tree.dir/validate.cc.o.d"
+  "CMakeFiles/hyder_tree.dir/version_id.cc.o"
+  "CMakeFiles/hyder_tree.dir/version_id.cc.o.d"
+  "libhyder_tree.a"
+  "libhyder_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyder_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyder_txn.dir/codec.cc.o"
+  "CMakeFiles/hyder_txn.dir/codec.cc.o.d"
+  "CMakeFiles/hyder_txn.dir/intention_builder.cc.o"
+  "CMakeFiles/hyder_txn.dir/intention_builder.cc.o.d"
+  "libhyder_txn.a"
+  "libhyder_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyder_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyder_workload.dir/workload.cc.o"
+  "CMakeFiles/hyder_workload.dir/workload.cc.o.d"
+  "libhyder_workload.a"
+  "libhyder_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyder_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

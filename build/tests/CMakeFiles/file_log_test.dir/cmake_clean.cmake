@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_log_test.dir/file_log_test.cc.o"
+  "CMakeFiles/file_log_test.dir/file_log_test.cc.o.d"
+  "file_log_test"
+  "file_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

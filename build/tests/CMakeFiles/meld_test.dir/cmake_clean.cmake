@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meld_test.dir/meld_test.cc.o"
+  "CMakeFiles/meld_test.dir/meld_test.cc.o.d"
+  "meld_test"
+  "meld_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tree_test "/root/repo/build/tests/tree_test")
+set_tests_properties(tree_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(log_test "/root/repo/build/tests/log_test")
+set_tests_properties(log_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(txn_test "/root/repo/build/tests/txn_test")
+set_tests_properties(txn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(meld_test "/root/repo/build/tests/meld_test")
+set_tests_properties(meld_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(server_test "/root/repo/build/tests/server_test")
+set_tests_properties(server_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(threaded_pipeline_test "/root/repo/build/tests/threaded_pipeline_test")
+set_tests_properties(threaded_pipeline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baseline_test "/root/repo/build/tests/baseline_test")
+set_tests_properties(baseline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pipeline_test "/root/repo/build/tests/pipeline_test")
+set_tests_properties(pipeline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(checkpoint_test "/root/repo/build/tests/checkpoint_test")
+set_tests_properties(checkpoint_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(btree_sizer_test "/root/repo/build/tests/btree_sizer_test")
+set_tests_properties(btree_sizer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(stress_test "/root/repo/build/tests/stress_test")
+set_tests_properties(stress_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(isolation_test "/root/repo/build/tests/isolation_test")
+set_tests_properties(isolation_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(file_log_test "/root/repo/build/tests/file_log_test")
+set_tests_properties(file_log_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;20;hyder_test;/root/repo/tests/CMakeLists.txt;0;")
