@@ -1,0 +1,76 @@
+#include "common/crc32c.h"
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace hyder {
+
+namespace {
+
+/// Slicing-by-4 tables, computed once at startup. Table 0 is the classic
+/// byte-at-a-time table; tables 1..3 fold in the effect of shifting a byte
+/// 1..3 positions further, letting the hot loop consume 4 bytes per step.
+struct Crc32cTables {
+  uint32_t t[4][256];
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // Reflected Castagnoli.
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  crc = ~crc;
+#if defined(__SSE4_2__)
+  // Hardware path when the build targets SSE4.2 (-msse4.2 / -march=native).
+  while (n >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc = static_cast<uint32_t>(_mm_crc32_u64(crc, chunk));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+#else
+  const Crc32cTables& tb = Tables();
+  while (n >= 4) {
+    uint32_t chunk;
+    __builtin_memcpy(&chunk, p, 4);
+    crc ^= chunk;  // Little-endian layout assumed (x86/arm64 Linux hosts).
+    crc = tb.t[3][crc & 0xff] ^ tb.t[2][(crc >> 8) & 0xff] ^
+          tb.t[1][(crc >> 16) & 0xff] ^ tb.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xff];
+    --n;
+  }
+#endif
+  return ~crc;
+}
+
+}  // namespace hyder

@@ -1,0 +1,30 @@
+#ifndef HYDER2_COMMON_CRC32C_H_
+#define HYDER2_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hyder {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6A41, reflected 0x82F63B78) — the
+/// checksum used by the durable log's slot format (log/file_log.h) and by
+/// checkpoint integrity tests. Chosen over CRC32 for its better error
+/// detection on storage payloads (the reason iSCSI, ext4 and most
+/// log-structured stores standardize on it).
+
+/// Extends `crc` with `data[0, n)`. Pass the previous call's return value to
+/// checksum data in pieces; start from 0.
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n);
+
+/// CRC32C of the whole buffer.
+inline uint32_t Crc32c(const char* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace hyder
+
+#endif  // HYDER2_COMMON_CRC32C_H_

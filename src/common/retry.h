@@ -1,0 +1,72 @@
+#ifndef HYDER2_COMMON_RETRY_H_
+#define HYDER2_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/result.h"
+
+namespace hyder {
+
+/// Bounded retry-with-exponential-backoff for transient storage errors.
+///
+/// The shared log is the database's only persistent representation (§2), so
+/// a transient log failure must not surface as a transaction failure — the
+/// consumers (server append path, `Cluster::PollAll`, resolver refetches)
+/// retry under a policy like this one. Waiting is delegated to `sleeper` so
+/// tests and the discrete-event benches advance virtual time instead of
+/// sleeping; the default (no sleeper) retries immediately, which is what
+/// deterministic tests want.
+struct RetryPolicy {
+  /// Total attempts including the first; <= 1 means no retries.
+  int max_attempts = 5;
+  uint64_t initial_backoff_nanos = 1'000'000;  // 1 ms
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_nanos = 128'000'000;  // 128 ms
+  /// Called with the backoff for each retry; null = retry immediately.
+  /// Inject `SimClock`-driven waits in benches or real sleeps in servers.
+  std::function<void(uint64_t nanos)> sleeper;
+};
+
+/// Only `Unavailable` is retryable: the operation did not take effect (or
+/// its ack was lost) and the device may recover. `DataLoss`, `Corruption`
+/// and the rest are deterministic — retrying cannot change the outcome.
+inline bool IsTransientError(const Status& s) { return s.IsUnavailable(); }
+
+namespace retry_internal {
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace retry_internal
+
+/// Runs `op` (returning `Status` or `Result<T>`) until it succeeds, fails
+/// with a non-transient error, or the attempt budget is spent. `on_retry`
+/// fires before each re-attempt (stats hooks: LogStats::retries).
+template <typename Op>
+auto RetryTransient(const RetryPolicy& policy, Op&& op,
+                    const std::function<void(const Status&)>& on_retry = {})
+    -> decltype(op()) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  uint64_t backoff = policy.initial_backoff_nanos;
+  for (int attempt = 1;; ++attempt) {
+    auto r = op();
+    if (r.ok() || !IsTransientError(retry_internal::StatusOf(r)) ||
+        attempt >= attempts) {
+      return r;
+    }
+    if (on_retry) on_retry(retry_internal::StatusOf(r));
+    if (policy.sleeper) policy.sleeper(backoff);
+    backoff = std::min(
+        static_cast<uint64_t>(static_cast<double>(backoff) *
+                              policy.backoff_multiplier),
+        policy.max_backoff_nanos);
+  }
+}
+
+}  // namespace hyder
+
+#endif  // HYDER2_COMMON_RETRY_H_

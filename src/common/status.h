@@ -32,6 +32,8 @@ enum class StatusCode : int {
   kNotSupported = 9,
   kOutOfRange = 10,
   kInternal = 11,
+  kUnavailable = 12,
+  kDataLoss = 13,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "Aborted", ...).
@@ -84,6 +86,21 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// A transient storage/service failure: the operation did not happen (or
+  /// its acknowledgement was lost) and may be retried. The log fault model
+  /// (log/fault_log.h) reports injected transient errors with this code, and
+  /// the retry helpers (common/retry.h) treat exactly this code as
+  /// retryable.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Detected, unrecoverable loss of stored bytes (e.g. a slot whose CRC no
+  /// longer matches). Unlike kCorruption — a malformed *encoding* — DataLoss
+  /// means the medium lost data; retrying cannot help, recovery must fall
+  /// back to redundancy (another replica, an earlier checkpoint).
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
@@ -103,6 +120,8 @@ class Status {
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

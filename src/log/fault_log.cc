@@ -1,0 +1,120 @@
+#include "log/fault_log.h"
+
+#include <string>
+#include <utility>
+
+namespace hyder {
+
+FaultInjectingLog::FaultInjectingLog(SharedLog* base,
+                                     FaultInjectionOptions options)
+    : base_(base), options_(options), rng_(options.seed) {}
+
+void FaultInjectingLog::MaybeInjectLatencyLocked() {
+  if (options_.latency_p <= 0 || !rng_.Bernoulli(options_.latency_p)) return;
+  counts_.latency_spikes++;
+  if (options_.latency_hook) options_.latency_hook(options_.latency_nanos);
+}
+
+Result<uint64_t> FaultInjectingLog::Append(std::string block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeInjectLatencyLocked();
+  // One uniform draw partitioned by cumulative probability keeps the fault
+  // schedule a pure function of (seed, operation index).
+  double d = rng_.NextDouble();
+  if (d < options_.append_fail_p) {
+    counts_.append_failures++;
+    stats_.errors++;
+    return Status::Unavailable("append failed (injected); nothing landed");
+  }
+  d -= options_.append_fail_p;
+  if (d < options_.append_duplicate_p) {
+    // The block lands, but the ack is lost: the ambiguous-append case.
+    Result<uint64_t> landed = base_->Append(block);
+    if (!landed.ok()) return landed;
+    counts_.duplicate_appends++;
+    stats_.errors++;
+    return Status::Unavailable(
+        "append acknowledgement lost (injected); block landed at position " +
+        std::to_string(*landed));
+  }
+  d -= options_.append_duplicate_p;
+  if (d < options_.append_torn_p && block.size() > 1) {
+    // A strict, non-empty prefix lands. It cannot decode as a complete
+    // block, so consumers skip it; the caller retries the full block.
+    const size_t torn_len = 1 + rng_.Uniform(block.size() - 1);
+    Result<uint64_t> landed = base_->Append(block.substr(0, torn_len));
+    if (!landed.ok()) return landed;
+    counts_.torn_appends++;
+    stats_.errors++;
+    return Status::Unavailable(
+        "torn append (injected): " + std::to_string(torn_len) + " of " +
+        std::to_string(block.size()) + " bytes landed at position " +
+        std::to_string(*landed));
+  }
+  Result<uint64_t> r = base_->Append(std::move(block));
+  if (r.ok()) {
+    stats_.appends++;
+  } else {
+    stats_.errors++;
+  }
+  return r;
+}
+
+Result<std::string> FaultInjectingLog::Read(uint64_t position) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeInjectLatencyLocked();
+  if (decayed_.count(position) != 0) {
+    counts_.dataloss_reads++;
+    stats_.errors++;
+    return Status::DataLoss("stored bytes decayed at position " +
+                            std::to_string(position) + " (injected)");
+  }
+  double d = rng_.NextDouble();
+  if (d < options_.read_fail_p) {
+    counts_.read_failures++;
+    stats_.errors++;
+    return Status::Unavailable("read failed (injected) at position " +
+                               std::to_string(position));
+  }
+  d -= options_.read_fail_p;
+  if (d < options_.read_dataloss_p && position != 0 &&
+      position < base_->Tail()) {
+    decayed_.insert(position);
+    counts_.dataloss_reads++;
+    stats_.errors++;
+    return Status::DataLoss("stored bytes decayed at position " +
+                            std::to_string(position) + " (injected)");
+  }
+  Result<std::string> r = base_->Read(position);
+  if (r.ok()) {
+    stats_.reads++;
+  } else {
+    stats_.errors++;
+  }
+  return r;
+}
+
+void FaultInjectingLog::RecordRetry() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.retries++;
+  }
+  base_->RecordRetry();
+}
+
+LogStats FaultInjectingLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultInjectingLog::CorruptPosition(uint64_t position) {
+  std::lock_guard<std::mutex> lock(mu_);
+  decayed_.insert(position);
+}
+
+FaultInjectingLog::FaultCounts FaultInjectingLog::fault_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+}  // namespace hyder

@@ -1,0 +1,93 @@
+#ifndef HYDER2_LOG_FAULT_LOG_H_
+#define HYDER2_LOG_FAULT_LOG_H_
+
+#include <functional>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "log/shared_log.h"
+
+namespace hyder {
+
+/// Fault taxonomy knobs. Probabilities are per-operation and drawn from one
+/// deterministic, explicitly seeded `Rng`, so a (seed, call-sequence) pair
+/// always injects the same faults — the recovery harness replays identical
+/// fault schedules across runs and asserts the cluster still converges.
+struct FaultInjectionOptions {
+  uint64_t seed = 1;
+
+  /// Append fails with `Unavailable`; nothing lands in the log.
+  double append_fail_p = 0;
+  /// Append lands in the log but the acknowledgement is "lost": the caller
+  /// sees `Unavailable` and will typically retry, landing a second copy —
+  /// the duplicate-append ambiguity every shared-log client must survive
+  /// (dedup at meld time via the intention's (server id, local seq)).
+  double append_duplicate_p = 0;
+  /// A torn write: a strict prefix of the block lands, `Unavailable` is
+  /// reported. The prefix can never decode as a complete block (its header
+  /// advertises more payload bytes than the prefix holds), so tailing
+  /// servers skip it deterministically.
+  double append_torn_p = 0;
+  /// Read fails with `Unavailable` (transient; a retry may succeed).
+  double read_fail_p = 0;
+  /// The position's stored bytes decay permanently: this and every later
+  /// read of the position fails with `DataLoss` (sticky, as a real medium
+  /// error would be).
+  double read_dataloss_p = 0;
+  /// A latency spike of `latency_nanos` is injected (both paths).
+  double latency_p = 0;
+  uint64_t latency_nanos = 2'000'000;
+  /// Receives injected delays; null = the spike is only counted. Wire a
+  /// `SimClock` advance in benches or a real sleep in soak tests.
+  std::function<void(uint64_t nanos)> latency_hook;
+};
+
+/// Deterministic fault-injecting decorator over any `SharedLog` (§2: the
+/// log is the database's only persistent representation, so log faults are
+/// *the* fault model that matters). Wrap the real log, point servers at the
+/// wrapper, and every append/read site in the system gets exercised against
+/// transient unavailability, lost acks, torn writes, decayed bytes and
+/// latency spikes — without touching the underlying implementation.
+class FaultInjectingLog : public SharedLog {
+ public:
+  /// `base` must outlive this wrapper; the wrapper takes no ownership.
+  FaultInjectingLog(SharedLog* base, FaultInjectionOptions options);
+
+  Result<uint64_t> Append(std::string block) override;
+  Result<std::string> Read(uint64_t position) override;
+  uint64_t Tail() const override { return base_->Tail(); }
+  size_t block_size() const override { return base_->block_size(); }
+  void RecordRetry() override;
+  LogStats stats() const override;
+
+  /// Forces `position` into the decayed set: every subsequent read fails
+  /// with `DataLoss`. For tests that need a corrupt block at an exact spot.
+  void CorruptPosition(uint64_t position);
+
+  /// Per-fault-kind injection counts.
+  struct FaultCounts {
+    uint64_t append_failures = 0;
+    uint64_t duplicate_appends = 0;
+    uint64_t torn_appends = 0;
+    uint64_t read_failures = 0;
+    uint64_t dataloss_reads = 0;
+    uint64_t latency_spikes = 0;
+  };
+  FaultCounts fault_counts() const;
+
+ private:
+  void MaybeInjectLatencyLocked();
+
+  SharedLog* const base_;
+  const FaultInjectionOptions options_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::unordered_set<uint64_t> decayed_;
+  LogStats stats_;
+  FaultCounts counts_;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_LOG_FAULT_LOG_H_

@@ -5,9 +5,28 @@
 #include <cstring>
 #include <memory>
 
+#include "common/crc32c.h"
 #include "common/varint.h"
 
 namespace hyder {
+
+namespace {
+
+/// Reads the 4-byte length word of `slot_index` (0-based). Returns false on
+/// seek/read failure (EOF past the last slot).
+bool ReadLengthWord(std::FILE* file, size_t slot_size, uint64_t slot_index,
+                    uint32_t* raw) {
+  char header[4];
+  if (std::fseek(file, static_cast<long>(slot_index * slot_size),
+                 SEEK_SET) != 0 ||
+      std::fread(header, 1, 4, file) != 4) {
+    return false;
+  }
+  *raw = DecodeFixed32(header);
+  return true;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
                                                Options options) {
@@ -21,28 +40,72 @@ Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
   if (file == nullptr) {
     return Status::Internal("cannot open log file " + path);
   }
-  // Recover the tail: scan slot headers until the first unwritten slot.
-  const size_t slot = options.block_size + 4;
-  uint64_t tail = 1;
-  for (;;) {
-    if (std::fseek(file, long((tail - 1) * slot), SEEK_SET) != 0) break;
-    char header[4];
-    if (std::fread(header, 1, 4, file) != 4) break;
-    const uint32_t len = DecodeFixed32(header);
-    if (len == 0 || len > options.block_size) break;
-    // Verify the slot body is fully present (guards a torn final write).
-    if (std::fseek(file, long((tail - 1) * slot + 4 + len - 1), SEEK_SET) !=
-            0 ||
-        std::fgetc(file) == EOF) {
-      break;
+  // One stat for the recovery bound: only complete slots can hold recovered
+  // blocks; a trailing partial slot is a torn (never acknowledged) final
+  // append and is ignored — the next append overwrites it.
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::Internal("cannot stat log file " + path);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(std::ftell(file));
+
+  // Sniff the slot format from the first length word: v2 sets the high bit.
+  // Fresh (empty) files use v2; legacy files keep their layout for life so
+  // slot offsets stay consistent.
+  bool format_v2 = true;
+  if (file_size >= 4) {
+    uint32_t raw = 0;
+    if (!ReadLengthWord(file, /*slot_size=*/1, 0, &raw)) {
+      std::fclose(file);
+      return Status::Internal("cannot read log header " + path);
     }
+    format_v2 = (raw & kV2Flag) != 0;
+  }
+
+  const size_t header_size = format_v2 ? 8 : 4;
+  const size_t slot = options.block_size + header_size;
+  const uint64_t complete_slots = file_size / slot;
+
+  // Recover the tail by walking length words only — O(n) 4-byte reads, no
+  // payload I/O even for multi-gigabyte logs.
+  uint64_t tail = 1;
+  while (tail <= complete_slots) {
+    uint32_t raw = 0;
+    if (!ReadLengthWord(file, slot, tail - 1, &raw)) break;
+    if (format_v2 && (raw & kV2Flag) == 0) break;  // Unwritten/foreign slot.
+    const uint32_t len = raw & ~kV2Flag;
+    if (len == 0 || len > options.block_size) break;
     tail++;
   }
-  return std::unique_ptr<FileLog>(new FileLog(file, options, tail));
+
+  // A crash can corrupt at most the final counted slot (a torn write that
+  // still produced a full-size file, e.g. over pre-allocated space). Verify
+  // its checksum and drop it if it fails — it was never acknowledged.
+  // Earlier slots are verified lazily on read.
+  if (format_v2 && tail > 1) {
+    char head[8];
+    std::string payload;
+    const uint64_t last = tail - 2;  // 0-based index of last recovered slot.
+    if (std::fseek(file, static_cast<long>(last * slot), SEEK_SET) != 0 ||
+        std::fread(head, 1, 8, file) != 8) {
+      tail--;
+    } else {
+      const uint32_t len = DecodeFixed32(head) & ~kV2Flag;
+      const uint32_t stored_crc = DecodeFixed32(head + 4);
+      payload.resize(len);
+      if (std::fread(payload.data(), 1, len, file) != len ||
+          Crc32c(payload) != stored_crc) {
+        tail--;
+      }
+    }
+  }
+  return std::unique_ptr<FileLog>(
+      new FileLog(file, options, tail, format_v2));
 }
 
-FileLog::FileLog(std::FILE* file, Options options, uint64_t tail)
-    : options_(options), file_(file), tail_(tail) {}
+FileLog::FileLog(std::FILE* file, Options options, uint64_t tail,
+                 bool format_v2)
+    : options_(options), format_v2_(format_v2), file_(file), tail_(tail) {}
 
 FileLog::~FileLog() {
   if (file_ != nullptr) std::fclose(file_);
@@ -59,18 +122,26 @@ Result<uint64_t> FileLog::Append(std::string block) {
   const uint64_t pos = tail_;
   std::string slot;
   slot.reserve(SlotSize());
-  PutFixed32(&slot, static_cast<uint32_t>(block.size()));
+  if (format_v2_) {
+    PutFixed32(&slot, static_cast<uint32_t>(block.size()) | kV2Flag);
+    PutFixed32(&slot, Crc32c(block));
+  } else {
+    PutFixed32(&slot, static_cast<uint32_t>(block.size()));
+  }
   slot.append(block);
   slot.resize(SlotSize(), '\0');
   if (std::fseek(file_, long((pos - 1) * SlotSize()), SEEK_SET) != 0 ||
       std::fwrite(slot.data(), 1, slot.size(), file_) != slot.size()) {
+    stats_.errors++;
     return Status::Internal("log append I/O failed");
   }
   if (std::fflush(file_) != 0) {
+    stats_.errors++;
     return Status::Internal("log flush failed");
   }
   if (options_.sync_each_append) {
     if (fdatasync(fileno(file_)) != 0) {
+      stats_.errors++;
       return Status::Internal("log fdatasync failed");
     }
   }
@@ -86,19 +157,38 @@ Result<std::string> FileLog::Read(uint64_t position) {
     return Status::NotFound("log position " + std::to_string(position) +
                             " past tail " + std::to_string(tail_));
   }
-  char header[4];
+  char header[8];
+  const size_t header_size = HeaderSize();
   if (std::fseek(file_, long((position - 1) * SlotSize()), SEEK_SET) != 0 ||
-      std::fread(header, 1, 4, file_) != 4) {
+      std::fread(header, 1, header_size, file_) != header_size) {
+    stats_.errors++;
     return Status::Internal("log read I/O failed (header)");
   }
-  const uint32_t len = DecodeFixed32(header);
+  const uint32_t raw = DecodeFixed32(header);
+  if (format_v2_ && (raw & kV2Flag) == 0) {
+    stats_.errors++;
+    return Status::DataLoss("slot format bit lost at position " +
+                            std::to_string(position));
+  }
+  const uint32_t len = raw & ~kV2Flag;
   if (len == 0 || len > options_.block_size) {
-    return Status::Corruption("bad slot length at position " +
-                              std::to_string(position));
+    stats_.errors++;
+    return Status::DataLoss("bad slot length at position " +
+                            std::to_string(position));
   }
   std::string block(len, '\0');
   if (std::fread(block.data(), 1, len, file_) != len) {
+    stats_.errors++;
     return Status::Internal("log read I/O failed (body)");
+  }
+  if (format_v2_) {
+    const uint32_t stored_crc = DecodeFixed32(header + 4);
+    if (Crc32c(block) != stored_crc) {
+      stats_.errors++;
+      return Status::DataLoss("checksum mismatch at position " +
+                              std::to_string(position) +
+                              ": stored bytes decayed");
+    }
   }
   stats_.reads++;
   return block;
@@ -109,7 +199,14 @@ uint64_t FileLog::Tail() const {
   return tail_;
 }
 
+void FileLog::RecordRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.retries++;
+}
+
 LogStats FileLog::stats() const {
+  // Snapshot under mu_: the same mutex every counter is mutated under, so
+  // the struct is internally consistent even with concurrent appends.
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }

@@ -17,9 +17,20 @@ namespace hyder {
 /// the paper prescribes for SSD-backed logs (§1: "the log should be stored
 /// on solid state disks").
 ///
-/// Slot layout: [u32 length][payload][zero padding]. A length of 0 marks an
-/// unwritten slot; recovery scans forward from the start until the first
-/// unwritten slot to find the tail (a torn final slot is truncated away).
+/// Slot layout (v2, current): [u32 len|kV2Flag][u32 crc32c(payload)][payload]
+/// [zero padding]. The high bit of the length word marks the v2 format; the
+/// CRC covers the payload, so a slot whose stored bytes decayed surfaces as
+/// `DataLoss` on read instead of feeding garbage to meld. Files written by
+/// the pre-CRC layout ([u32 len][payload], no flag bit) are detected on open
+/// and keep working — reads skip the CRC check and appends continue the
+/// legacy layout so the file stays self-consistent.
+///
+/// A length word of 0 marks an unwritten slot. Recovery derives the count of
+/// complete slots from the file size (one fstat), then walks the 4-byte
+/// length words only — O(n) header reads, no payload I/O — and finally
+/// CRC-checks just the last recovered slot: a crash can tear at most the
+/// final append, and a torn final slot was never acknowledged, so it is
+/// dropped (the next append overwrites it).
 ///
 /// Single-process writer; all servers in the process share one instance
 /// (matching the in-process cluster model). `Sync` controls whether each
@@ -33,6 +44,9 @@ class FileLog : public SharedLog {
     bool sync_each_append = false;
   };
 
+  /// High bit of the slot length word: set for the CRC'd v2 slot layout.
+  static constexpr uint32_t kV2Flag = 0x80000000u;
+
   /// Opens or creates the log at `path`, recovering the tail.
   static Result<std::unique_ptr<FileLog>> Open(const std::string& path,
                                                Options options);
@@ -45,15 +59,22 @@ class FileLog : public SharedLog {
   Result<std::string> Read(uint64_t position) override;
   uint64_t Tail() const override;
   size_t block_size() const override { return options_.block_size; }
+  void RecordRetry() override;
 
-  LogStats stats() const;
+  LogStats stats() const override;
+
+  /// False when the file predates the CRC'd slot layout.
+  bool crc_protected() const { return format_v2_; }
 
  private:
-  FileLog(std::FILE* file, Options options, uint64_t tail);
+  FileLog(std::FILE* file, Options options, uint64_t tail, bool format_v2);
 
-  size_t SlotSize() const { return options_.block_size + 4; }
+  /// v2 slots carry [len][crc]; legacy slots only [len].
+  size_t HeaderSize() const { return format_v2_ ? 8 : 4; }
+  size_t SlotSize() const { return options_.block_size + HeaderSize(); }
 
   const Options options_;
+  const bool format_v2_;
   mutable std::mutex mu_;
   std::FILE* file_;
   uint64_t tail_;  // Next position to assign (1-based).

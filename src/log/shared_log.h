@@ -32,14 +32,32 @@ class SharedLog {
 
   /// The configured block size in bytes.
   virtual size_t block_size() const = 0;
+
+  /// Consumers report each retry of a transient (`Unavailable`) log error
+  /// here, so a log's stats expose the retry burden its clients absorbed
+  /// alongside the errors it produced. Default: not tracked.
+  virtual void RecordRetry() {}
+
+  /// Aggregate counters; implementations return a consistent snapshot taken
+  /// under their internal lock. Default: no stats tracked.
+  virtual struct LogStats stats() const;
 };
 
-/// Aggregate counters exposed by log implementations.
+/// Aggregate counters exposed by log implementations. Counters are mutated
+/// under the implementation's mutex; `stats()` snapshots them under the same
+/// mutex, so the returned struct is internally consistent.
 struct LogStats {
   uint64_t appends = 0;
   uint64_t reads = 0;
   uint64_t bytes_appended = 0;
+  /// Failed operations: I/O errors, detected corruption/data loss, and
+  /// injected faults (log/fault_log.h).
+  uint64_t errors = 0;
+  /// Client retries reported through `RecordRetry`.
+  uint64_t retries = 0;
 };
+
+inline LogStats SharedLog::stats() const { return LogStats{}; }
 
 }  // namespace hyder
 

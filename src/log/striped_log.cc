@@ -8,6 +8,8 @@ StripedLog::StripedLog(StripedLogOptions options) : options_(options) {
 
 Result<uint64_t> StripedLog::Append(std::string block) {
   if (block.size() > options_.block_size) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.errors++;
     return Status::InvalidArgument("block exceeds the configured block size");
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -23,6 +25,7 @@ Result<uint64_t> StripedLog::Append(std::string block) {
 Result<std::string> StripedLog::Read(uint64_t position) {
   std::lock_guard<std::mutex> lock(mu_);
   if (position == 0 || position >= tail_) {
+    stats_.errors++;
     return Status::NotFound("log position " + std::to_string(position) +
                             " past tail " + std::to_string(tail_));
   }
@@ -36,7 +39,14 @@ uint64_t StripedLog::Tail() const {
   return tail_;
 }
 
+void StripedLog::RecordRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.retries++;
+}
+
 LogStats StripedLog::stats() const {
+  // Snapshot under mu_: the counters are only ever mutated under the same
+  // mutex, so callers get an internally consistent view.
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }

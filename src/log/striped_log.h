@@ -37,8 +37,11 @@ class StripedLog : public SharedLog {
   Result<std::string> Read(uint64_t position) override;
   uint64_t Tail() const override;
   size_t block_size() const override { return options_.block_size; }
+  void RecordRetry() override;
 
-  LogStats stats() const;
+  /// Consistent snapshot taken under the same mutex the counters are
+  /// mutated under.
+  LogStats stats() const override;
 
   /// Bytes held by one storage unit (for balance tests).
   uint64_t UnitBytes(int unit) const;

@@ -43,12 +43,38 @@ uint64_t SequentialPipeline::BlocksUpTo(uint64_t seq) const {
   return block_prefix_[seq];
 }
 
+std::vector<uint64_t> SequentialPipeline::EphemeralCounters() const {
+  std::vector<uint64_t> counters;
+  counters.reserve(2 + pm_allocs_.size());
+  counters.push_back(fm_alloc_.next_seq());
+  counters.push_back(gm_alloc_.next_seq());
+  for (const auto& a : pm_allocs_) counters.push_back(a->next_seq());
+  return counters;
+}
+
+void SequentialPipeline::RestoreEphemeralCounters(
+    const std::vector<uint64_t>& counters) {
+  if (counters.size() > 0) fm_alloc_.set_next_seq(counters[0]);
+  if (counters.size() > 1) gm_alloc_.set_next_seq(counters[1]);
+  for (size_t t = 0; t + 2 < counters.size() && t < pm_allocs_.size(); ++t) {
+    pm_allocs_[t]->set_next_seq(counters[t + 2]);
+  }
+}
+
 Result<std::vector<MeldDecision>> SequentialPipeline::Process(
     IntentionPtr intent) {
   if (intent->seq != block_prefix_.size()) {
     return Status::InvalidArgument(
         "pipeline requires consecutive sequences; got " +
         std::to_string(intent->seq));
+  }
+  // (Txn id 0 is only used by codec-level tests that feed bare intentions;
+  // real servers always stamp a nonzero (server id, local seq) id.)
+  if (intent->txn_id != 0 && !fed_txns_.insert(intent->txn_id).second) {
+    return Status::Internal(
+        "transaction " + std::to_string(intent->txn_id) +
+        " reached the meld pipeline twice — a retried append was not "
+        "deduplicated and would commit twice");
   }
   block_prefix_.push_back(block_prefix_.back() + intent->block_count);
   stats_.intentions++;

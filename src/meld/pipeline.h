@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
@@ -81,6 +82,20 @@ class SequentialPipeline {
   /// used to express conflict zones in blocks (Fig. 12).
   uint64_t BlocksUpTo(uint64_t seq) const;
 
+  /// Ephemeral id-space snapshot, in stage order [final, group, premeld...].
+  /// Ephemeral version ids are part of the physical state: later intentions'
+  /// snapshot versions (ssv) name them, and the meld operator's graft fast
+  /// path compares them by value. A checkpoint therefore persists these
+  /// counters, and bootstrap restores them, so a restored server continues
+  /// minting exactly the ids a full log replay would produce.
+  std::vector<uint64_t> EphemeralCounters() const;
+
+  /// Restores counters captured by EphemeralCounters() on a quiescent
+  /// pipeline of the same configuration. Extra or missing trailing entries
+  /// are tolerated (configuration may differ across incarnations); entries
+  /// present on both sides are applied positionally.
+  void RestoreEphemeralCounters(const std::vector<uint64_t>& counters);
+
  private:
   Result<std::vector<MeldDecision>> AfterPremeld(IntentionPtr intent);
   Result<std::vector<MeldDecision>> FinalMeld(IntentionPtr intent);
@@ -96,6 +111,11 @@ class SequentialPipeline {
   IntentionPtr pending_group_;  ///< Odd member awaiting its pair.
   std::vector<uint64_t> block_prefix_;  ///< block_prefix_[seq] = cumulative.
   uint64_t published_seq_ = 0;
+  /// Backstop against the duplicate-append ambiguity: the assembler filters
+  /// retried copies before they reach the pipeline, so a transaction id
+  /// arriving twice here means a layering bug that would decide (and could
+  /// commit) one transaction twice — fail loudly instead.
+  std::unordered_set<uint64_t> fed_txns_;
 };
 
 }  // namespace hyder

@@ -1,6 +1,8 @@
 #include "server/checkpoint.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/varint.h"
 #include "txn/codec.h"
@@ -119,6 +121,13 @@ Result<CheckpointInfo> WriteCheckpoint(HyderServer& server) {
                                        &tree, &node_count));
   PutVarint64(&payload, node_count);
   payload.append(tree);
+  // Ephemeral allocator counters: ephemeral version ids are physical state
+  // (later intentions' ssv name them), so a bootstrapped server must resume
+  // minting exactly where this incarnation left off. The quiescence checks
+  // above guarantee the counters correspond to state.seq.
+  const std::vector<uint64_t> counters = server.pipeline().EphemeralCounters();
+  PutVarint64(&payload, counters.size());
+  for (uint64_t c : counters) PutVarint64(&payload, c);
 
   // Chop into checkpoint-tagged blocks.
   const size_t capacity = server.log()->block_size() - kBlockHeaderSize;
@@ -141,76 +150,116 @@ Result<CheckpointInfo> WriteCheckpoint(HyderServer& server) {
     EncodeBlockHeader(h, &block);
     block.append(payload, off, len);
     off += len;
-    HYDER_ASSIGN_OR_RETURN(uint64_t pos,
-                           server.log()->Append(std::move(block)));
+    // Duplicate copies from retried appends are harmless: scanners count
+    // checkpoint blocks per index, not per copy.
+    HYDER_ASSIGN_OR_RETURN(
+        uint64_t pos,
+        RetryTransient(
+            server.options().log_retry, [&] { return server.log()->Append(block); },
+            [&server](const Status&) { server.log()->RecordRetry(); }));
     if (i == 0) info.first_block = pos;
   }
   return info;
 }
 
-Result<std::optional<CheckpointInfo>> FindLatestCheckpoint(SharedLog& log) {
-  std::optional<CheckpointInfo> best;
-  std::unordered_map<uint64_t, CheckpointInfo> partial;
-  std::unordered_map<uint64_t, uint32_t> seen;
+Result<std::optional<CheckpointInfo>> FindLatestCheckpoint(
+    SharedLog& log, const RetryPolicy& retry) {
+  struct Candidate {
+    CheckpointInfo info;
+    std::unordered_set<uint32_t> have;  ///< Distinct block indices seen.
+  };
+  std::unordered_map<uint64_t, Candidate> partial;
+  std::vector<CheckpointInfo> complete;
   for (uint64_t pos = 1; pos < log.Tail(); ++pos) {
-    HYDER_ASSIGN_OR_RETURN(std::string block, log.Read(pos));
-    auto header = DecodeBlockHeader(block);
+    Result<std::string> block = RetryTransient(
+        retry, [&] { return log.Read(pos); },
+        [&log](const Status&) { log.RecordRetry(); });
+    if (!block.ok()) {
+      if (IsTransientError(block.status())) return block.status();
+      // Permanently unreadable position (e.g. checksum mismatch). If it held
+      // a checkpoint block, that checkpoint simply never completes and an
+      // older intact one is chosen instead.
+      continue;
+    }
+    auto header = DecodeBlockHeader(*block);
     if (!header.ok()) continue;
     if (!(header->txn_id & kCheckpointTxnBit)) continue;
     const uint64_t id = header->txn_id;
-    if (header->index == 0) {
-      CheckpointInfo info;
-      info.state_seq = header->txn_id & ~kCheckpointTxnBit;
-      info.first_block = pos;
-      info.block_count = header->total;
-      partial[id] = info;
-      seen[id] = 0;
+    Candidate& cand = partial[id];
+    if (cand.have.empty()) {
+      cand.info.state_seq = header->txn_id & ~kCheckpointTxnBit;
+      cand.info.block_count = header->total;
     }
-    if (partial.count(id)) {
-      if (++seen[id] == header->total) {
-        if (!best || partial[id].state_seq > best->state_seq) {
-          best = partial[id];
-        }
-      }
+    if (header->index == 0 && !cand.have.count(0)) cand.info.first_block = pos;
+    // Count distinct indices, not copies: a retried append may land the same
+    // checkpoint block twice.
+    if (cand.have.insert(header->index).second &&
+        cand.have.size() == header->total) {
+      complete.push_back(cand.info);
     }
   }
-  if (!best) return std::optional<CheckpointInfo>{};
-  // Recover resume_position and node_count from the payload header.
-  HYDER_ASSIGN_OR_RETURN(std::string first, log.Read(best->first_block));
-  HYDER_ASSIGN_OR_RETURN(BlockHeader h, DecodeBlockHeader(first));
-  const char* p = first.data() + kBlockHeaderSize;
-  const char* limit = p + h.chunk_len;
-  if (h.chunk_len < 4 || DecodeFixed32(p) != kCheckpointMagic) {
-    return Status::Corruption("bad checkpoint magic");
+  // Newest first; a candidate whose header no longer parses (decayed after
+  // the write, or a torn first block) is skipped for the next-newest.
+  std::sort(complete.begin(), complete.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.state_seq > b.state_seq;
+            });
+  for (CheckpointInfo& best : complete) {
+    Result<std::string> first = RetryTransient(
+        retry, [&] { return log.Read(best.first_block); },
+        [&log](const Status&) { log.RecordRetry(); });
+    if (!first.ok()) {
+      if (IsTransientError(first.status())) return first.status();
+      continue;
+    }
+    auto h = DecodeBlockHeader(*first);
+    if (!h.ok()) continue;
+    const char* p = first->data() + kBlockHeaderSize;
+    const char* limit = p + h->chunk_len;
+    if (h->chunk_len < 4 || DecodeFixed32(p) != kCheckpointMagic) continue;
+    p += 4;
+    uint64_t seq = 0, resume = 0;
+    if ((p = GetVarint64(p, limit, &seq)) == nullptr ||
+        (p = GetVarint64(p, limit, &resume)) == nullptr) {
+      continue;
+    }
+    best.state_seq = seq;
+    best.resume_position = resume;
+    return std::optional<CheckpointInfo>{best};
   }
-  p += 4;
-  uint64_t seq = 0, resume = 0;
-  if ((p = GetVarint64(p, limit, &seq)) == nullptr ||
-      (p = GetVarint64(p, limit, &resume)) == nullptr) {
-    return Status::Corruption("truncated checkpoint header");
-  }
-  best->state_seq = seq;
-  best->resume_position = resume;
-  return best;
+  return std::optional<CheckpointInfo>{};
 }
 
 Result<std::unique_ptr<HyderServer>> BootstrapFromCheckpoint(
     SharedLog* log, const CheckpointInfo& info, ServerOptions options) {
-  // Reassemble the checkpoint payload.
-  std::string payload;
+  // Reassemble the checkpoint payload, collecting chunks by block index so
+  // duplicate copies (retried appends) and out-of-order interleavings cannot
+  // scramble it.
+  std::vector<std::string> chunks(info.block_count);
+  std::vector<bool> have(info.block_count, false);
   uint32_t collected = 0;
   for (uint64_t pos = info.first_block;
        pos < log->Tail() && collected < info.block_count; ++pos) {
-    HYDER_ASSIGN_OR_RETURN(std::string block, log->Read(pos));
-    auto header = DecodeBlockHeader(block);
+    Result<std::string> block = RetryTransient(
+        options.log_retry, [&] { return log->Read(pos); },
+        [log](const Status&) { log->RecordRetry(); });
+    if (!block.ok()) {
+      if (IsTransientError(block.status())) return block.status();
+      continue;  // Unreadable position; hope a duplicate copy exists.
+    }
+    auto header = DecodeBlockHeader(*block);
     if (!header.ok()) continue;
     if (header->txn_id != (kCheckpointTxnBit | info.state_seq)) continue;
-    payload.append(block, kBlockHeaderSize, header->chunk_len);
+    if (header->index >= info.block_count || have[header->index]) continue;
+    chunks[header->index] = block->substr(kBlockHeaderSize, header->chunk_len);
+    have[header->index] = true;
     collected++;
   }
   if (collected != info.block_count) {
     return Status::Corruption("incomplete checkpoint in the log");
   }
+  std::string payload;
+  for (std::string& chunk : chunks) payload.append(chunk);
   const char* p = payload.data();
   const char* limit = payload.data() + payload.size();
   if (payload.size() < 4 || DecodeFixed32(p) != kCheckpointMagic) {
@@ -251,9 +300,32 @@ Result<std::unique_ptr<HyderServer>> BootstrapFromCheckpoint(
       log, options, DatabaseState{seq, Ref::Null()}, resume);
   HYDER_ASSIGN_OR_RETURN(
       Ref root, DeserializeState(p, limit, node_count, &server->resolver()));
+  // Ephemeral allocator counters (absent in older checkpoints, which predate
+  // ephemeral-bearing states and thus implicitly carry all-zero counters).
+  std::vector<uint64_t> counters;
+  if (p != limit) {
+    uint64_t counter_count = 0;
+    if ((p = GetVarint64(p, limit, &counter_count)) == nullptr) {
+      return Status::Corruption("truncated checkpoint allocator counters");
+    }
+    counters.reserve(counter_count);
+    for (uint64_t i = 0; i < counter_count; ++i) {
+      uint64_t c = 0;
+      if ((p = GetVarint64(p, limit, &c)) == nullptr) {
+        return Status::Corruption("truncated checkpoint allocator counter");
+      }
+      counters.push_back(c);
+    }
+  }
   if (p != limit) {
     return Status::Corruption("trailing bytes after checkpoint");
   }
+  server->pipeline().RestoreEphemeralCounters(counters);
+  // Id-space recovery: the directory names every pre-checkpoint intention,
+  // so a server restarting under its old id advances its local sequence
+  // counter past everything it issued in previous incarnations (the log
+  // replay from resume_position covers the rest).
+  for (const auto& entry : directory) server->ObserveTxnId(entry.txn_id);
   server->resolver().ImportDirectory(directory);
   // Install the reconstructed root as the initial state.
   HYDER_RETURN_IF_ERROR(

@@ -46,8 +46,16 @@ struct CheckpointInfo {
 /// interleaved multi-block intentions.
 Result<CheckpointInfo> WriteCheckpoint(HyderServer& server);
 
-/// Scans the log for the most recent complete checkpoint.
-Result<std::optional<CheckpointInfo>> FindLatestCheckpoint(SharedLog& log);
+/// Scans the log for the most recent complete, parseable checkpoint.
+///
+/// Robust to a crashed checkpointer and to storage decay: a checkpoint
+/// missing blocks (torn mid-write), containing an unreadable block
+/// (checksum mismatch → DataLoss), or whose header fails to parse is passed
+/// over in favor of the newest older checkpoint that is intact. Duplicate
+/// block copies (retried appends) are counted once. Transient read errors
+/// are retried per `retry`; only exhausting the retry budget fails the scan.
+Result<std::optional<CheckpointInfo>> FindLatestCheckpoint(
+    SharedLog& log, const RetryPolicy& retry = RetryPolicy{});
 
 /// Builds a new server whose pipeline starts at the checkpointed state and
 /// whose log cursor starts at `info.resume_position`. The result is

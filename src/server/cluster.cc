@@ -4,15 +4,32 @@ namespace hyder {
 
 Cluster::Cluster(int num_servers, StripedLogOptions log_options,
                  ServerOptions base_options)
-    : log_(log_options) {
+    : owned_log_(std::make_unique<StripedLog>(log_options)),
+      log_(owned_log_.get()) {
   for (int i = 0; i < num_servers; ++i) {
     ServerOptions options = base_options;
     options.server_id = i;
-    servers_.push_back(std::make_unique<HyderServer>(&log_, options));
+    servers_.push_back(std::make_unique<HyderServer>(log_, options));
   }
 }
 
+Cluster::Cluster(int num_servers, SharedLog* log, ServerOptions base_options)
+    : log_(log) {
+  for (int i = 0; i < num_servers; ++i) {
+    ServerOptions options = base_options;
+    options.server_id = i;
+    servers_.push_back(std::make_unique<HyderServer>(log_, options));
+  }
+}
+
+Cluster::Cluster(SharedLog* log,
+                 std::vector<std::unique_ptr<HyderServer>> servers)
+    : log_(log), servers_(std::move(servers)) {}
+
 Status Cluster::PollAll() {
+  // Transient log errors are retried inside Poll (ServerOptions::log_retry);
+  // what escapes here is permanent — DataLoss, Corruption — and must stop
+  // the rollforward rather than leave servers silently diverged.
   for (auto& server : servers_) {
     HYDER_ASSIGN_OR_RETURN(auto decisions, server->Poll());
     (void)decisions;

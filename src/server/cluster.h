@@ -22,9 +22,19 @@ class Cluster {
   Cluster(int num_servers, StripedLogOptions log_options,
           ServerOptions base_options);
 
+  /// Non-owning variant: runs the cluster over an externally provided log —
+  /// a FileLog for durability tests, or a FaultInjectingLog wrapper. `log`
+  /// must outlive the cluster.
+  Cluster(int num_servers, SharedLog* log, ServerOptions base_options);
+
+  /// Adopts pre-built servers (e.g. bootstrapped from a checkpoint at
+  /// different start positions) sharing `log`, which must outlive the
+  /// cluster.
+  Cluster(SharedLog* log, std::vector<std::unique_ptr<HyderServer>> servers);
+
   HyderServer& server(int i) { return *servers_[i]; }
   int size() const { return static_cast<int>(servers_.size()); }
-  StripedLog& log() { return log_; }
+  SharedLog& log() { return *log_; }
 
   /// Rolls every server forward to the current log tail.
   Status PollAll();
@@ -38,7 +48,8 @@ class Cluster {
   Result<bool> StatesConverged(std::string* diff);
 
  private:
-  StripedLog log_;
+  std::unique_ptr<StripedLog> owned_log_;  ///< Null for external-log clusters.
+  SharedLog* log_;
   std::vector<std::unique_ptr<HyderServer>> servers_;
 };
 

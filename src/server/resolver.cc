@@ -55,7 +55,13 @@ Result<const std::vector<NodePtr>*> ServerResolver::MaterializeLocked(
   refetches_++;
   std::vector<std::string> chunks(dir->second.positions.size());
   for (uint64_t pos : dir->second.positions) {
-    HYDER_ASSIGN_OR_RETURN(std::string block, log_->Read(pos));
+    // Transient read errors retry; DataLoss and the like surface — the
+    // refetch has no other copy to fall back on.
+    HYDER_ASSIGN_OR_RETURN(
+        std::string block,
+        RetryTransient(
+            options_.log_retry, [&] { return log_->Read(pos); },
+            [this](const Status&) { log_->RecordRetry(); }));
     HYDER_ASSIGN_OR_RETURN(BlockHeader h, DecodeBlockHeader(block));
     if (h.index >= chunks.size()) {
       return Status::Corruption("block index out of range on refetch");

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/retry.h"
 #include "log/shared_log.h"
 #include "tree/node.h"
 #include "txn/intention.h"
@@ -21,6 +22,8 @@ struct ResolverOptions {
   /// Ephemeral registry entries are swept once the registry exceeds this
   /// size; only entries no longer referenced anywhere else are dropped.
   size_t ephemeral_soft_limit = 1 << 20;
+  /// Retry policy for transient log errors on the refetch path.
+  RetryPolicy log_retry;
 };
 
 /// Resolves node references for one server: logged references through a

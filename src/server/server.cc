@@ -57,10 +57,18 @@ Result<HyderServer::Submitted> HyderServer::Submit(Transaction&& txn) {
   HYDER_ASSIGN_OR_RETURN(
       std::vector<std::string> blocks,
       SerializeIntention(txn.builder_, txn.txn_id(), log_->block_size()));
-  for (std::string& block : blocks) {
-    HYDER_ASSIGN_OR_RETURN(uint64_t pos, log_->Append(std::move(block)));
-    (void)pos;  // Positions are re-discovered while tailing the log, which
-                // keeps remote and local intentions on one code path.
+  for (const std::string& block : blocks) {
+    // Transient append failures are ambiguous: the block may or may not
+    // have landed. Retrying is safe because the assembler drops duplicate
+    // copies by (txn id, block index); positions are re-discovered while
+    // tailing the log, which keeps remote and local intentions on one code
+    // path.
+    HYDER_ASSIGN_OR_RETURN(
+        uint64_t pos,
+        RetryTransient(
+            options_.log_retry, [&] { return log_->Append(block); },
+            [this](const Status&) { log_->RecordRetry(); }));
+    (void)pos;
   }
   pending_.insert(txn.txn_id());
   return out;
@@ -70,17 +78,43 @@ Result<std::vector<MeldDecision>> HyderServer::Poll(size_t max_intentions) {
   std::vector<MeldDecision> all;
   size_t processed = 0;
   while (processed < max_intentions && next_read_pos_ < log_->Tail()) {
-    HYDER_ASSIGN_OR_RETURN(std::string block, log_->Read(next_read_pos_));
+    // Transient read errors retry in place (the cursor has not advanced);
+    // permanent ones — e.g. DataLoss from a checksum mismatch — surface to
+    // the caller rather than silently melding damaged bytes.
+    HYDER_ASSIGN_OR_RETURN(
+        std::string block,
+        RetryTransient(
+            options_.log_retry, [&] { return log_->Read(next_read_pos_); },
+            [this](const Status&) { log_->RecordRetry(); }));
     const uint64_t pos = next_read_pos_++;
-    HYDER_ASSIGN_OR_RETURN(BlockHeader header, DecodeBlockHeader(block));
+    Result<BlockHeader> header_or = DecodeBlockHeader(block);
+    if (!header_or.ok()) {
+      // Torn or garbage block (e.g. a partial write recovered from a crashed
+      // appender). Its chunk can never satisfy the header's length check, so
+      // every server makes the same content-based decision to skip it —
+      // sequence determinism holds.
+      skipped_blocks_++;
+      continue;
+    }
+    const BlockHeader& header = *header_or;
     if (header.txn_id & (1ull << 63)) {
       // Checkpoint block (server/checkpoint.h): not an intention; every
       // server skips it identically, preserving sequence determinism.
       continue;
     }
+    ObserveTxnId(header.txn_id);
+    HYDER_ASSIGN_OR_RETURN(auto fed, assembler_.AddBlock(block));
+    if (fed.duplicate) {
+      // Retried-append copy; the original already accounted this block.
+      duplicate_blocks_++;
+      continue;
+    }
+    if (!fed.completed.has_value()) {
+      partial_positions_[header.txn_id].push_back(pos);
+      continue;
+    }
+    auto& done = fed.completed;
     partial_positions_[header.txn_id].push_back(pos);
-    HYDER_ASSIGN_OR_RETURN(auto done, assembler_.AddBlock(block));
-    if (!done.has_value()) continue;
 
     auto positions = std::move(partial_positions_[header.txn_id]);
     partial_positions_.erase(header.txn_id);
@@ -135,6 +169,13 @@ Result<bool> HyderServer::Commit(Transaction&& txn) {
           "use Submit/Poll");
     }
   }
+}
+
+void HyderServer::ObserveTxnId(uint64_t txn_id) {
+  if (txn_id & (1ull << 63)) return;  // Checkpoint marker, not a txn id.
+  if ((txn_id >> 40) != uint64_t(options_.server_id) + 1) return;
+  const uint64_t local_seq = txn_id & ((1ull << 40) - 1);
+  if (local_seq >= next_txn_) next_txn_ = local_seq + 1;
 }
 
 std::optional<bool> HyderServer::Outcome(uint64_t txn_id) const {

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/retry.h"
 #include "meld/pipeline.h"
 #include "server/resolver.h"
 #include "txn/codec.h"
@@ -27,6 +28,11 @@ struct ServerOptions {
   size_t max_inflight = 1600;
   /// Melds between ephemeral-registry sweeps.
   uint64_t sweep_interval = 1024;
+  /// Bounded retry-with-backoff for transient (`Unavailable`) log errors in
+  /// the append (Submit) and tail-read (Poll) paths. Retried appends may
+  /// duplicate blocks in the log (lost acks); the assembler's duplicate
+  /// filter keeps them from melding twice.
+  RetryPolicy log_retry;
 };
 
 /// One optimistically executing transaction (§1, steps 1–2). Obtained from
@@ -127,6 +133,20 @@ class HyderServer {
   size_t assembler_pending() const { return assembler_.pending(); }
   /// The next log position this server will read.
   uint64_t next_read_position() const { return next_read_pos_; }
+  /// Blocks dropped while tailing: torn/garbage blocks that fail header
+  /// decoding (every server skips them identically).
+  uint64_t skipped_blocks() const { return skipped_blocks_; }
+  /// Retried-append duplicate blocks filtered by the assembler.
+  uint64_t duplicate_blocks() const { return duplicate_blocks_; }
+
+  /// Crash-recovery id-space repair: notes a transaction id observed in the
+  /// log (or a checkpoint directory) and, when it belongs to this server's
+  /// id, advances the local sequence counter past it. A restarted server
+  /// replaying the log therefore never re-issues a (server id, local seq)
+  /// pair from a previous incarnation — the invariant the duplicate-append
+  /// filter rests on. Called internally by `Poll`; checkpoint bootstrap
+  /// calls it for every directory entry.
+  void ObserveTxnId(uint64_t txn_id);
 
  private:
   SharedLog* const log_;
@@ -137,6 +157,8 @@ class HyderServer {
   uint64_t next_txn_ = 1;
   uint64_t next_read_pos_;
   uint64_t melds_since_sweep_ = 0;
+  uint64_t skipped_blocks_ = 0;
+  uint64_t duplicate_blocks_ = 0;
   /// Positions of blocks per not-yet-completed intention (for the
   /// directory), keyed by txn id.
   std::unordered_map<uint64_t, std::vector<uint64_t>> partial_positions_;

@@ -42,6 +42,12 @@ class EphemeralAllocator {
   uint32_t thread_id() const { return thread_id_; }
   uint64_t next_seq() const { return next_; }
 
+  /// Repositions the counter. Checkpoint bootstrap uses this to continue the
+  /// id sequence of the incarnation that wrote the checkpoint: ephemeral ids
+  /// are part of the physical state (§3.4), so a restored server must mint
+  /// the exact ids a full log replay would.
+  void set_next_seq(uint64_t next) { next_ = next; }
+
   std::function<void(const NodePtr&)> registrar;
 
  private:

@@ -309,9 +309,18 @@ Result<IntentionPtr> DeserializeIntention(std::string_view payload,
   return intent;
 }
 
-Result<std::optional<IntentionAssembler::Completed>>
-IntentionAssembler::AddBlock(std::string_view block) {
+Result<IntentionAssembler::FeedOutcome> IntentionAssembler::AddBlock(
+    std::string_view block) {
   HYDER_ASSIGN_OR_RETURN(BlockHeader h, DecodeBlockHeader(block));
+  FeedOutcome out;
+  if (completed_.count(h.txn_id) != 0) {
+    // A retried append landed a second copy of a block whose intention has
+    // already completed. (Server id, local seq) pairs are never reused, so
+    // this cannot be a fresh intention — drop it, identically on every
+    // server.
+    out.duplicate = true;
+    return out;
+  }
   Partial& part = partial_[h.txn_id];
   if (part.total == 0) {
     part.total = h.total;
@@ -319,21 +328,37 @@ IntentionAssembler::AddBlock(std::string_view block) {
   } else if (part.total != h.total) {
     return Status::Corruption("inconsistent block_count within intention");
   }
-  if (h.index >= part.total || !part.chunks[h.index].empty()) {
-    return Status::Corruption("duplicate or out-of-range intention block");
+  if (h.index >= part.total) {
+    return Status::Corruption("out-of-range intention block index");
   }
-  part.chunks[h.index].assign(block.data() + kBlockHeaderSize, h.chunk_len);
+  const std::string_view chunk = block.substr(kBlockHeaderSize, h.chunk_len);
+  if (!part.chunks[h.index].empty() || part.received == part.total) {
+    // Second copy of a block still being assembled. A true retry carries
+    // identical bytes; anything else is corruption, not a duplicate.
+    if (part.chunks[h.index] == chunk) {
+      out.duplicate = true;
+      return out;
+    }
+    return Status::Corruption(
+        "conflicting duplicate intention block (same txn and index, "
+        "different bytes)");
+  }
+  part.chunks[h.index].assign(chunk.data(), chunk.size());
   part.received++;
   // An intention completes at the log position of its final missing block;
   // sequence numbers are assigned in that (deterministic) order.
-  if (part.received != part.total) return std::optional<Completed>{};
+  if (part.received != part.total) return out;
   Completed done;
   done.seq = next_seq_++;
   done.txn_id = h.txn_id;
   done.block_count = part.total;
-  for (std::string& chunk : part.chunks) done.payload.append(chunk);
+  for (std::string& chunk_piece : part.chunks) {
+    done.payload.append(chunk_piece);
+  }
   partial_.erase(h.txn_id);
-  return std::optional<Completed>(std::move(done));
+  completed_.insert(h.txn_id);
+  out.completed = std::move(done);
+  return out;
 }
 
 }  // namespace hyder

@@ -1,8 +1,11 @@
 #ifndef HYDER2_TXN_CODEC_H_
 #define HYDER2_TXN_CODEC_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -61,6 +64,19 @@ Result<IntentionPtr> DeserializeIntention(std::string_view payload,
 /// completed intention its sequence number in completion order — the order
 /// of each intention's **last** block in the log, which is identical on
 /// every server and is what makes meld deterministic (§2, §5.1).
+///
+/// Duplicate-append filtering: an appender whose log reported `Unavailable`
+/// cannot know whether its block landed, so it retries — and may land the
+/// same block twice (the ambiguous-append problem). The transaction id in
+/// every block header encodes the intention's (server id, local sequence)
+/// pair, which the server never reuses (crash recovery re-derives the local
+/// sequence floor from the log / checkpoint directory), so the assembler can
+/// recognize a second copy — of a block already held, or of a whole
+/// intention already completed — and drop it. The decision is a pure
+/// function of the block stream, so every tailing server filters
+/// identically and sequence numbering stays deterministic. A "duplicate"
+/// whose bytes *differ* from the original is not a retry but corruption and
+/// fails loudly.
 class IntentionAssembler {
  public:
   /// `first_seq` is the sequence the next completed intention receives
@@ -75,9 +91,17 @@ class IntentionAssembler {
     std::string payload;
   };
 
-  /// Feeds the block at the next log position. Returns a completed
-  /// intention when this block was the final piece of one.
-  Result<std::optional<Completed>> AddBlock(std::string_view block);
+  struct FeedOutcome {
+    /// Set when this block was the final piece of an intention.
+    std::optional<Completed> completed;
+    /// The block was a retried-append duplicate and was ignored; callers
+    /// must not account the block against the intention (e.g. in the
+    /// position directory).
+    bool duplicate = false;
+  };
+
+  /// Feeds the block at the next log position.
+  Result<FeedOutcome> AddBlock(std::string_view block);
 
   /// Number of intentions still awaiting blocks.
   size_t pending() const { return partial_.size(); }
@@ -90,6 +114,9 @@ class IntentionAssembler {
   };
   uint64_t next_seq_;
   std::unordered_map<uint64_t, Partial> partial_;
+  /// Txn ids whose intentions already completed — one word per intention,
+  /// the price of exactly-once assembly over an ambiguous append channel.
+  std::unordered_set<uint64_t> completed_;
 };
 
 }  // namespace hyder

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "log/fault_log.h"
 #include "server/cluster.h"
 #include "tree/validate.h"
+#include "txn/codec.h"
 
 namespace hyder {
 namespace {
@@ -191,6 +193,103 @@ TEST(CheckpointTest, LatestOfSeveralCheckpointsWins) {
   ASSERT_TRUE(found.ok());
   ASSERT_TRUE(found->has_value());
   EXPECT_EQ((*found)->state_seq, second->state_seq);
+}
+
+TEST(CheckpointTest, TornNewestCheckpointFallsBackToPrevious) {
+  // A checkpointer that crashes mid-write leaves an incomplete newest
+  // checkpoint in the log; recovery must settle on the previous complete
+  // one instead of failing or trusting the torn one.
+  StripedLog log(TestLog());
+  HyderServer server(&log, ServerOptions{});
+  Rng rng(7);
+  RunTraffic(server, rng, 20, /*space=*/200);
+  auto complete = WriteCheckpoint(server);
+  ASSERT_TRUE(complete.ok());
+
+  // Hand-craft the torn checkpoint: 2 of an advertised 3 blocks landed.
+  const uint64_t torn_id = kCheckpointTxnBit | (complete->state_seq + 5);
+  for (uint32_t i = 0; i < 2; ++i) {
+    BlockHeader h;
+    h.txn_id = torn_id;
+    h.index = i;
+    h.total = 3;
+    h.chunk_len = 8;
+    std::string block;
+    EncodeBlockHeader(h, &block);
+    block.append(8, '\xab');
+    ASSERT_TRUE(log.Append(std::move(block)).ok());
+  }
+
+  auto found = FindLatestCheckpoint(log);
+  ASSERT_TRUE(found.ok()) << found.status().ToString();
+  ASSERT_TRUE(found->has_value());
+  EXPECT_EQ((*found)->state_seq, complete->state_seq)
+      << "must fall back to the last complete checkpoint";
+  EXPECT_EQ((*found)->first_block, complete->first_block);
+}
+
+TEST(CheckpointTest, CorruptCheckpointBlockFallsBackToPrevious) {
+  // One of the newest checkpoint's blocks decays (reads fail with DataLoss,
+  // as a CRC mismatch in a file-backed log would): that checkpoint can
+  // never be assembled, so recovery picks the previous intact one.
+  StripedLog log(TestLog());
+  HyderServer server(&log, ServerOptions{});
+  Rng rng(8);
+  RunTraffic(server, rng, 15, /*space=*/200);
+  auto first = WriteCheckpoint(server);
+  ASSERT_TRUE(first.ok());
+  RunTraffic(server, rng, 15, /*space=*/200);
+  ASSERT_TRUE(server.Poll().ok());
+  auto second = WriteCheckpoint(server);
+  ASSERT_TRUE(second.ok());
+
+  FaultInjectingLog faulty(&log, FaultInjectionOptions{});
+  faulty.CorruptPosition(second->first_block);
+  auto found = FindLatestCheckpoint(faulty);
+  ASSERT_TRUE(found.ok()) << found.status().ToString();
+  ASSERT_TRUE(found->has_value());
+  EXPECT_EQ((*found)->state_seq, first->state_seq);
+
+  // The surviving checkpoint still bootstraps a server; its replay then
+  // hits the decayed position and surfaces DataLoss — the permanently lost
+  // block is never silently skipped on the meld path. Over the healthy
+  // underlying log, replay completes and converges.
+  auto rookie = BootstrapFromCheckpoint(&faulty, **found, ServerOptions{});
+  ASSERT_TRUE(rookie.ok()) << rookie.status().ToString();
+  auto poll = (*rookie)->Poll();
+  EXPECT_TRUE(poll.status().IsDataLoss()) << poll.status().ToString();
+
+  auto healthy = BootstrapFromCheckpoint(&log, **found, ServerOptions{});
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  ASSERT_TRUE((*healthy)->Poll().ok());
+  EXPECT_EQ((*healthy)->LatestState().seq, server.LatestState().seq);
+}
+
+TEST(CheckpointTest, DuplicateCheckpointBlocksCountedOnce) {
+  // A retried checkpoint append lands one block twice. The scanner must not
+  // mistake the extra copy for completion of a still-incomplete checkpoint,
+  // nor miscount a complete one.
+  StripedLog log(TestLog());
+  HyderServer server(&log, ServerOptions{});
+  Rng rng(9);
+  RunTraffic(server, rng, 80, /*space=*/200);
+  auto info = WriteCheckpoint(server);
+  ASSERT_TRUE(info.ok());
+  ASSERT_GT(info->block_count, 1u);
+
+  // Duplicate the first checkpoint block.
+  auto copy = log.Read(info->first_block);
+  ASSERT_TRUE(copy.ok());
+  ASSERT_TRUE(log.Append(std::move(*copy)).ok());
+
+  auto found = FindLatestCheckpoint(log);
+  ASSERT_TRUE(found.ok());
+  ASSERT_TRUE(found->has_value());
+  EXPECT_EQ((*found)->state_seq, info->state_seq);
+  EXPECT_EQ((*found)->first_block, info->first_block);
+  // Bootstrap still assembles the payload exactly once per index.
+  auto rookie = BootstrapFromCheckpoint(&log, **found, ServerOptions{});
+  ASSERT_TRUE(rookie.ok()) << rookie.status().ToString();
 }
 
 TEST(CheckpointTest, TimeTravelReadsViaBeginAt) {

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "common/varint.h"
 #include "server/checkpoint.h"
 #include "server/server.h"
 
@@ -84,6 +85,74 @@ TEST_F(FileLogTest, TornFinalSlotTruncatedOnRecovery) {
   EXPECT_EQ((*reopened)->Tail(), 2u) << "torn slot must not be recovered";
   EXPECT_TRUE((*reopened)->Read(1).ok());
   EXPECT_TRUE((*reopened)->Read(2).status().IsNotFound());
+}
+
+TEST_F(FileLogTest, CorruptedSlotSurfacesDataLoss) {
+  // Bit rot in a stored payload must fail the CRC and surface as DataLoss —
+  // never as a successfully read (garbage) block.
+  {
+    auto log = FileLog::Open(path_, SmallOptions());
+    ASSERT_TRUE(log.ok());
+    EXPECT_TRUE((*log)->crc_protected());
+    ASSERT_TRUE((*log)->Append("healthy-one").ok());
+    ASSERT_TRUE((*log)->Append("about-to-rot").ok());
+    ASSERT_TRUE((*log)->Append("healthy-two").ok());
+  }
+  {
+    // Flip one payload byte in slot 2 (slot = 256 + 8 header bytes).
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 264 + 8 + 3, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, 264 + 8 + 3, SEEK_SET), 0);
+    ASSERT_NE(std::fputc(c ^ 0x40, f), EOF);
+    std::fclose(f);
+  }
+  auto reopened = FileLog::Open(path_, SmallOptions());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Tail(), 4u)
+      << "interior corruption is detected on read, not during tail recovery";
+  EXPECT_TRUE((*reopened)->Read(1).ok());
+  auto rotten = (*reopened)->Read(2);
+  EXPECT_TRUE(rotten.status().IsDataLoss()) << rotten.status().ToString();
+  EXPECT_TRUE((*reopened)->Read(3).ok());
+  EXPECT_GE((*reopened)->stats().errors, 1u);
+}
+
+TEST_F(FileLogTest, LegacyFormatStaysReadable) {
+  // A file written by the pre-CRC layout ([u32 len][payload], no flag bit)
+  // must open, read, and accept appends in its own layout.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    for (const std::string payload : {"old-a", "old-b"}) {
+      std::string slot;
+      PutFixed32(&slot, uint32_t(payload.size()));
+      slot.append(payload);
+      slot.resize(256 + 4, '\0');
+      ASSERT_EQ(std::fwrite(slot.data(), 1, slot.size(), f), slot.size());
+    }
+    std::fclose(f);
+  }
+  auto log = FileLog::Open(path_, SmallOptions());
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_FALSE((*log)->crc_protected());
+  EXPECT_EQ((*log)->Tail(), 3u);
+  auto a = (*log)->Read(1);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "old-a");
+  auto pos = (*log)->Append("new-c");
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, 3u);
+  // The appended slot continues the legacy layout: reopen sees all three.
+  auto again = FileLog::Open(path_, SmallOptions());
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE((*again)->crc_protected());
+  EXPECT_EQ((*again)->Tail(), 4u);
+  auto c = (*again)->Read(3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, "new-c");
 }
 
 TEST_F(FileLogTest, RejectsOversizedAndEmptyBlocks) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "log/corfu_sim.h"
+#include "log/fault_log.h"
 #include "log/striped_log.h"
 
 namespace hyder {
@@ -106,6 +107,144 @@ CorfuSimOptions QuickSim() {
   o.duration_ns = 300'000'000;  // 0.3 simulated seconds.
   o.warmup_ns = 50'000'000;
   return o;
+}
+
+TEST(FaultLogTest, PassThroughWhenNoFaults) {
+  StripedLog base(SmallLog());
+  FaultInjectingLog log(&base, FaultInjectionOptions{});
+  auto pos = log.Append("clean");
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, 1u);
+  auto block = log.Read(1);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(*block, "clean");
+  EXPECT_EQ(log.Tail(), 2u);
+  LogStats s = log.stats();
+  EXPECT_EQ(s.appends, 1u);
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.errors, 0u);
+}
+
+TEST(FaultLogTest, AppendFailureLandsNothing) {
+  StripedLog base(SmallLog());
+  FaultInjectionOptions o;
+  o.append_fail_p = 1.0;
+  FaultInjectingLog log(&base, o);
+  auto r = log.Append("doomed");
+  EXPECT_TRUE(r.status().IsUnavailable());
+  EXPECT_EQ(base.Tail(), 1u) << "a failed append must land nothing";
+  EXPECT_EQ(log.fault_counts().append_failures, 1u);
+}
+
+TEST(FaultLogTest, DuplicateAppendLandsBlockDespiteError) {
+  // The ambiguous-append case: the caller sees Unavailable, yet the block
+  // is in the log — a retry would land a second copy.
+  StripedLog base(SmallLog());
+  FaultInjectionOptions o;
+  o.append_duplicate_p = 1.0;
+  FaultInjectingLog log(&base, o);
+  auto r = log.Append("ghost");
+  EXPECT_TRUE(r.status().IsUnavailable());
+  ASSERT_EQ(base.Tail(), 2u) << "the block must have landed";
+  auto landed = base.Read(1);
+  ASSERT_TRUE(landed.ok());
+  EXPECT_EQ(*landed, "ghost");
+  EXPECT_EQ(log.fault_counts().duplicate_appends, 1u);
+}
+
+TEST(FaultLogTest, TornAppendLandsStrictPrefix) {
+  StripedLog base(SmallLog());
+  FaultInjectionOptions o;
+  o.append_torn_p = 1.0;
+  FaultInjectingLog log(&base, o);
+  const std::string block = "0123456789abcdef";
+  auto r = log.Append(block);
+  EXPECT_TRUE(r.status().IsUnavailable());
+  ASSERT_EQ(base.Tail(), 2u);
+  auto landed = base.Read(1);
+  ASSERT_TRUE(landed.ok());
+  EXPECT_LT(landed->size(), block.size()) << "must be a strict prefix";
+  EXPECT_GE(landed->size(), 1u);
+  EXPECT_EQ(*landed, block.substr(0, landed->size()));
+  EXPECT_EQ(log.fault_counts().torn_appends, 1u);
+}
+
+TEST(FaultLogTest, DataLossIsSticky) {
+  StripedLog base(SmallLog());
+  ASSERT_TRUE(base.Append("will-decay").ok());
+  FaultInjectionOptions o;
+  o.read_dataloss_p = 1.0;
+  FaultInjectingLog log(&base, o);
+  EXPECT_TRUE(log.Read(1).status().IsDataLoss());
+  // Decay is permanent, like a real medium error — not a transient blip.
+  EXPECT_TRUE(log.Read(1).status().IsDataLoss());
+  EXPECT_EQ(log.fault_counts().dataloss_reads, 2u);
+}
+
+TEST(FaultLogTest, CorruptPositionForcesDataLoss) {
+  StripedLog base(SmallLog());
+  ASSERT_TRUE(base.Append("a").ok());
+  ASSERT_TRUE(base.Append("b").ok());
+  FaultInjectingLog log(&base, FaultInjectionOptions{});
+  ASSERT_TRUE(log.Read(2).ok());
+  log.CorruptPosition(2);
+  EXPECT_TRUE(log.Read(2).status().IsDataLoss());
+  EXPECT_TRUE(log.Read(1).ok()) << "other positions stay healthy";
+}
+
+TEST(FaultLogTest, DeterministicForSameSeed) {
+  // Identical (seed, operation sequence) pairs must produce identical fault
+  // schedules — the property the recovery harness's reproducibility rests on.
+  for (int run = 0; run < 2; ++run) {
+    StripedLog base_a(SmallLog()), base_b(SmallLog());
+    FaultInjectionOptions o;
+    o.seed = 42;
+    o.append_fail_p = 0.2;
+    o.append_duplicate_p = 0.2;
+    o.append_torn_p = 0.2;
+    o.read_fail_p = 0.3;
+    FaultInjectingLog a(&base_a, o), b(&base_b, o);
+    for (int i = 0; i < 200; ++i) {
+      auto ra = a.Append("block-" + std::to_string(i));
+      auto rb = b.Append("block-" + std::to_string(i));
+      EXPECT_EQ(ra.ok(), rb.ok()) << "op " << i;
+      if (!ra.ok()) EXPECT_EQ(ra.status().code(), rb.status().code());
+    }
+    for (uint64_t p = 1; p < a.Tail(); ++p) {
+      auto ra = a.Read(p);
+      auto rb = b.Read(p);
+      EXPECT_EQ(ra.ok(), rb.ok()) << "pos " << p;
+    }
+    auto ca = a.fault_counts(), cb = b.fault_counts();
+    EXPECT_EQ(ca.append_failures, cb.append_failures);
+    EXPECT_EQ(ca.duplicate_appends, cb.duplicate_appends);
+    EXPECT_EQ(ca.torn_appends, cb.torn_appends);
+    EXPECT_EQ(ca.read_failures, cb.read_failures);
+    EXPECT_EQ(base_a.Tail(), base_b.Tail());
+  }
+}
+
+TEST(FaultLogTest, RecordRetryCountsInWrapperAndBase) {
+  StripedLog base(SmallLog());
+  FaultInjectingLog log(&base, FaultInjectionOptions{});
+  log.RecordRetry();
+  log.RecordRetry();
+  EXPECT_EQ(log.stats().retries, 2u);
+  EXPECT_EQ(base.stats().retries, 2u);
+}
+
+TEST(FaultLogTest, LatencySpikesHitTheHook) {
+  StripedLog base(SmallLog());
+  FaultInjectionOptions o;
+  o.latency_p = 1.0;
+  o.latency_nanos = 777;
+  uint64_t total = 0;
+  o.latency_hook = [&total](uint64_t n) { total += n; };
+  FaultInjectingLog log(&base, o);
+  ASSERT_TRUE(log.Append("x").ok());
+  ASSERT_TRUE(log.Read(1).ok());
+  EXPECT_EQ(log.fault_counts().latency_spikes, 2u);
+  EXPECT_EQ(total, 2u * 777u);
 }
 
 TEST(CorfuSimTest, ThroughputScalesWithClientsUntilSaturation) {

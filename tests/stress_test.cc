@@ -185,24 +185,51 @@ TEST(FaultInjectionTest, TruncatedBlocksRejected) {
     // Either a clean decode error, or (only for the full-length prefix
     // minus payload bytes) a chunk-length mismatch.
     if (r.ok()) {
-      EXPECT_FALSE(r->has_value());
+      EXPECT_FALSE(r->completed.has_value());
     } else {
       EXPECT_TRUE(r.status().IsCorruption());
     }
   }
 }
 
-TEST(FaultInjectionTest, DuplicateBlockRejected) {
+TEST(FaultInjectionTest, DuplicateBlocksFiltered) {
+  // Retried appends after a lost acknowledgement land byte-identical
+  // copies; the assembler must skip them so the intention completes and
+  // melds exactly once. A same-header block with *different* bytes is not a
+  // retry but corruption.
   IntentionBuilder b(kWorkspaceTagBit | 1, 0, Ref::Null(),
                      IsolationLevel::kSerializable, nullptr);
   for (Key k = 0; k < 100; ++k) ASSERT_TRUE(b.Put(k, std::string(40, 'x')).ok());
   auto blocks = SerializeIntention(b, 5, 512);
   ASSERT_TRUE(blocks.ok());
-  ASSERT_GT(blocks->size(), 1u);
+  ASSERT_GT(blocks->size(), 2u);
   IntentionAssembler assembler;
   ASSERT_TRUE(assembler.AddBlock(blocks->front()).ok());
   auto dup = assembler.AddBlock(blocks->front());
-  EXPECT_TRUE(dup.status().IsCorruption());
+  ASSERT_TRUE(dup.ok()) << dup.status().ToString();
+  EXPECT_TRUE(dup->duplicate);
+  EXPECT_FALSE(dup->completed.has_value());
+
+  // Same txn id and block index but different payload bytes: fail loudly.
+  std::string tampered = blocks->front();
+  tampered.back() = char(tampered.back() ^ 0x01);
+  auto conflict = assembler.AddBlock(tampered);
+  EXPECT_TRUE(conflict.status().IsCorruption());
+
+  // Complete the intention, then replay every block: all duplicates, no
+  // second completion.
+  for (size_t i = 1; i < blocks->size(); ++i) {
+    auto r = assembler.AddBlock((*blocks)[i]);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->completed.has_value(), i + 1 == blocks->size());
+  }
+  for (const std::string& blk : *blocks) {
+    auto replay = assembler.AddBlock(blk);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_TRUE(replay->duplicate);
+    EXPECT_FALSE(replay->completed.has_value());
+  }
+  EXPECT_EQ(assembler.pending(), 0u);
 }
 
 TEST(StressTest, LongRunningChurnKeepsInvariants) {

@@ -74,7 +74,8 @@ class TestServer {
 
   /// Feeds the block at the next log position.
   Result<std::vector<MeldDecision>> FeedBlock(const std::string& block) {
-    HYDER_ASSIGN_OR_RETURN(auto done, assembler_.AddBlock(block));
+    HYDER_ASSIGN_OR_RETURN(auto fed, assembler_.AddBlock(block));
+    auto& done = fed.completed;
     if (!done.has_value()) return std::vector<MeldDecision>{};
     HYDER_ASSIGN_OR_RETURN(
         IntentionPtr intent,

@@ -30,7 +30,8 @@ class ThreadedHarness {
 
   Status FeedBlocks(const std::vector<std::string>& blocks) {
     for (const std::string& b : blocks) {
-      HYDER_ASSIGN_OR_RETURN(auto done, assembler_.AddBlock(b));
+      HYDER_ASSIGN_OR_RETURN(auto fed, assembler_.AddBlock(b));
+      auto& done = fed.completed;
       if (!done.has_value()) continue;
       HYDER_ASSIGN_OR_RETURN(
           IntentionPtr intent,

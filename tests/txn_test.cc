@@ -25,7 +25,8 @@ Result<IntentionPtr> RoundTrip(const IntentionBuilder& b, uint64_t txn_id,
                          SerializeIntention(b, txn_id, block_size));
   std::optional<IntentionAssembler::Completed> done;
   for (const std::string& blk : blocks) {
-    HYDER_ASSIGN_OR_RETURN(done, assembler.AddBlock(blk));
+    HYDER_ASSIGN_OR_RETURN(auto fed, assembler.AddBlock(blk));
+    done = std::move(fed.completed);
   }
   if (!done.has_value()) return Status::Internal("intention never completed");
   return DeserializeIntention(done->payload, done->seq, done->block_count,
@@ -164,7 +165,7 @@ TEST(CodecTest, MultiBlockIntentionReassembles) {
   for (const auto& blk : *blocks) {
     auto r = assembler.AddBlock(blk);
     ASSERT_TRUE(r.ok());
-    done = *r;
+    done = r->completed;
   }
   ASSERT_TRUE(done.has_value());
   EXPECT_EQ(done->block_count, blocks->size());
@@ -200,17 +201,19 @@ TEST(CodecTest, InterleavedIntentionsSequencedByCompletion) {
   for (size_t i = 0; i + 1 < blocks_b->size(); ++i) {
     auto r = assembler.AddBlock((*blocks_b)[i]);
     ASSERT_TRUE(r.ok());
-    EXPECT_FALSE(r->has_value());
+    EXPECT_FALSE(r->completed.has_value());
   }
   for (const auto& blk : *blocks_a) {
     auto r = assembler.AddBlock(blk);
     ASSERT_TRUE(r.ok());
-    if (r->has_value()) completions.emplace_back(11, (*r)->seq);
+    if (r->completed.has_value()) {
+      completions.emplace_back(11, r->completed->seq);
+    }
   }
   auto r = assembler.AddBlock(blocks_b->back());
   ASSERT_TRUE(r.ok());
-  ASSERT_TRUE(r->has_value());
-  completions.emplace_back(22, (*r)->seq);
+  ASSERT_TRUE(r->completed.has_value());
+  completions.emplace_back(22, r->completed->seq);
 
   ASSERT_EQ(completions.size(), 2u);
   EXPECT_EQ(completions[0], (std::pair<uint64_t, uint64_t>{11, 1}));
@@ -324,8 +327,8 @@ TEST(CodecTest, CorruptPayloadRejected) {
   ASSERT_TRUE(blocks.ok());
   auto done = assembler.AddBlock(blocks->front());
   ASSERT_TRUE(done.ok());
-  ASSERT_TRUE(done->has_value());
-  std::string payload = (*done)->payload;
+  ASSERT_TRUE(done->completed.has_value());
+  std::string payload = done->completed->payload;
   // Truncate.
   auto r1 = DeserializeIntention(
       std::string_view(payload).substr(0, payload.size() / 2), 1, 1, nullptr);
@@ -367,9 +370,9 @@ TEST(CodecTest, RetiredEphemeralReferenceFailsCleanly) {
   IntentionAssembler assembler;
   auto done = assembler.AddBlock(blocks->front());
   ASSERT_TRUE(done.ok());
-  ASSERT_TRUE(done->has_value());
+  ASSERT_TRUE(done->completed.has_value());
   FailingResolver failing;
-  auto r = DeserializeIntention((*done)->payload, 3, 1, &failing);
+  auto r = DeserializeIntention(done->completed->payload, 3, 1, &failing);
   // Deserialization leaves the unavailable ephemeral reference lazy (the
   // ds stage runs ahead of final meld, Fig. 2); the retirement error
   // surfaces at first dereference.
