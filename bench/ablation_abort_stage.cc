@@ -12,15 +12,16 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("ablation_abort_stage", "the §4 pipeline-ordering argument",
               "premeld catches the large majority of aborts before final "
               "meld; early detection removes those intentions from the "
               "critical path");
 
-  std::printf(
+  PrintColumns(
       "variant,aborts_total,caught_by_premeld,premeld_share,"
-      "final_melds,fm_us\n");
+      "final_melds,fm_us");
   for (const char* variant : {"pre", "opt"}) {
     ExperimentConfig config = DefaultWriteOnlyConfig();
     ApplyVariant(variant, &config);
@@ -29,7 +30,7 @@ int main() {
     ExperimentResult r = RunExperiment(config);
     const uint64_t aborts = r.report.aborted;
     const uint64_t early = r.stats.premeld_aborts;
-    std::printf("%s,%llu,%llu,%.2f,%llu,%.1f\n", variant,
+    PrintRow("%s,%llu,%llu,%.2f,%llu,%.1f\n", variant,
                 static_cast<unsigned long long>(aborts),
                 static_cast<unsigned long long>(early),
                 aborts ? double(early) / double(aborts) : 0.0,

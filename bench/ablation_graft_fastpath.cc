@@ -14,14 +14,15 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("ablation_graft_fastpath",
               "the Appendix A graft rule (SSV == VN)",
               "disabling the graft fast path multiplies final-meld nodes "
               "and service time several-fold; decisions are unchanged");
 
-  std::printf(
-      "graft_fastpath,conflict_zone,fm_nodes_per_txn,fm_us,tps_model\n");
+  PrintColumns(
+      "graft_fastpath,conflict_zone,fm_nodes_per_txn,fm_us,tps_model");
   // The fast path's benefit scales inversely with the conflict zone: at a
   // short zone nearly every subtree grafts; at a long zone descent is
   // forced anyway.
@@ -35,7 +36,7 @@ int main() {
       config.intentions = uint64_t(600 * BenchScale());
       config.warmup = 300;
       ExperimentResult r = RunExperiment(config);
-      std::printf("%s,%llu,%.1f,%.1f,%.0f\n", disabled ? "off" : "on",
+      PrintRow("%s,%llu,%.1f,%.1f,%.0f\n", disabled ? "off" : "on",
                   static_cast<unsigned long long>(zone),
                   r.fm_nodes_per_txn, r.times.fm_us, r.meld_bound_tps);
     }

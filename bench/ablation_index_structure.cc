@@ -17,7 +17,8 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("ablation_index_structure",
               "the §2/§5 design argument (binary tree vs B-tree)",
               "B-tree COW intentions are several times larger per "
@@ -28,9 +29,9 @@ int main() {
   const size_t kKey = 4, kPayload = 1024;  // 4B keys, 1KB payloads (§6.1).
   Rng rng(42);
 
-  std::printf(
+  PrintColumns(
       "layout,fanout,tree_height,avg_intention_bytes_2writes,"
-      "vs_binary\n");
+      "vs_binary");
   // Binary baseline (the fanout argument is irrelevant to the binary
   // model; only BinaryIntentionBytes is used from this instance). The
   // production encoding references unaltered payloads by content version;
@@ -46,9 +47,9 @@ int main() {
       total_inline += reference.BinaryIntentionBytes(writes, false);
     }
     binary_avg = double(total) / 1000;
-    std::printf("binary_payload_by_ref,-,%d,%.0f,1.00x\n",
+    PrintRow("binary_payload_by_ref,-,%d,%.0f,1.00x\n",
                 int(std::ceil(std::log2(double(kDb)))), binary_avg);
-    std::printf("binary_payload_inline,-,%d,%.0f,%.2fx\n",
+    PrintRow("binary_payload_inline,-,%d,%.0f,%.2fx\n",
                 int(std::ceil(std::log2(double(kDb)))),
                 double(total_inline) / 1000,
                 double(total_inline) / 1000 / binary_avg);
@@ -61,7 +62,7 @@ int main() {
       total += sizer.IntentionBytes(writes);
     }
     const double avg = double(total) / 1000;
-    std::printf("btree,%d,%d,%.0f,%.2fx\n", fanout, sizer.height(), avg,
+    PrintRow("btree,%d,%d,%.0f,%.2fx\n", fanout, sizer.height(), avg,
                 avg / binary_avg);
   }
   std::printf(

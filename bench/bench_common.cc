@@ -1,7 +1,9 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cstdarg>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/stopwatch.h"
 
@@ -15,12 +17,181 @@ double BenchScale() {
   return v > 0 ? v : 1.0;
 }
 
+namespace {
+
+/// State of the JSON emitter. Armed by InitBenchIO (--json / the
+/// HYDER_BENCH_JSON env var); flushed by an atexit hook so every early
+/// `return` in a bench main still produces the file.
+struct JsonEmitter {
+  bool armed = false;
+  std::string path;  ///< Empty until PrintHeader if defaulted.
+  std::string bench, figure, paper_shape;
+  struct Table {
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+  std::vector<Table> tables;
+};
+
+JsonEmitter& Emitter() {
+  static JsonEmitter e;
+  return e;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void FlushJson() {
+  JsonEmitter& e = Emitter();
+  if (!e.armed) return;
+  std::string json = "{\n  \"bench\": ";
+  AppendJsonString(&json, e.bench);
+  json += ",\n  \"figure\": ";
+  AppendJsonString(&json, e.figure);
+  json += ",\n  \"paper_shape\": ";
+  AppendJsonString(&json, e.paper_shape);
+  char scale[32];
+  std::snprintf(scale, sizeof(scale), "%g", BenchScale());
+  json += ",\n  \"scale\": ";
+  json += scale;
+  json += ",\n  \"tables\": [";
+  for (size_t t = 0; t < e.tables.size(); ++t) {
+    json += t == 0 ? "\n    {\"columns\": [" : ",\n    {\"columns\": [";
+    const JsonEmitter::Table& table = e.tables[t];
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      if (i > 0) json += ", ";
+      AppendJsonString(&json, table.columns[i]);
+    }
+    json += "], \"rows\": [";
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      json += r == 0 ? "\n      [" : ",\n      [";
+      for (size_t i = 0; i < table.rows[r].size(); ++i) {
+        if (i > 0) json += ", ";
+        AppendJsonString(&json, table.rows[r][i]);
+      }
+      json += "]";
+    }
+    json += table.rows.empty() ? "]}" : "\n    ]}";
+  }
+  json += e.tables.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  std::FILE* f = std::fopen(e.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", e.path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> cells;
+  size_t start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      return cells;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+void InitBenchIO(int* argc, char** argv) {
+  JsonEmitter& e = Emitter();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      e.armed = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      e.armed = true;
+      e.path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (const char* env = std::getenv("HYDER_BENCH_JSON")) {
+    e.armed = true;
+    // "1" (or empty) means "armed, default path", like bare --json.
+    if (std::string(env) != "1") e.path = env;
+  }
+}
+
 void PrintHeader(const std::string& bench, const std::string& figure,
                  const std::string& paper_shape) {
   std::printf("# %s — reproduces %s\n", bench.c_str(), figure.c_str());
   std::printf("# paper_shape: %s\n", paper_shape.c_str());
   std::printf("# scale: %.2f (set HYDER_BENCH_SCALE to adjust)\n",
               BenchScale());
+  JsonEmitter& e = Emitter();
+  // Arm from the environment even when main never called InitBenchIO.
+  if (!e.armed) {
+    if (const char* env = std::getenv("HYDER_BENCH_JSON")) {
+      e.armed = true;
+      if (std::string(env) != "1") e.path = env;
+    }
+  }
+  e.bench = bench;
+  e.figure = figure;
+  e.paper_shape = paper_shape;
+  if (e.armed) {
+    if (e.path.empty()) e.path = "BENCH_" + bench + ".json";
+    static bool registered = false;
+    if (!registered) {
+      registered = true;
+      std::atexit(FlushJson);
+    }
+  }
+}
+
+void RecordColumns(const std::vector<std::string>& columns) {
+  JsonEmitter& e = Emitter();
+  e.tables.emplace_back();
+  e.tables.back().columns = columns;
+}
+
+void RecordRow(const std::vector<std::string>& cells) {
+  JsonEmitter& e = Emitter();
+  if (e.tables.empty()) e.tables.emplace_back();
+  e.tables.back().rows.push_back(cells);
+}
+
+void PrintColumns(const std::string& columns) {
+  std::printf("%s\n", columns.c_str());
+  RecordColumns(SplitCsv(columns));
+}
+
+void PrintRow(const char* fmt, ...) {
+  char buf[2048];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  std::fputs(buf, stdout);
+  std::string line(buf);
+  while (!line.empty() && line.back() == '\n') line.pop_back();
+  RecordRow(SplitCsv(line));
 }
 
 ExperimentConfig DefaultWriteOnlyConfig() {

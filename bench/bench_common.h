@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "log/striped_log.h"
 #include "meld/pipeline.h"
@@ -77,10 +78,32 @@ ExperimentResult RunExperiment(const ExperimentConfig& config);
 /// HYDER_BENCH_SCALE (default 1.0) multiplies run lengths.
 double BenchScale();
 
+/// Machine-readable output. Call first in main(): strips `--json[=path]`
+/// from argv and arms the JSON emitter; the `HYDER_BENCH_JSON=<path>`
+/// environment variable arms it too. When armed, the tables printed via
+/// PrintColumns/PrintRow plus the header metadata (bench, figure,
+/// paper_shape, scale) are written as JSON at process exit — bare
+/// `--json` defaults the path to `BENCH_<bench>.json`.
+void InitBenchIO(int* argc, char** argv);
+
 /// Standard header: bench name, the paper figure, and the qualitative
-/// shape being reproduced.
+/// shape being reproduced. Registers the JSON flush (atexit) when the
+/// emitter is armed.
 void PrintHeader(const std::string& bench, const std::string& figure,
                  const std::string& paper_shape);
+
+/// Prints the comma-separated column names and starts a new recorded
+/// table (a bench may emit several).
+void PrintColumns(const std::string& columns);
+
+/// printf-style row output: prints the formatted line verbatim and
+/// records its comma-separated cells into the current table.
+void PrintRow(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Silent variants for harnesses that already print their own output
+/// (micro_benchmarks' google-benchmark reporter).
+void RecordColumns(const std::vector<std::string>& columns);
+void RecordRow(const std::vector<std::string>& cells);
 
 /// The paper's default configuration helpers.
 ExperimentConfig DefaultWriteOnlyConfig();

@@ -16,13 +16,14 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig09_log_append", "Fig. 9(a)(b)",
               "append throughput rises with clients to ~140K/s (6 units); "
               "p95/p99 latency < 10ms, growing with load");
 
-  std::printf(
-      "threads_per_client,clients,appends_per_sec,p50_us,p95_us,p99_us\n");
+  PrintColumns(
+      "threads_per_client,clients,appends_per_sec,p50_us,p95_us,p99_us");
   for (int threads : {20, 30}) {
     for (int clients : {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}) {
       CorfuSimOptions options;
@@ -31,7 +32,7 @@ int main() {
       options.duration_ns = uint64_t(1e9 * BenchScale());
       options.warmup_ns = options.duration_ns / 10;
       CorfuSimResult result = SimulateCorfuAppends(options);
-      std::printf("%d,%d,%.0f,%llu,%llu,%llu\n", threads, clients,
+      PrintRow("%d,%d,%.0f,%llu,%llu,%llu\n", threads, clients,
                   result.appends_per_sec,
                   (unsigned long long)result.latency_us.Percentile(50),
                   (unsigned long long)result.latency_us.Percentile(95),

@@ -37,7 +37,8 @@ double OfferedLoad(int servers, double exec_us) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig10_writeonly_throughput", "Fig. 10",
               "base peaks early (~15K tps); Grp ~1.6x; Pre ~3x and keeps "
               "scaling to ~6 servers; Opt ~= Pre");
@@ -48,8 +49,8 @@ int main() {
   // One calibration run per variant at the default (6-server-equivalent)
   // conflict zone; per-N behaviour reuses the measured service times with
   // the abort rate measured at N's zone via zone sweep.
-  std::printf("variant,servers,conflict_zone_txns,tps_model,bottleneck,"
-              "fm_us,pm_us_per_thread,gm_us,ds_us,abort_rate\n");
+  PrintColumns("variant,servers,conflict_zone_txns,tps_model,bottleneck,"
+              "fm_us,pm_us_per_thread,gm_us,ds_us,abort_rate");
   for (const std::string& variant : variants) {
     for (int servers : server_counts) {
       ExperimentConfig config = DefaultWriteOnlyConfig();
@@ -64,7 +65,7 @@ int main() {
 
       const double offered = OfferedLoad(servers, r.exec_us_per_txn);
       const double tps = std::min(offered, r.meld_bound_tps);
-      std::printf("%s,%d,%.0f,%.0f,%s,%.1f,%.1f,%.1f,%.1f,%.4f\n",
+      PrintRow("%s,%d,%.0f,%.0f,%s,%.1f,%.1f,%.1f,%.1f,%.4f\n",
                   variant.c_str(), servers,
                   double(config.inflight), tps,
                   offered < r.meld_bound_tps ? "executors"

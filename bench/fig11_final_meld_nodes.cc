@@ -13,13 +13,14 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig11_final_meld_nodes", "Fig. 11",
               "nodes visited by final meld: Grp ~2x fewer than base, "
               "Pre 8-10x fewer, Opt ~= Pre");
 
-  std::printf("variant,servers,fm_nodes_per_txn,pm_nodes_per_txn,"
-              "gm_nodes_per_txn,reduction_vs_base\n");
+  PrintColumns("variant,servers,fm_nodes_per_txn,pm_nodes_per_txn,"
+              "gm_nodes_per_txn,reduction_vs_base");
   const std::vector<int> server_counts = {2, 6, 10};
   for (int servers : server_counts) {
     double base_nodes = 0;
@@ -32,7 +33,7 @@ int main() {
       config.warmup = config.inflight / 2 + 200;
       ExperimentResult r = RunExperiment(config);
       if (std::string(variant) == "base") base_nodes = r.fm_nodes_per_txn;
-      std::printf("%s,%d,%.1f,%.1f,%.1f,%.2fx\n", variant, servers,
+      PrintRow("%s,%d,%.1f,%.1f,%.1f,%.2fx\n", variant, servers,
                   r.fm_nodes_per_txn, r.pm_nodes_per_txn,
                   r.gm_nodes_per_txn,
                   r.fm_nodes_per_txn > 0 ? base_nodes / r.fm_nodes_per_txn

@@ -14,12 +14,13 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig12_conflict_zone", "Fig. 12",
               "premeld shrinks the final-meld conflict zone by orders of "
               "magnitude; group meld leaves it unchanged");
 
-  std::printf("variant,servers,zone_blocks,zone_reduction_vs_base\n");
+  PrintColumns("variant,servers,zone_blocks,zone_reduction_vs_base");
   for (int servers : {2, 6, 10}) {
     double base_zone = 0;
     for (const char* variant : {"base", "grp", "pre", "opt"}) {
@@ -31,7 +32,7 @@ int main() {
       config.warmup = config.inflight / 2 + 200;
       ExperimentResult r = RunExperiment(config);
       if (std::string(variant) == "base") base_zone = r.conflict_zone_blocks;
-      std::printf("%s,%d,%.0f,%.1fx\n", variant, servers,
+      PrintRow("%s,%d,%.0f,%.1fx\n", variant, servers,
                   r.conflict_zone_blocks,
                   r.conflict_zone_blocks > 0
                       ? base_zone / r.conflict_zone_blocks

@@ -14,15 +14,16 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig13_pipeline_stage_nodes", "Fig. 13",
               "final-meld (critical path) nodes fall with each "
               "optimization; parallel-stage totals exceed the base's "
               "sequential work");
 
-  std::printf(
+  PrintColumns(
       "variant,fm_nodes_per_txn,pm_nodes_per_txn,gm_nodes_per_txn,"
-      "total_nodes_per_txn,total_vs_base\n");
+      "total_nodes_per_txn,total_vs_base");
   double base_total = 0;
   for (const char* variant : {"base", "grp", "pre", "opt"}) {
     ExperimentConfig config = DefaultWriteOnlyConfig();
@@ -33,7 +34,7 @@ int main() {
     const double total =
         r.fm_nodes_per_txn + r.pm_nodes_per_txn + r.gm_nodes_per_txn;
     if (std::string(variant) == "base") base_total = total;
-    std::printf("%s,%.1f,%.1f,%.1f,%.1f,%.2fx\n", variant,
+    PrintRow("%s,%.1f,%.1f,%.1f,%.1f,%.2fx\n", variant,
                 r.fm_nodes_per_txn, r.pm_nodes_per_txn, r.gm_nodes_per_txn,
                 total, base_total > 0 ? total / base_total : 0.0);
   }

@@ -31,7 +31,8 @@ constexpr int kSystemThreads = 10;  // ds(2) + pm(5) + gm/fm(2) + broadcast.
 constexpr double kAppendLatencyUs = 2000.0;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig14_readwrite_scaling", "Fig. 14",
               "total tps scales ~linearly with servers and read executors "
               "(paper peak ~670K at 10 servers, 6W-4R); write tps stays at "
@@ -44,7 +45,7 @@ int main() {
   config.warmup = config.inflight / 2 + 200;
   ExperimentResult r = RunExperiment(config);
 
-  std::printf("read_executors,servers,write_tps,read_tps,total_tps\n");
+  PrintColumns("read_executors,servers,write_tps,read_tps,total_tps");
   for (int readers : {0, 1, 2, 4}) {
     for (int servers : {1, 2, 4, 6, 8, 10}) {
       // Core contention: executors + system threads vs the core budget.
@@ -58,7 +59,7 @@ int main() {
       // Read-only transactions: pure local snapshot work, one executor
       // core each, scaling linearly with servers (§6.4.3).
       const double read_tps = servers * readers * 1e6 / r.read_txn_us;
-      std::printf("%d,%d,%.0f,%.0f,%.0f\n", readers, servers, write_tps,
+      PrintRow("%d,%d,%.0f,%.0f,%.0f\n", readers, servers, write_tps,
                   read_tps, write_tps + read_tps);
     }
   }

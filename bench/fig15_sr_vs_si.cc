@@ -10,14 +10,15 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig15_sr_vs_si", "Fig. 15",
               "SI ~2.5x the throughput of SR with ~3-4x fewer meld nodes "
               "(readsets are not logged or validated under SI)");
 
-  std::printf(
+  PrintColumns(
       "isolation,tps_model,fm_nodes_per_txn,fm_ephemeral_per_txn,"
-      "intention_blocks_avg\n");
+      "intention_blocks_avg");
   double sr_tps = 0, sr_nodes = 0;
   for (IsolationLevel iso :
        {IsolationLevel::kSerializable, IsolationLevel::kSnapshot}) {
@@ -36,7 +37,7 @@ int main() {
       sr_tps = r.meld_bound_tps;
       sr_nodes = r.fm_nodes_per_txn;
     }
-    std::printf("%s,%.0f,%.1f,%.1f,%.1f\n",
+    PrintRow("%s,%.0f,%.1f,%.1f,%.1f\n",
                 iso == IsolationLevel::kSerializable ? "SR" : "SI",
                 r.meld_bound_tps, r.fm_nodes_per_txn, r.fm_ephemeral_per_txn,
                 blocks_per_intention);

@@ -12,12 +12,13 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig16_si_optimizations", "Fig. 16",
               "under SI premeld still gives 2-3x; group meld is "
               "insignificant (few overlapping nodes in 2-write intentions)");
 
-  std::printf("variant,tps_model,vs_base,fm_us,bottleneck\n");
+  PrintColumns("variant,tps_model,vs_base,fm_us,bottleneck");
   double base_tps = 0;
   for (const char* variant : {"base", "grp", "pre", "opt"}) {
     ExperimentConfig config = DefaultWriteOnlyConfig();
@@ -27,7 +28,7 @@ int main() {
     config.warmup = config.inflight / 2 + 200;
     ExperimentResult r = RunExperiment(config);
     if (std::string(variant) == "base") base_tps = r.meld_bound_tps;
-    std::printf("%s,%.0f,%.2fx,%.1f,%s\n", variant,
+    PrintRow("%s,%.0f,%.2fx,%.1f,%s\n", variant,
                 r.meld_bound_tps,
                 base_tps > 0 ? r.meld_bound_tps / base_tps : 0,
                 r.times.fm_us, r.bottleneck.c_str());

@@ -12,12 +12,13 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig17_si_nodes", "Fig. 17",
               "under SI only premeld reduces final-meld nodes; group meld "
               "achieves ~10%");
 
-  std::printf("variant,fm_nodes_per_txn,reduction_vs_base\n");
+  PrintColumns("variant,fm_nodes_per_txn,reduction_vs_base");
   double base_nodes = 0;
   for (const char* variant : {"base", "grp", "pre", "opt"}) {
     ExperimentConfig config = DefaultWriteOnlyConfig();
@@ -27,7 +28,7 @@ int main() {
     config.warmup = config.inflight / 2 + 200;
     ExperimentResult r = RunExperiment(config);
     if (std::string(variant) == "base") base_nodes = r.fm_nodes_per_txn;
-    std::printf("%s,%.1f,%.2fx\n", variant, r.fm_nodes_per_txn,
+    PrintRow("%s,%.1f,%.2fx\n", variant, r.fm_nodes_per_txn,
                 r.fm_nodes_per_txn > 0 ? base_nodes / r.fm_nodes_per_txn
                                        : 0);
   }

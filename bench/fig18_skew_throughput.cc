@@ -14,7 +14,8 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig18_skew_throughput", "Fig. 18 + §6.2 abort rates",
               "base throughput *rises* with skew (meld terminates higher); "
               "premeld is flat and ~3.5x ahead; abort rate grows with skew");
@@ -22,7 +23,7 @@ int main() {
   // melds_per_sec (= 1e6 / final-meld service time) isolates the paper's
   // work effect; committed tps additionally pays the abort rate, which the
   // scaled-down database amplifies at high skew (see EXPERIMENTS.md).
-  std::printf("variant,hotspot_x,melds_per_sec,tps_model,fm_us,abort_rate\n");
+  PrintColumns("variant,hotspot_x,melds_per_sec,tps_model,fm_us,abort_rate");
   for (const char* variant : {"base", "pre"}) {
     for (double x : {0.05, 0.1, 0.2, 0.5, 1.0}) {
       ExperimentConfig config = DefaultWriteOnlyConfig();
@@ -34,7 +35,7 @@ int main() {
       config.intentions = uint64_t(1000 * BenchScale());
       config.warmup = config.inflight / 2 + 200;
       ExperimentResult r = RunExperiment(config);
-      std::printf("%s,%.2f,%.0f,%.0f,%.1f,%.4f\n", variant, x,
+      PrintRow("%s,%.2f,%.0f,%.0f,%.1f,%.4f\n", variant, x,
                   r.times.fm_us > 0 ? 1e6 / r.times.fm_us : 0,
                   r.meld_bound_tps, r.times.fm_us, r.abort_rate);
     }

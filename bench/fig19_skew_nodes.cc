@@ -10,12 +10,13 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig19_skew_nodes", "Fig. 19",
               "final-meld nodes fall with skew for base; small and flat "
               "with premeld");
 
-  std::printf("variant,hotspot_x,fm_nodes_per_txn,grafts_per_txn\n");
+  PrintColumns("variant,hotspot_x,fm_nodes_per_txn,grafts_per_txn");
   for (const char* variant : {"base", "pre"}) {
     for (double x : {0.05, 0.1, 0.2, 0.5, 1.0}) {
       ExperimentConfig config = DefaultWriteOnlyConfig();
@@ -30,7 +31,7 @@ int main() {
       const double grafts =
           double(r.stats.final_meld.grafts) /
           double(std::max<uint64_t>(1, r.stats.intentions));
-      std::printf("%s,%.2f,%.1f,%.1f\n", variant, x, r.fm_nodes_per_txn,
+      PrintRow("%s,%.2f,%.1f,%.1f\n", variant, x, r.fm_nodes_per_txn,
                   grafts);
     }
   }

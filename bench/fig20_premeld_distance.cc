@@ -12,12 +12,13 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig20_premeld_distance", "Fig. 20",
               "throughput falls as premeld distance d grows (post-premeld "
               "zone = t*d+1)");
 
-  std::printf("premeld_distance,post_zone_intentions,tps_model,fm_us\n");
+  PrintColumns("premeld_distance,post_zone_intentions,tps_model,fm_us");
   for (int d : {2, 5, 10, 20, 40, 80}) {
     ExperimentConfig config = DefaultWriteOnlyConfig();
     ApplyVariant("pre", &config);
@@ -27,7 +28,7 @@ int main() {
     config.intentions = uint64_t(1800 * BenchScale());
     config.warmup = config.inflight / 2 + 200;
     ExperimentResult r = RunExperiment(config);
-    std::printf("%d,%d,%.0f,%.1f\n", d, 5 * d + 1, r.meld_bound_tps,
+    PrintRow("%d,%d,%.0f,%.1f\n", d, 5 * d + 1, r.meld_bound_tps,
                 r.times.fm_us);
   }
   return 0;

@@ -10,12 +10,13 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig21_txn_size_throughput", "Fig. 21 (Appendix B)",
               "throughput falls ~proportionally with ops/txn; premeld "
               "keeps a ~3x lead");
 
-  std::printf("variant,ops_per_txn,tps_model,fm_us\n");
+  PrintColumns("variant,ops_per_txn,tps_model,fm_us");
   for (const char* variant : {"base", "pre"}) {
     for (int ops : {4, 8, 16, 32}) {
       ExperimentConfig config = DefaultWriteOnlyConfig();
@@ -25,7 +26,7 @@ int main() {
       config.intentions = uint64_t(1000 * BenchScale());
       config.warmup = config.inflight / 2 + 200;
       ExperimentResult r = RunExperiment(config);
-      std::printf("%s,%d,%.0f,%.1f\n", variant, ops, r.meld_bound_tps,
+      PrintRow("%s,%d,%.0f,%.1f\n", variant, ops, r.meld_bound_tps,
                   r.times.fm_us);
     }
   }

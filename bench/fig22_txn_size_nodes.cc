@@ -10,13 +10,14 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig22_txn_size_nodes", "Fig. 22 (Appendix B)",
               "final-meld nodes grow with ops/txn; premeld keeps ~7x "
               "reduction; ephemeral nodes/txn grow with size");
 
-  std::printf(
-      "variant,ops_per_txn,fm_nodes_per_txn,total_ephemeral_per_txn\n");
+  PrintColumns(
+      "variant,ops_per_txn,fm_nodes_per_txn,total_ephemeral_per_txn");
   for (const char* variant : {"base", "pre"}) {
     for (int ops : {4, 8, 16, 32}) {
       ExperimentConfig config = DefaultWriteOnlyConfig();
@@ -26,7 +27,7 @@ int main() {
       config.intentions = uint64_t(1000 * BenchScale());
       config.warmup = config.inflight / 2 + 200;
       ExperimentResult r = RunExperiment(config);
-      std::printf("%s,%d,%.1f,%.1f\n", variant, ops, r.fm_nodes_per_txn,
+      PrintRow("%s,%d,%.1f,%.1f\n", variant, ops, r.fm_nodes_per_txn,
                   r.total_ephemeral_per_txn);
     }
   }

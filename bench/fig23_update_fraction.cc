@@ -10,12 +10,13 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig23_update_fraction", "Fig. 23 (Appendix B)",
               "throughput falls as the update fraction rises; premeld "
               "stays ~3x ahead");
 
-  std::printf("variant,update_fraction,tps_model,fm_us,abort_rate\n");
+  PrintColumns("variant,update_fraction,tps_model,fm_us,abort_rate");
   for (const char* variant : {"base", "pre"}) {
     for (double frac : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
       ExperimentConfig config = DefaultWriteOnlyConfig();
@@ -31,7 +32,7 @@ int main() {
       config.intentions = uint64_t(1500 * BenchScale());
       config.warmup = config.inflight / 2 + 200;
       ExperimentResult r = RunExperiment(config);
-      std::printf("%s,%.1f,%.0f,%.1f,%.4f\n", variant, frac,
+      PrintRow("%s,%.1f,%.0f,%.1f,%.4f\n", variant, frac,
                   r.meld_bound_tps, r.times.fm_us, r.abort_rate);
     }
   }

@@ -11,14 +11,15 @@
 using namespace hyder;
 using namespace hyder::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("fig24_ephemeral_nodes", "Fig. 24 (Appendix B)",
               "ephemeral nodes/txn grow with the update fraction; premeld/"
               "group add pipeline instances that create slightly more");
 
-  std::printf(
+  PrintColumns(
       "variant,update_fraction,fm_ephemeral_per_txn,"
-      "total_ephemeral_per_txn\n");
+      "total_ephemeral_per_txn");
   for (const char* variant : {"base", "grp", "pre"}) {
     for (double frac : {0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
       ExperimentConfig config = DefaultWriteOnlyConfig();
@@ -34,7 +35,7 @@ int main() {
       config.intentions = uint64_t(1500 * BenchScale());
       config.warmup = config.inflight / 2 + 200;
       ExperimentResult r = RunExperiment(config);
-      std::printf("%s,%.1f,%.1f,%.1f\n", variant, frac,
+      PrintRow("%s,%.1f,%.1f,%.1f\n", variant, frac,
                   r.fm_ephemeral_per_txn, r.total_ephemeral_per_txn);
     }
   }

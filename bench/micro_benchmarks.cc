@@ -5,8 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
 #include "common/random.h"
 #include "test_support.h"
+#include "tree/node_pool.h"
 #include "tree/tree_ops.h"
 #include "txn/codec.h"
 
@@ -97,7 +102,134 @@ BENCHMARK(BM_MeldConflictZone)
     ->UseManualTime()
     ->Unit(benchmark::kMicrosecond);
 
+// Node allocation through the slab arena (or the malloc baseline when the
+// bench was built with -DHYDER_DISABLE_NODE_POOL=ON). The counters prove
+// the memory-management contract: in steady state a pooled build carves no
+// new slab slots (carved_per_op ~ 0, everything is recycled through the
+// thread cache) and payloads at or under kNodeInlinePayloadCap perform zero
+// heap allocations (heap_payload_per_op == 0); the 2x-cap payload costs
+// exactly one heap allocation per node in either build.
+void BM_NodeAlloc(benchmark::State& state) {
+  const size_t payload_len = state.range(0);
+  const std::string payload(payload_len, 'x');
+  {
+    // Warm the arena: fault in slabs and fill the thread cache so the
+    // timed region measures steady-state recycling, not cold carving.
+    std::vector<NodePtr> warm;
+    warm.reserve(4096);
+    for (uint64_t i = 0; i < 4096; ++i) warm.push_back(MakeNode(i, payload));
+  }
+  const ArenaStats before = NodeArenaStats();
+  for (auto _ : state) {
+    NodePtr n = MakeNode(42, payload);
+    benchmark::DoNotOptimize(n);
+  }
+  const ArenaStats after = NodeArenaStats();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["carved_per_op"] =
+      static_cast<double>(after.carved - before.carved) / iters;
+  state.counters["heap_payload_per_op"] =
+      static_cast<double>(after.payload_heap_allocs -
+                          before.payload_heap_allocs) /
+      iters;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NodeAlloc)
+    ->Arg(0)
+    ->Arg(16)
+    ->Arg(static_cast<int>(kNodeInlinePayloadCap))
+    ->Arg(static_cast<int>(2 * kNodeInlinePayloadCap));
+
+// Batched churn: hold a window of live nodes and turn it over, the
+// allocation pattern of executor workspaces (build a result tree, publish,
+// drop). Exercises the thread-cache refill/drain path rather than the
+// single-slot fast path.
+void BM_NodeChurnBatch(benchmark::State& state) {
+  const size_t window = 256;
+  std::vector<NodePtr> live;
+  live.reserve(window);
+  for (auto _ : state) {
+    live.clear();
+    for (uint64_t i = 0; i < window; ++i)
+      live.push_back(MakeNode(i, "value-16-bytes!"));
+    benchmark::DoNotOptimize(live.data());
+  }
+  state.SetItemsProcessed(state.iterations() * window);
+}
+BENCHMARK(BM_NodeChurnBatch);
+
+// The meld operator's per-node copy primitive: descend to a random key in
+// a 100K-node tree and CloneForWrite every node on the path under a meld
+// context (deterministic ephemeral ids). This is the dominant allocation
+// site of final meld; the pooled-vs-malloc delta here is what the tentpole
+// refactor buys end to end.
+void BM_MeldClonePath(benchmark::State& state) {
+  Ref base = BuildTree(100000, 1);
+  Rng rng(23);
+  uint64_t owner = 100;
+  for (auto _ : state) {
+    EphemeralAllocator vn_alloc(3);
+    CowContext ctx;
+    ctx.owner = ++owner;
+    ctx.vn_alloc = &vn_alloc;
+    const Key key = rng.Next();
+    NodePtr cur = base.node;
+    while (cur) {
+      auto clone = CloneForWrite(ctx, cur);
+      benchmark::DoNotOptimize(clone);
+      if (key == cur->key()) break;
+      auto next = ResolveChild(cur->child(key > cur->key()), nullptr);
+      cur = next.ok() ? *next : nullptr;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeldClonePath);
+
+// Forwards to the normal console output and mirrors every run into the
+// JSON emitter (bench_common) so `--json` / HYDER_BENCH_JSON produce
+// machine-readable BENCH_*.json files from the google-benchmark harness.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::ostringstream counters;
+      bool first = true;
+      for (const auto& [name, counter] : run.counters) {
+        counters << (first ? "" : ";") << name << "=" << counter.value;
+        first = false;
+      }
+      bench::RecordRow({run.benchmark_name(),
+                        std::to_string(run.iterations),
+                        std::to_string(run.GetAdjustedRealTime()),
+                        std::to_string(run.GetAdjustedCPUTime()),
+                        benchmark::GetTimeUnitString(run.time_unit),
+                        counters.str()});
+    }
+  }
+};
+
 }  // namespace
 }  // namespace hyder
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  hyder::bench::InitBenchIO(&argc, argv);
+  hyder::bench::PrintHeader(
+      "micro_benchmarks", "§6 primitives",
+      "component microbenchmarks: COW tree ops, intention codec, meld "
+      "conflict zones, and slab-arena node allocation"
+#ifdef HYDER_DISABLE_NODE_POOL
+      " (HYDER_DISABLE_NODE_POOL baseline: per-node malloc)"
+#endif
+  );
+  hyder::bench::RecordColumns({"name", "iterations", "real_time", "cpu_time",
+                               "time_unit", "counters"});
+  benchmark::Initialize(&argc, &argv[0]);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  hyder::RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

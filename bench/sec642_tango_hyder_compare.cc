@@ -79,7 +79,8 @@ double RunTango(uint64_t db_size, uint64_t inflight, uint64_t txns,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchIO(&argc, argv);
   PrintHeader("sec642_tango_hyder_compare", "§6.4.2 comparison",
               "on 100K items: Hyder II base ~ Tango (15-25K tps); "
               "Hyder II + premeld clearly faster; zone-capped Hyder II "
@@ -87,7 +88,7 @@ int main() {
 
   const uint64_t kDb = 100'000;
   const uint64_t kTxns = uint64_t(1500 * BenchScale());
-  std::printf("system,tps_model,abort_rate,notes\n");
+  PrintColumns("system,tps_model,abort_rate,notes");
 
   // Tango baseline. Its hash apply stage is far cheaper per CPU than tree
   // meld (no structural merging), so on pure CPU it is not the bottleneck:
@@ -98,10 +99,10 @@ int main() {
     double abort_rate = 0;
     double apply_tps = RunTango(kDb, 1500, kTxns, &abort_rate);
     const double log_capacity = 6.0 * 1e9 / 42'000.0;
-    std::printf("tango_apply_capacity,%.0f,%.4f,hash apply only - not its "
+    PrintRow("tango_apply_capacity,%.0f,%.4f,hash apply only - not its "
                 "real bottleneck\n",
                 apply_tps, abort_rate);
-    std::printf("tango_log_capped,%.0f,%.4f,capped by shared-log append "
+    PrintRow("tango_log_capped,%.0f,%.4f,capped by shared-log append "
                 "capacity\n",
                 std::min(apply_tps, log_capacity), abort_rate);
   }
@@ -117,7 +118,7 @@ int main() {
     config.intentions = kTxns;
     config.warmup = inflight / 2 + 200;
     ExperimentResult r = RunExperiment(config);
-    std::printf("%s,%.0f,%.4f,%s (bottleneck=%s)\n", label,
+    PrintRow("%s,%.0f,%.4f,%s (bottleneck=%s)\n", label,
                 r.meld_bound_tps, r.abort_rate, note, r.bottleneck.c_str());
   };
   hyder_run("base", 1500, "hyder2_base", "tree index; final meld only");

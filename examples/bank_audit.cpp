@@ -11,6 +11,7 @@
 #include "common/random.h"
 #include "log/striped_log.h"
 #include "server/server.h"
+#include "tree/node_pool.h"
 
 using namespace hyder;
 
@@ -108,5 +109,6 @@ int main() {
   std::printf("audits passed: %d, final total: %ld (expected %ld)\n",
               audits_ok + 1, final_total, expected_total);
   std::printf("meld pipeline: %s\n", server.stats().ToString().c_str());
+  std::printf("node arena: %s\n", NodeArenaStats().ToString().c_str());
   return final_total == expected_total ? 0 : 1;
 }

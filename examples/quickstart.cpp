@@ -12,6 +12,7 @@
 
 #include "log/striped_log.h"
 #include "server/server.h"
+#include "tree/node_pool.h"
 
 using namespace hyder;
 
@@ -116,6 +117,7 @@ int main() {
 
   const PipelineStats& stats = server.stats();
   std::printf("\nmeld pipeline: %s\n", stats.ToString().c_str());
+  std::printf("node arena: %s\n", NodeArenaStats().ToString().c_str());
   std::printf("log: %llu blocks appended\n",
               static_cast<unsigned long long>(log.stats().appends));
   return 0;

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "server/cluster.h"
+#include "tree/node_pool.h"
 #include "workload/workload.h"
 
 using namespace hyder;
@@ -100,5 +101,6 @@ int main() {
               static_cast<unsigned long long>(
                   stats.final_meld.nodes_visited));
   std::printf("server 0 pipeline: %s\n", stats.ToString().c_str());
+  std::printf("node arena: %s\n", NodeArenaStats().ToString().c_str());
   return *converged ? 0 : 1;
 }

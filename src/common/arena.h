@@ -1,0 +1,116 @@
+#ifndef HYDER2_COMMON_ARENA_H_
+#define HYDER2_COMMON_ARENA_H_
+
+// Chunked slab allocation of fixed-size slots (§5.3 of the paper: memory
+// management of millions of short-lived tree nodes was a first-order
+// performance problem in Hyder II). The arena carves large slabs into
+// equal slots and recycles freed slots through a shared free list;
+// clients layer per-thread caches on top (see tree/node_pool.h) so the
+// shared mutex is touched only on batched refill/drain.
+//
+// Slots are raw storage: the arena never constructs or destroys objects,
+// and slabs are only returned to the OS when the arena itself is
+// destroyed. Holders of process-lifetime arenas deliberately leak them so
+// late thread-exit drains always have a valid target.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace hyder {
+
+/// Shared-pool slab allocator for fixed-size slots. Thread-safe; every
+/// operation takes the pool mutex, so callers should batch.
+class SlotArena {
+ public:
+  struct Options {
+    size_t slot_size = 0;        ///< Bytes per slot (rounded up to align).
+    size_t slot_align = alignof(std::max_align_t);
+    size_t slots_per_slab = 1024;
+  };
+
+  struct Stats {
+    uint64_t slabs = 0;       ///< Slabs allocated from the OS.
+    uint64_t slab_bytes = 0;  ///< Total bytes held in slabs.
+    uint64_t carved = 0;      ///< Slots ever carved fresh from a slab.
+    uint64_t free_slots = 0;  ///< Slots currently in the shared free list.
+  };
+
+  explicit SlotArena(Options opt) : opt_(opt) {
+    if (opt_.slot_align == 0) opt_.slot_align = alignof(std::max_align_t);
+    // Round the stride up so consecutive slots stay aligned.
+    stride_ = (opt_.slot_size + opt_.slot_align - 1) / opt_.slot_align *
+              opt_.slot_align;
+    if (stride_ == 0) stride_ = opt_.slot_align;
+  }
+
+  ~SlotArena() {
+    for (void* slab : slabs_) {
+      ::operator delete(slab, std::align_val_t(opt_.slot_align));
+    }
+  }
+
+  SlotArena(const SlotArena&) = delete;
+  SlotArena& operator=(const SlotArena&) = delete;
+
+  /// Fills `out[0..want)` with slots — recycled ones first, then slots
+  /// carved from the current (or a fresh) slab. Always returns `want`.
+  size_t AllocateBatch(void** out, size_t want) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t got = 0;
+    while (got < want && !free_.empty()) {
+      out[got++] = free_.back();
+      free_.pop_back();
+    }
+    while (got < want) {
+      if (bump_left_ == 0) NewSlabLocked();
+      out[got++] = bump_;
+      bump_ += stride_;
+      --bump_left_;
+      ++carved_;
+    }
+    return got;
+  }
+
+  /// Returns `count` slots to the shared free list.
+  void DeallocateBatch(void** slots, size_t count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.insert(free_.end(), slots, slots + count);
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.slabs = slabs_.size();
+    s.slab_bytes = uint64_t(slabs_.size()) * stride_ * opt_.slots_per_slab;
+    s.carved = carved_;
+    s.free_slots = free_.size();
+    return s;
+  }
+
+  size_t stride() const { return stride_; }
+
+ private:
+  void NewSlabLocked() {
+    void* slab = ::operator new(stride_ * opt_.slots_per_slab,
+                                std::align_val_t(opt_.slot_align));
+    slabs_.push_back(slab);
+    bump_ = static_cast<char*>(slab);
+    bump_left_ = opt_.slots_per_slab;
+  }
+
+  Options opt_;
+  size_t stride_ = 0;
+  mutable std::mutex mu_;
+  std::vector<void*> slabs_;
+  std::vector<void*> free_;
+  char* bump_ = nullptr;
+  size_t bump_left_ = 0;
+  uint64_t carved_ = 0;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_COMMON_ARENA_H_

@@ -18,6 +18,21 @@ std::string MeldWork::ToString() const {
   return buf;
 }
 
+std::string ArenaStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "live=%llu allocated=%llu recycled=%llu slabs=%llu "
+                "slab_kb=%llu heap_payloads=%llu",
+                static_cast<unsigned long long>(live),
+                static_cast<unsigned long long>(allocated),
+                static_cast<unsigned long long>(recycled),
+                static_cast<unsigned long long>(slabs),
+                static_cast<unsigned long long>(slab_bytes / 1024),
+                static_cast<unsigned long long>(payload_heap_allocs -
+                                                payload_heap_frees));
+  return buf;
+}
+
 PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
   intentions += o.intentions;
   committed += o.committed;

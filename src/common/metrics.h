@@ -33,6 +33,25 @@ struct MeldWork {
   std::string ToString() const;
 };
 
+/// Counters of the node arena (tree/node_pool). `live` is exact at any
+/// quiescent point; the remaining counters reconcile as
+/// `carved == live + free_shared + free_thread_cached` once the threads
+/// that allocated have drained their caches.
+struct ArenaStats {
+  uint64_t live = 0;           ///< Nodes currently alive (LiveNodeCount).
+  uint64_t allocated = 0;      ///< Total node allocations ever.
+  uint64_t recycled = 0;  ///< Allocations served from a reused slot (lower
+                          ///< bound: batched refills carve ahead of demand).
+  uint64_t slabs = 0;          ///< Slabs obtained from the OS.
+  uint64_t slab_bytes = 0;     ///< Bytes held in slabs.
+  uint64_t carved = 0;         ///< Slots ever carved fresh from a slab.
+  uint64_t free_shared = 0;    ///< Slots in the shared free list.
+  uint64_t payload_heap_allocs = 0;  ///< Payloads that overflowed inline.
+  uint64_t payload_heap_frees = 0;
+
+  std::string ToString() const;
+};
+
 /// Aggregate statistics of a pipeline run, broken down by stage.
 struct PipelineStats {
   uint64_t intentions = 0;      ///< Intentions entering the pipeline.

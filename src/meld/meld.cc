@@ -49,8 +49,8 @@ class Melder {
     return ctx_.resolver->Resolve(e.vn);
   }
 
-  NodePtr NewEphemeral(Key key, std::string payload) const {
-    NodePtr e = MakeNode(key, std::move(payload));
+  NodePtr NewEphemeral(Key key, std::string_view payload) const {
+    NodePtr e = MakeNode(key, payload);
     e->set_owner(ctx_.out_tag);
     ctx_.alloc->Assign(e);
     if (ctx_.work != nullptr) ctx_.work->ephemeral_created++;

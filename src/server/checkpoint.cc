@@ -60,7 +60,7 @@ Result<Ref> DeserializeState(const char*& p, const char* limit,
     if (len > size_t(limit - p)) {
       return Status::Corruption("truncated checkpoint payload");
     }
-    NodePtr n = MakeNode(key, std::string(p, len));
+    NodePtr n = MakeNode(key, std::string_view(p, len));
     p += len;
     n->set_vn(VersionId::FromRaw(vn));
     n->set_cv(VersionId::FromRaw(cv));

@@ -1,18 +1,14 @@
 #include "tree/node.h"
 
+#include <new>
 #include <vector>
+
+#include "tree/node_pool.h"
 
 namespace hyder {
 
-namespace {
-std::atomic<uint64_t> g_live_nodes{0};
-}  // namespace
-
-uint64_t LiveNodeCount() { return g_live_nodes.load(std::memory_order_relaxed); }
-
-NodePtr MakeNode(Key key, std::string payload) {
-  g_live_nodes.fetch_add(1, std::memory_order_relaxed);
-  return NodePtr::Adopt(new Node(key, std::move(payload)));
+NodePtr MakeNode(Key key, std::string_view payload) {
+  return NodePtr::Adopt(new (AllocateNodeSlot()) Node(key, payload));
 }
 
 void NodeUnref(Node* n) {
@@ -32,8 +28,8 @@ void NodeUnref(Node* n) {
         dead.push_back(c);
       }
     }
-    g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
-    delete d;
+    d->~Node();
+    ReleaseNodeSlot(d);
   }
 }
 

@@ -3,11 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "tree/node_pool.h"
 #include "tree/version_id.h"
 
 namespace hyder {
@@ -214,15 +217,31 @@ class ChildSlot {
 ///                conflict checks independent of meld-thread configuration.
 class Node {
  public:
-  Node(Key key, std::string payload)
-      : key_(key), payload_(std::move(payload)) {}
+  Node(Key key, std::string_view payload) : key_(key) {
+    SetPayload(payload);
+  }
+
+  ~Node() {
+    if (heap_cap_ != 0) {
+      delete[] pay_.heap;
+      CountPayloadHeapFree();
+    }
+  }
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
   Key key() const { return key_; }
-  const std::string& payload() const { return payload_; }
-  void set_payload(std::string p) { payload_ = std::move(p); }
+
+  /// The payload bytes. Stored inline in the node slot when the payload
+  /// is at most `kNodeInlinePayloadCap` bytes; in a heap buffer otherwise.
+  /// The view is invalidated by `set_payload`.
+  std::string_view payload() const {
+    return payload_size_ <= kNodeInlinePayloadCap
+               ? std::string_view(pay_.inline_buf, payload_size_)
+               : std::string_view(pay_.heap, payload_size_);
+  }
+  void set_payload(std::string_view p) { SetPayload(p); }
 
   /// Changes the key. Only legal during the two-children deletion
   /// relocation, on a private (unpublished) clone whose metadata is being
@@ -266,6 +285,36 @@ class Node {
   friend void NodeRef(Node*);
   friend void NodeUnref(Node*);
 
+  /// Copies `p` into the inline buffer or the heap fallback, reusing an
+  /// existing heap buffer when it is large enough. The invariant is that
+  /// the payload lives inline exactly when it fits the inline cap.
+  void SetPayload(std::string_view p) {
+    const uint32_t size = static_cast<uint32_t>(p.size());
+    if (size <= kNodeInlinePayloadCap) {
+      char* old_heap = heap_cap_ != 0 ? pay_.heap : nullptr;
+      // Copy before freeing: `p` may alias the old heap buffer.
+      if (size != 0) std::memmove(pay_.inline_buf, p.data(), size);
+      if (old_heap != nullptr) {
+        delete[] old_heap;
+        CountPayloadHeapFree();
+        heap_cap_ = 0;
+      }
+    } else if (heap_cap_ >= size) {
+      std::memmove(pay_.heap, p.data(), size);
+    } else {
+      char* buf = new char[size];
+      CountPayloadHeapAlloc();
+      std::memcpy(buf, p.data(), size);
+      if (heap_cap_ != 0) {
+        delete[] pay_.heap;
+        CountPayloadHeapFree();
+      }
+      pay_.heap = buf;
+      heap_cap_ = size;
+    }
+    payload_size_ = size;
+  }
+
   std::atomic<uint32_t> refs_{1};
   Color color_ = Color::kRed;
   uint8_t flags_ = 0;
@@ -275,7 +324,14 @@ class Node {
   VersionId base_cv_{};
   VersionId cv_{};
   uint64_t owner_ = 0;
-  std::string payload_;
+  /// Payload storage: `inline_buf` when `payload_size_` fits the inline
+  /// cap, otherwise a heap buffer of capacity `heap_cap_`.
+  union Payload {
+    char inline_buf[kNodeInlinePayloadCap];
+    char* heap;
+  } pay_;
+  uint32_t payload_size_ = 0;
+  uint32_t heap_cap_ = 0;
   ChildSlot left_;
   ChildSlot right_;
 };
@@ -288,12 +344,13 @@ inline Ref Ref::To(const NodePtr& n) {
   return Ref(n, n ? n->vn() : VersionId());
 }
 
-/// Total count of live Node objects (for leak tests).
+/// Total count of live Node objects (for leak tests). An arena stat; see
+/// `NodeArenaStats` for the full breakdown.
 uint64_t LiveNodeCount();
 
-/// Allocates a node tracked by `LiveNodeCount`. All node creation in the
-/// library goes through this helper.
-NodePtr MakeNode(Key key, std::string payload);
+/// Allocates a node from the slab pool, tracked by `LiveNodeCount`. All
+/// node creation in the library goes through this helper.
+NodePtr MakeNode(Key key, std::string_view payload);
 
 }  // namespace hyder
 

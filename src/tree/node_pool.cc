@@ -1,0 +1,127 @@
+#include "tree/node_pool.h"
+
+#include <atomic>
+#include <new>
+
+#include "common/arena.h"
+#include "tree/node.h"
+
+namespace hyder {
+
+namespace {
+
+// Global counters. `live` is a single counter (not allocs - frees) so it
+// is exact at any instant, as the leak tests require.
+std::atomic<uint64_t> g_live{0};
+std::atomic<uint64_t> g_allocated{0};
+std::atomic<uint64_t> g_payload_heap_allocs{0};
+std::atomic<uint64_t> g_payload_heap_frees{0};
+
+#ifndef HYDER_DISABLE_NODE_POOL
+
+/// Slots move between the shared pool and thread caches in batches of
+/// this size; a cache holds at most two batches before draining one.
+constexpr size_t kBatch = 64;
+constexpr size_t kCacheCap = 2 * kBatch;
+
+/// The arena is deliberately leaked: thread caches drain on thread exit,
+/// which can run after static destructors on the main thread.
+SlotArena& Arena() {
+  static SlotArena* arena = new SlotArena(SlotArena::Options{
+      sizeof(Node), alignof(Node), /*slots_per_slab=*/1024});
+  return *arena;
+}
+
+struct ThreadCache {
+  void* slots[kCacheCap];
+  size_t n = 0;
+
+  ~ThreadCache() { Drain(); }
+
+  void Drain() {
+    if (n > 0) {
+      Arena().DeallocateBatch(slots, n);
+      n = 0;
+    }
+  }
+};
+
+ThreadCache& Cache() {
+  // Touch the arena first so it outlives every cache's destructor.
+  Arena();
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+#endif  // HYDER_DISABLE_NODE_POOL
+
+}  // namespace
+
+void* AllocateNodeSlot() {
+  g_allocated.fetch_add(1, std::memory_order_relaxed);
+  g_live.fetch_add(1, std::memory_order_relaxed);
+#ifdef HYDER_DISABLE_NODE_POOL
+  return ::operator new(sizeof(Node), std::align_val_t(alignof(Node)));
+#else
+  ThreadCache& cache = Cache();
+  if (cache.n == 0) {
+    cache.n = Arena().AllocateBatch(cache.slots, kBatch);
+  }
+  return cache.slots[--cache.n];
+#endif
+}
+
+void ReleaseNodeSlot(void* slot) {
+  g_live.fetch_sub(1, std::memory_order_relaxed);
+#ifdef HYDER_DISABLE_NODE_POOL
+  ::operator delete(slot, std::align_val_t(alignof(Node)));
+#else
+  ThreadCache& cache = Cache();
+  if (cache.n == kCacheCap) {
+    // Keep one batch locally; return the other so a free-heavy thread
+    // feeds an allocation-heavy one.
+    Arena().DeallocateBatch(cache.slots + kBatch, kBatch);
+    cache.n = kBatch;
+  }
+  cache.slots[cache.n++] = slot;
+#endif
+}
+
+void DrainNodeArenaThreadCache() {
+#ifndef HYDER_DISABLE_NODE_POOL
+  Cache().Drain();
+#endif
+}
+
+ArenaStats NodeArenaStats() {
+  ArenaStats s;
+  s.live = g_live.load(std::memory_order_relaxed);
+  s.allocated = g_allocated.load(std::memory_order_relaxed);
+  s.payload_heap_allocs = g_payload_heap_allocs.load(std::memory_order_relaxed);
+  s.payload_heap_frees = g_payload_heap_frees.load(std::memory_order_relaxed);
+#ifndef HYDER_DISABLE_NODE_POOL
+  SlotArena::Stats a = Arena().stats();
+  s.slabs = a.slabs;
+  s.slab_bytes = a.slab_bytes;
+  s.carved = a.carved;
+  s.free_shared = a.free_slots;
+  // Batched refills carve slots ahead of demand, so early on `carved` can
+  // exceed `allocated`; saturate to keep this a (tight) lower bound.
+  s.recycled = s.allocated > a.carved ? s.allocated - a.carved : 0;
+#else
+  s.carved = s.allocated;  // Every allocation is a fresh malloc.
+#endif
+  return s;
+}
+
+void CountPayloadHeapAlloc() {
+  g_payload_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CountPayloadHeapFree() {
+  g_payload_heap_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LiveNodeCount() { return g_live.load(std::memory_order_relaxed); }
+
+}  // namespace hyder

@@ -232,7 +232,7 @@ Result<NodePtr> ResolveChild(const ChildSlot& slot, NodeResolver* resolver) {
 }
 
 Result<Ref> TreeInsert(const CowContext& ctx, const Ref& root, Key key,
-                       std::string payload, bool* existed) {
+                       std::string_view payload, bool* existed) {
   std::vector<PathEntry> path;
   Ref newroot = Ref::Null();
   HYDER_ASSIGN_OR_RETURN(NodePtr cur, ResolveRefValue(root, ctx.resolver));

@@ -99,7 +99,7 @@ Result<NodePtr> CloneForWrite(const CowContext& ctx, const NodePtr& n);
 /// (optional) reports whether the key was already present. The resulting
 /// tree satisfies the red-black invariants if the input did.
 Result<Ref> TreeInsert(const CowContext& ctx, const Ref& root, Key key,
-                       std::string payload, bool* existed);
+                       std::string_view payload, bool* existed);
 
 /// Removes `key`, returning the new root. `*removed` reports presence;
 /// `*removed_base_cv` (optional) receives the content version the delete

@@ -238,7 +238,7 @@ Result<IntentionPtr> DeserializeIntention(std::string_view payload,
     if (payload_len > size_t(limit - p)) {
       return Status::Corruption("truncated node payload");
     }
-    NodePtr n = MakeNode(key, std::string(p, payload_len));
+    NodePtr n = MakeNode(key, std::string_view(p, payload_len));
     p += payload_len;
     n->set_vn(VersionId::Logged(seq, static_cast<uint32_t>(i)));
     n->set_owner(seq);

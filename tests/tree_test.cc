@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -129,6 +132,135 @@ TEST(NodeTest, LazyRefResolvesAndMemoizes) {
   auto r2 = n->left().Get(&resolver);
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(resolver.calls, 1) << "second Get must hit the memoized pointer";
+}
+
+TEST(NodePtrTest, AdoptDoesNotIncrementShareDoes) {
+  uint64_t before = LiveNodeCount();
+  {
+    NodePtr a = MakeNode(1, "x");  // MakeNode adopts the initial reference.
+    EXPECT_EQ(a->RefCount(), 1u);
+    {
+      NodePtr b = NodePtr::Share(a.get());
+      EXPECT_EQ(a->RefCount(), 2u);
+      // Adopt takes over an existing count; pair it with Release so the
+      // count stays balanced.
+      NodePtr c = NodePtr::Adopt(b.Release());
+      EXPECT_EQ(a->RefCount(), 2u);
+      EXPECT_EQ(b.get(), nullptr);
+      EXPECT_EQ(c.get(), a.get());
+    }
+    EXPECT_EQ(a->RefCount(), 1u);
+    EXPECT_EQ(LiveNodeCount(), before + 1);
+  }
+  EXPECT_EQ(LiveNodeCount(), before);
+}
+
+TEST(NodePtrTest, SelfAssignmentIsANoop) {
+  uint64_t before = LiveNodeCount();
+  {
+    NodePtr a = MakeNode(7, "payload");
+    NodePtr& alias = a;
+    a = alias;  // Copy self-assignment must not drop the only reference.
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->RefCount(), 1u);
+    EXPECT_EQ(a->payload(), "payload");
+    a = std::move(alias);  // Move self-assignment likewise.
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->RefCount(), 1u);
+    EXPECT_EQ(LiveNodeCount(), before + 1);
+  }
+  EXPECT_EQ(LiveNodeCount(), before);
+}
+
+TEST(NodePtrTest, MoveLeavesSourceNullAndCountUnchanged) {
+  uint64_t before = LiveNodeCount();
+  {
+    NodePtr a = MakeNode(3, "m");
+    Node* raw = a.get();
+    NodePtr b = std::move(a);
+    EXPECT_EQ(a.get(), nullptr);  // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(b.get(), raw);
+    EXPECT_EQ(b->RefCount(), 1u);
+    a = std::move(b);  // Move back over the empty pointer.
+    EXPECT_EQ(b.get(), nullptr);  // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(a.get(), raw);
+    EXPECT_EQ(a->RefCount(), 1u);
+    a.Reset();
+    EXPECT_EQ(LiveNodeCount(), before);
+    a.Reset();  // Reset of an empty pointer is harmless.
+  }
+  EXPECT_EQ(LiveNodeCount(), before);
+}
+
+TEST(NodePtrTest, CopyAssignmentReleasesPreviousTarget) {
+  uint64_t before = LiveNodeCount();
+  {
+    NodePtr a = MakeNode(1, "a");
+    NodePtr b = MakeNode(2, "b");
+    EXPECT_EQ(LiveNodeCount(), before + 2);
+    b = a;  // Drops the last reference to node 2.
+    EXPECT_EQ(LiveNodeCount(), before + 1);
+    EXPECT_EQ(a->RefCount(), 2u);
+    EXPECT_EQ(b.get(), a.get());
+  }
+  EXPECT_EQ(LiveNodeCount(), before);
+}
+
+// A resolver that materializes a fresh copy per call, so the CAS loser's
+// fetch is observable: exactly one copy may win the memoization and the
+// rest must be released.
+class FreshCopyResolver : public NodeResolver {
+ public:
+  Result<NodePtr> Resolve(VersionId vn) override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    NodePtr n = MakeNode(99, "resolved");
+    n->set_vn(vn);
+    return n;
+  }
+  std::atomic<int> calls{0};
+};
+
+TEST(NodeTest, ConcurrentGetMemoizesExactlyOneCopy) {
+  uint64_t before = LiveNodeCount();
+  {
+    FreshCopyResolver resolver;
+    NodePtr parent = MakeNode(5, "x");
+    parent->left().Reset(Ref::Lazy(VersionId::Logged(8, 1)));
+
+    constexpr int kThreads = 8;
+    std::vector<NodePtr> results(kThreads);
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] {
+        ready.fetch_add(1);
+        while (ready.load() < kThreads) {
+        }
+        auto r = parent->left().Get(&resolver);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        results[i] = *r;
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    // Every caller observed the same memoized node, no matter whose fetch
+    // won the CAS; the losers' copies were released.
+    Node* memoized = parent->left().GetLocal().node.get();
+    ASSERT_NE(memoized, nullptr);
+    for (const NodePtr& r : results) EXPECT_EQ(r.get(), memoized);
+    const int calls_during_race = resolver.calls.load();
+    EXPECT_GE(calls_during_race, 1);
+    results.clear();
+    EXPECT_EQ(LiveNodeCount(), before + 2)
+        << "parent + the one memoized child; all losing copies freed";
+    auto again = parent->left().Get(&resolver);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->get(), memoized);
+    EXPECT_EQ(resolver.calls.load(), calls_during_race)
+        << "after memoization no further Resolve calls happen";
+  }
+  EXPECT_EQ(LiveNodeCount(), before);
 }
 
 CowContext Ctx(uint64_t owner, TreeOpStats* stats = nullptr,
