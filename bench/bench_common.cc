@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "check.h"
 #include "common/stopwatch.h"
 
 namespace hyder {
@@ -350,25 +351,27 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   // and read-only transactions (which never touch the pipeline).
   {
     const int kSamples = 100;
+    // The closed-loop driver returns with its whole in-flight window still
+    // pending and `max_inflight` only slightly above it; drain first so
+    // admission control cannot reject the sampled submits. (Previously the
+    // Submit errors here were discarded, which silently hid exactly those
+    // Busy rejections — the sample loop was timing mostly-rejected
+    // submissions.)
+    HYDER_BENCH_CHECK_OK(server.Poll());
     CpuStopwatch cpu;
     for (int i = 0; i < kSamples; ++i) {
       Transaction txn = server.Begin(config.isolation);
-      Status st = gen.FillWriteTransaction(txn);
-      if (st.ok()) {
-        auto sub = server.Submit(std::move(txn));
-        (void)sub;
-      }
+      HYDER_BENCH_CHECK_OK(gen.FillWriteTransaction(txn));
+      HYDER_BENCH_CHECK_OK(server.Submit(std::move(txn)));
     }
     r.exec_us_per_txn = cpu.ElapsedNanos() / 1e3 / kSamples;
     // Drain what we just submitted.
-    (void)server.Poll();
+    HYDER_BENCH_CHECK_OK(server.Poll());
     CpuStopwatch read_cpu;
     for (int i = 0; i < kSamples; ++i) {
       Transaction txn = server.Begin(config.isolation);
-      Status st = gen.FillReadOnlyTransaction(txn);
-      (void)st;
-      auto sub = server.Submit(std::move(txn));
-      (void)sub;
+      HYDER_BENCH_CHECK_OK(gen.FillReadOnlyTransaction(txn));
+      HYDER_BENCH_CHECK_OK(server.Submit(std::move(txn)));
     }
     r.read_txn_us = read_cpu.ElapsedNanos() / 1e3 / kSamples;
   }

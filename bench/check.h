@@ -1,0 +1,43 @@
+#ifndef HYDER2_BENCH_CHECK_H_
+#define HYDER2_BENCH_CHECK_H_
+
+// Abort-on-error checking for benchmark harness code.
+//
+// Benchmarks measure the success path; a harness operation that fails —
+// a rejected Submit, a Poll that surfaces DataLoss — means the numbers
+// being collected are garbage. Crash loudly instead of timing failures.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hyder {
+namespace bench_detail {
+
+inline Status ToStatus(Status s) { return s; }
+
+template <typename T>
+Status ToStatus(const Result<T>& r) {
+  return r.status();
+}
+
+}  // namespace bench_detail
+}  // namespace hyder
+
+/// Evaluates `expr` (a Status or Result<T>) and aborts the benchmark with
+/// the error's location and message unless it is OK.
+#define HYDER_BENCH_CHECK_OK(expr)                                          \
+  do {                                                                      \
+    const ::hyder::Status _hyder_bench_st =                                 \
+        ::hyder::bench_detail::ToStatus((expr));                            \
+    if (!_hyder_bench_st.ok()) {                                            \
+      std::fprintf(stderr, "%s:%d: bench harness operation failed: %s\n",   \
+                   __FILE__, __LINE__,                                      \
+                   _hyder_bench_st.ToString().c_str());                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // HYDER2_BENCH_CHECK_H_

@@ -17,6 +17,7 @@
 
 #include "baseline/tango.h"
 #include "bench_common.h"
+#include "check.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 
@@ -53,7 +54,9 @@ double RunTango(uint64_t db_size, uint64_t inflight, uint64_t txns,
     while (submitted - (committed + aborted) < inflight &&
            submitted < txns + inflight) {
       auto t = store.Begin();
-      for (int i = 0; i < 8; ++i) (void)t.Get(rng.Uniform(db_size));
+      for (int i = 0; i < 8; ++i) {
+        HYDER_BENCH_CHECK_OK(t.Get(rng.Uniform(db_size)));
+      }
       t.Put(rng.Uniform(db_size), "new-val-16bytes!");
       t.Put(rng.Uniform(db_size), "new-val-16bytes!");
       auto ticket = store.Submit(std::move(t));

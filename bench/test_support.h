@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "check.h"
 #include "common/random.h"
 #include "log/striped_log.h"
 #include "server/server.h"
@@ -33,10 +34,10 @@ inline void SeedKeys(HarnessServer& h, uint64_t n) {
     Transaction txn = h.server.Begin(IsolationLevel::kSnapshot);
     uint64_t end = std::min(n, next + 100000);
     for (; next < end; ++next) {
-      (void)txn.Put(next, "seed-val-16byte");
+      HYDER_BENCH_CHECK_OK(txn.Put(next, "seed-val-16byte"));
     }
-    (void)h.server.Submit(std::move(txn));
-    (void)h.server.Poll();
+    HYDER_BENCH_CHECK_OK(h.server.Submit(std::move(txn)));
+    HYDER_BENCH_CHECK_OK(h.server.Poll());
   }
 }
 
@@ -55,9 +56,11 @@ inline BuiltTxn MakeTransaction(HarnessServer& h, Rng& rng, int reads,
   out.builder = std::make_unique<IntentionBuilder>(
       kWorkspaceTagBit | out.txn_id, latest.seq, latest.root,
       IsolationLevel::kSerializable, &h.server.resolver());
-  for (int i = 0; i < reads; ++i) (void)out.builder->Get(rng.Uniform(db));
+  for (int i = 0; i < reads; ++i) {
+    HYDER_BENCH_CHECK_OK(out.builder->Get(rng.Uniform(db)));
+  }
   for (int i = 0; i < writes; ++i) {
-    (void)out.builder->Put(rng.Uniform(db), "new-val-16bytes!");
+    HYDER_BENCH_CHECK_OK(out.builder->Put(rng.Uniform(db), "new-val-16bytes!"));
   }
   return out;
 }
@@ -68,20 +71,22 @@ inline BuiltTxn MakeTransaction(HarnessServer& h, Rng& rng, int reads,
 inline double MeldOneWithZone(HarnessServer& h, Rng& rng, uint64_t zone) {
   // Probe executes first (so the fillers land in its conflict zone).
   Transaction probe = h.server.Begin(IsolationLevel::kSerializable);
-  for (int i = 0; i < 8; ++i) (void)probe.Get(rng.Uniform(100000));
+  for (int i = 0; i < 8; ++i) {
+    HYDER_BENCH_CHECK_OK(probe.Get(rng.Uniform(100000)));
+  }
   for (int i = 0; i < 2; ++i) {
-    (void)probe.Put(rng.Uniform(100000), "new-val-16bytes!");
+    HYDER_BENCH_CHECK_OK(probe.Put(rng.Uniform(100000), "new-val-16bytes!"));
   }
   for (uint64_t z = 0; z < zone; ++z) {
     Transaction filler = h.server.Begin(IsolationLevel::kSerializable);
-    (void)filler.Put(rng.Uniform(100000), "filler-16-bytes!");
-    (void)h.server.Submit(std::move(filler));
+    HYDER_BENCH_CHECK_OK(filler.Put(rng.Uniform(100000), "filler-16-bytes!"));
+    HYDER_BENCH_CHECK_OK(h.server.Submit(std::move(filler)));
   }
-  (void)h.server.Submit(std::move(probe));
+  HYDER_BENCH_CHECK_OK(h.server.Submit(std::move(probe)));
   // Meld the fillers, then measure the probe's final meld.
-  (void)h.server.Poll(zone);
+  HYDER_BENCH_CHECK_OK(h.server.Poll(zone));
   const uint64_t before = h.server.stats().final_meld.cpu_nanos;
-  (void)h.server.Poll();
+  HYDER_BENCH_CHECK_OK(h.server.Poll());
   const uint64_t after = h.server.stats().final_meld.cpu_nanos;
   return double(after - before) / 1e3;
 }

@@ -15,9 +15,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <new>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace hyder {
 
@@ -57,8 +58,8 @@ class SlotArena {
 
   /// Fills `out[0..want)` with slots — recycled ones first, then slots
   /// carved from the current (or a fresh) slab. Always returns `want`.
-  size_t AllocateBatch(void** out, size_t want) {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t AllocateBatch(void** out, size_t want) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     size_t got = 0;
     while (got < want && !free_.empty()) {
       out[got++] = free_.back();
@@ -75,13 +76,13 @@ class SlotArena {
   }
 
   /// Returns `count` slots to the shared free list.
-  void DeallocateBatch(void** slots, size_t count) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void DeallocateBatch(void** slots, size_t count) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     free_.insert(free_.end(), slots, slots + count);
   }
 
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Stats stats() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     Stats s;
     s.slabs = slabs_.size();
     s.slab_bytes = uint64_t(slabs_.size()) * stride_ * opt_.slots_per_slab;
@@ -93,7 +94,7 @@ class SlotArena {
   size_t stride() const { return stride_; }
 
  private:
-  void NewSlabLocked() {
+  void NewSlabLocked() REQUIRES(mu_) {
     void* slab = ::operator new(stride_ * opt_.slots_per_slab,
                                 std::align_val_t(opt_.slot_align));
     slabs_.push_back(slab);
@@ -103,12 +104,12 @@ class SlotArena {
 
   Options opt_;
   size_t stride_ = 0;
-  mutable std::mutex mu_;
-  std::vector<void*> slabs_;
-  std::vector<void*> free_;
-  char* bump_ = nullptr;
-  size_t bump_left_ = 0;
-  uint64_t carved_ = 0;
+  mutable Mutex mu_;
+  std::vector<void*> slabs_ GUARDED_BY(mu_);
+  std::vector<void*> free_ GUARDED_BY(mu_);
+  char* bump_ GUARDED_BY(mu_) = nullptr;
+  size_t bump_left_ GUARDED_BY(mu_) = 0;
+  uint64_t carved_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hyder

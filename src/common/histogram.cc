@@ -38,6 +38,9 @@ void Histogram::Add(uint64_t value) {
 }
 
 void Histogram::Merge(const Histogram& other) {
+  // Self-merge must be a no-op: the aggregation paths fold per-thread
+  // instances into a total that may itself be in the list.
+  if (&other == this) return;
   for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;
   sum_ += other.sum_;

@@ -17,6 +17,10 @@ class Histogram {
   Histogram();
 
   void Add(uint64_t value);
+  /// Folds `other`'s samples into this histogram. Merging a histogram into
+  /// itself is a no-op (not a doubling), so aggregation loops need not
+  /// special-case the accumulator. Callers must serialize Merge against
+  /// concurrent Add on either instance.
   void Merge(const Histogram& other);
   void Reset();
 

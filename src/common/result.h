@@ -15,8 +15,11 @@ namespace hyder {
 /// return `Result<T>`. The invariant is that exactly one of {value, error}
 /// is present; constructing a `Result` from an OK status is a programming
 /// error (asserted).
+///
+/// Marked [[nodiscard]] like `Status`: discarding a Result drops both the
+/// value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value (implicit by design, mirroring
   /// absl::StatusOr, so `return value;` works in functions returning

@@ -44,7 +44,11 @@ std::string_view StatusCodeName(StatusCode code);
 /// `Status` is cheap to copy when OK (no allocation) and carries an explanatory
 /// message otherwise. Use the static factories (`Status::Aborted(...)`) to
 /// construct errors and the `ok()` / `IsAborted()` / ... predicates to test.
-class Status {
+///
+/// Marked [[nodiscard]]: a dropped Status is a swallowed failure. Callers
+/// that genuinely want to ignore one (e.g. best-effort cleanup) must say so
+/// with an explicit cast or by naming the value.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

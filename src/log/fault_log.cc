@@ -16,7 +16,7 @@ void FaultInjectingLog::MaybeInjectLatencyLocked() {
 }
 
 Result<uint64_t> FaultInjectingLog::Append(std::string block) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MaybeInjectLatencyLocked();
   // One uniform draw partitioned by cumulative probability keeps the fault
   // schedule a pure function of (seed, operation index).
@@ -61,7 +61,7 @@ Result<uint64_t> FaultInjectingLog::Append(std::string block) {
 }
 
 Result<std::string> FaultInjectingLog::Read(uint64_t position) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MaybeInjectLatencyLocked();
   if (decayed_.count(position) != 0) {
     counts_.dataloss_reads++;
@@ -96,24 +96,24 @@ Result<std::string> FaultInjectingLog::Read(uint64_t position) {
 
 void FaultInjectingLog::RecordRetry() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.retries++;
   }
   base_->RecordRetry();
 }
 
 LogStats FaultInjectingLog::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void FaultInjectingLog::CorruptPosition(uint64_t position) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   decayed_.insert(position);
 }
 
 FaultInjectingLog::FaultCounts FaultInjectingLog::fault_counts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counts_;
 }
 

@@ -2,10 +2,10 @@
 #define HYDER2_LOG_FAULT_LOG_H_
 
 #include <functional>
-#include <mutex>
 #include <unordered_set>
 
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "log/shared_log.h"
 
 namespace hyder {
@@ -54,16 +54,16 @@ class FaultInjectingLog : public SharedLog {
   /// `base` must outlive this wrapper; the wrapper takes no ownership.
   FaultInjectingLog(SharedLog* base, FaultInjectionOptions options);
 
-  Result<uint64_t> Append(std::string block) override;
-  Result<std::string> Read(uint64_t position) override;
+  Result<uint64_t> Append(std::string block) EXCLUDES(mu_) override;
+  Result<std::string> Read(uint64_t position) EXCLUDES(mu_) override;
   uint64_t Tail() const override { return base_->Tail(); }
   size_t block_size() const override { return base_->block_size(); }
-  void RecordRetry() override;
-  LogStats stats() const override;
+  void RecordRetry() EXCLUDES(mu_) override;
+  LogStats stats() const EXCLUDES(mu_) override;
 
   /// Forces `position` into the decayed set: every subsequent read fails
   /// with `DataLoss`. For tests that need a corrupt block at an exact spot.
-  void CorruptPosition(uint64_t position);
+  void CorruptPosition(uint64_t position) EXCLUDES(mu_);
 
   /// Per-fault-kind injection counts.
   struct FaultCounts {
@@ -74,18 +74,18 @@ class FaultInjectingLog : public SharedLog {
     uint64_t dataloss_reads = 0;
     uint64_t latency_spikes = 0;
   };
-  FaultCounts fault_counts() const;
+  FaultCounts fault_counts() const EXCLUDES(mu_);
 
  private:
-  void MaybeInjectLatencyLocked();
+  void MaybeInjectLatencyLocked() REQUIRES(mu_);
 
   SharedLog* const base_;
   const FaultInjectionOptions options_;
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::unordered_set<uint64_t> decayed_;
-  LogStats stats_;
-  FaultCounts counts_;
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  std::unordered_set<uint64_t> decayed_ GUARDED_BY(mu_);
+  LogStats stats_ GUARDED_BY(mu_);
+  FaultCounts counts_ GUARDED_BY(mu_);
 };
 
 }  // namespace hyder

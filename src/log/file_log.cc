@@ -118,7 +118,7 @@ Result<uint64_t> FileLog::Append(std::string block) {
   if (block.empty()) {
     return Status::InvalidArgument("empty blocks are not valid log entries");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t pos = tail_;
   std::string slot;
   slot.reserve(SlotSize());
@@ -152,7 +152,7 @@ Result<uint64_t> FileLog::Append(std::string block) {
 }
 
 Result<std::string> FileLog::Read(uint64_t position) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (position == 0 || position >= tail_) {
     return Status::NotFound("log position " + std::to_string(position) +
                             " past tail " + std::to_string(tail_));
@@ -195,19 +195,19 @@ Result<std::string> FileLog::Read(uint64_t position) {
 }
 
 uint64_t FileLog::Tail() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tail_;
 }
 
 void FileLog::RecordRetry() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.retries++;
 }
 
 LogStats FileLog::stats() const {
   // Snapshot under mu_: the same mutex every counter is mutated under, so
   // the struct is internally consistent even with concurrent appends.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -3,9 +3,9 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "log/shared_log.h"
 
 namespace hyder {
@@ -55,13 +55,13 @@ class FileLog : public SharedLog {
   FileLog(const FileLog&) = delete;
   FileLog& operator=(const FileLog&) = delete;
 
-  Result<uint64_t> Append(std::string block) override;
-  Result<std::string> Read(uint64_t position) override;
-  uint64_t Tail() const override;
+  Result<uint64_t> Append(std::string block) EXCLUDES(mu_) override;
+  Result<std::string> Read(uint64_t position) EXCLUDES(mu_) override;
+  uint64_t Tail() const EXCLUDES(mu_) override;
   size_t block_size() const override { return options_.block_size; }
-  void RecordRetry() override;
+  void RecordRetry() EXCLUDES(mu_) override;
 
-  LogStats stats() const override;
+  LogStats stats() const EXCLUDES(mu_) override;
 
   /// False when the file predates the CRC'd slot layout.
   bool crc_protected() const { return format_v2_; }
@@ -75,10 +75,10 @@ class FileLog : public SharedLog {
 
   const Options options_;
   const bool format_v2_;
-  mutable std::mutex mu_;
-  std::FILE* file_;
-  uint64_t tail_;  // Next position to assign (1-based).
-  LogStats stats_;
+  mutable Mutex mu_;
+  std::FILE* file_ GUARDED_BY(mu_);
+  uint64_t tail_ GUARDED_BY(mu_);  // Next position to assign (1-based).
+  LogStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace hyder

@@ -21,11 +21,13 @@ class SharedLog {
   virtual ~SharedLog() = default;
 
   /// Appends a block, returning its assigned position. Blocks longer than
-  /// `block_size()` are rejected with InvalidArgument.
-  virtual Result<uint64_t> Append(std::string block) = 0;
+  /// `block_size()` are rejected with InvalidArgument. [[nodiscard]]: an
+  /// ignored append result hides both the position (needed to detect lost
+  /// acknowledgements) and the failure itself.
+  [[nodiscard]] virtual Result<uint64_t> Append(std::string block) = 0;
 
   /// Reads the block at `position`. Fails with NotFound past the tail.
-  virtual Result<std::string> Read(uint64_t position) = 0;
+  [[nodiscard]] virtual Result<std::string> Read(uint64_t position) = 0;
 
   /// The position that the next append will receive.
   virtual uint64_t Tail() const = 0;

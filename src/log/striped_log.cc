@@ -8,11 +8,11 @@ StripedLog::StripedLog(StripedLogOptions options) : options_(options) {
 
 Result<uint64_t> StripedLog::Append(std::string block) {
   if (block.size() > options_.block_size) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.errors++;
     return Status::InvalidArgument("block exceeds the configured block size");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t pos = tail_++;
   StorageUnit& unit = units_[(pos - 1) % units_.size()];
   unit.bytes += block.size();
@@ -23,7 +23,7 @@ Result<uint64_t> StripedLog::Append(std::string block) {
 }
 
 Result<std::string> StripedLog::Read(uint64_t position) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (position == 0 || position >= tail_) {
     stats_.errors++;
     return Status::NotFound("log position " + std::to_string(position) +
@@ -35,24 +35,24 @@ Result<std::string> StripedLog::Read(uint64_t position) {
 }
 
 uint64_t StripedLog::Tail() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tail_;
 }
 
 void StripedLog::RecordRetry() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_.retries++;
 }
 
 LogStats StripedLog::stats() const {
   // Snapshot under mu_: the counters are only ever mutated under the same
   // mutex, so callers get an internally consistent view.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 uint64_t StripedLog::UnitBytes(int unit) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return units_[unit].bytes;
 }
 

@@ -2,9 +2,9 @@
 #define HYDER2_LOG_STRIPED_LOG_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "log/shared_log.h"
 
 namespace hyder {
@@ -33,18 +33,18 @@ class StripedLog : public SharedLog {
  public:
   explicit StripedLog(StripedLogOptions options);
 
-  Result<uint64_t> Append(std::string block) override;
-  Result<std::string> Read(uint64_t position) override;
-  uint64_t Tail() const override;
+  Result<uint64_t> Append(std::string block) EXCLUDES(mu_) override;
+  Result<std::string> Read(uint64_t position) EXCLUDES(mu_) override;
+  uint64_t Tail() const EXCLUDES(mu_) override;
   size_t block_size() const override { return options_.block_size; }
-  void RecordRetry() override;
+  void RecordRetry() EXCLUDES(mu_) override;
 
   /// Consistent snapshot taken under the same mutex the counters are
   /// mutated under.
-  LogStats stats() const override;
+  LogStats stats() const EXCLUDES(mu_) override;
 
   /// Bytes held by one storage unit (for balance tests).
-  uint64_t UnitBytes(int unit) const;
+  uint64_t UnitBytes(int unit) const EXCLUDES(mu_);
   int storage_units() const { return options_.storage_units; }
 
  private:
@@ -54,10 +54,11 @@ class StripedLog : public SharedLog {
   };
 
   const StripedLogOptions options_;
-  mutable std::mutex mu_;
-  std::vector<StorageUnit> units_;
-  uint64_t tail_ = 1;  // Next position to assign (positions are 1-based).
-  LogStats stats_;
+  mutable Mutex mu_;
+  std::vector<StorageUnit> units_ GUARDED_BY(mu_);
+  /// Next position to assign (positions are 1-based).
+  uint64_t tail_ GUARDED_BY(mu_) = 1;
+  LogStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace hyder

@@ -8,17 +8,17 @@ StateTable::StateTable(uint64_t capacity, DatabaseState initial)
 }
 
 void StateTable::Publish(DatabaseState state) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   states_.push_back(std::move(state));
   while (states_.size() > capacity_) states_.pop_front();
-  published_.notify_all();
+  published_.SignalAll();
 }
 
 Result<DatabaseState> StateTable::WaitFor(uint64_t seq) {
-  std::unique_lock<std::mutex> lock(mu_);
-  published_.wait(lock, [&] {
-    return shutdown_ || (!states_.empty() && states_.back().seq >= seq);
-  });
+  MutexLock lock(mu_);
+  while (!shutdown_ && (states_.empty() || states_.back().seq < seq)) {
+    published_.Wait(mu_);
+  }
   if (states_.empty() || states_.back().seq < seq) {
     return Status::TimedOut("state table shut down while waiting for state " +
                             std::to_string(seq));
@@ -33,7 +33,7 @@ Result<DatabaseState> StateTable::WaitFor(uint64_t seq) {
 }
 
 Result<DatabaseState> StateTable::Get(uint64_t seq) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (states_.empty() || states_.back().seq < seq) {
     return Status::NotFound("state " + std::to_string(seq) +
                             " not yet published");
@@ -48,17 +48,17 @@ Result<DatabaseState> StateTable::Get(uint64_t seq) const {
 }
 
 DatabaseState StateTable::Latest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return states_.back();
 }
 
 uint64_t StateTable::OldestRetained() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return states_.front().seq;
 }
 
 Status StateTable::ReplaceInitial(DatabaseState state) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (states_.size() != 1) {
     return Status::InvalidArgument(
         "ReplaceInitial is only legal before any state is published");
@@ -71,9 +71,9 @@ Status StateTable::ReplaceInitial(DatabaseState state) {
 }
 
 void StateTable::Shutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   shutdown_ = true;
-  published_.notify_all();
+  published_.SignalAll();
 }
 
 }  // namespace hyder

@@ -1,12 +1,11 @@
 #ifndef HYDER2_MELD_STATE_TABLE_H_
 #define HYDER2_MELD_STATE_TABLE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "tree/node.h"
 
 namespace hyder {
@@ -34,36 +33,37 @@ class StateTable {
 
   /// Publishes the state produced after intention `seq` (must be the next
   /// sequence). Wakes waiters; retires states beyond the capacity window.
-  void Publish(DatabaseState state);
+  void Publish(DatabaseState state) EXCLUDES(mu_);
 
   /// Returns state `seq`, blocking until it is published. Fails with
   /// SnapshotTooOld when it has already been retired, or TimedOut if the
   /// table is shut down while waiting.
-  Result<DatabaseState> WaitFor(uint64_t seq);
+  Result<DatabaseState> WaitFor(uint64_t seq) EXCLUDES(mu_);
 
   /// Non-blocking lookup.
-  Result<DatabaseState> Get(uint64_t seq) const;
+  Result<DatabaseState> Get(uint64_t seq) const EXCLUDES(mu_);
 
   /// The most recently published state (what new transactions snapshot).
-  DatabaseState Latest() const;
+  DatabaseState Latest() const EXCLUDES(mu_);
 
   /// Sequence of the oldest retained state.
-  uint64_t OldestRetained() const;
+  uint64_t OldestRetained() const EXCLUDES(mu_);
 
   /// Replaces the initial state before any publication — the checkpoint
   /// bootstrap path, where the reconstructed tree becomes available only
   /// after the owning server (and its resolver) exist.
-  Status ReplaceInitial(DatabaseState state);
+  Status ReplaceInitial(DatabaseState state) EXCLUDES(mu_);
 
   /// Wakes all waiters with TimedOut; used at pipeline shutdown.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
  private:
   const uint64_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable published_;
-  std::deque<DatabaseState> states_;  // Contiguous seqs; front() oldest.
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar published_;
+  /// Contiguous seqs; front() oldest.
+  std::deque<DatabaseState> states_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hyder

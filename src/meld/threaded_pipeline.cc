@@ -90,7 +90,7 @@ void ThreadedPipeline::Join() {
 
 void ThreadedPipeline::Poison(const Status& status) {
   {
-    std::lock_guard<std::mutex> lock(error_mu_);
+    MutexLock lock(error_mu_);
     if (first_error_.ok()) first_error_ = status;
   }
   poisoned_.store(true, std::memory_order_release);
@@ -100,7 +100,7 @@ void ThreadedPipeline::Poison(const Status& status) {
 }
 
 Status ThreadedPipeline::FirstError() const {
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(error_mu_);
   return first_error_.ok()
              ? Status::Aborted("pipeline closed")
              : first_error_;
@@ -108,16 +108,16 @@ Status ThreadedPipeline::FirstError() const {
 
 void ThreadedPipeline::ReorderAdd(uint64_t seq, IntentionPtr intent) {
   {
-    std::lock_guard<std::mutex> lock(reorder_mu_);
+    MutexLock lock(reorder_mu_);
     reorder_buffer_[seq] = std::move(intent);
   }
   // Only one thread pushes downstream at a time, so ready items leave in
   // strictly increasing sequence order.
-  std::lock_guard<std::mutex> push_lock(push_mu_);
+  MutexLock push_lock(push_mu_);
   for (;;) {
     IntentionPtr ready;
     {
-      std::lock_guard<std::mutex> lock(reorder_mu_);
+      MutexLock lock(reorder_mu_);
       auto it = reorder_buffer_.find(next_ordered_);
       if (it == reorder_buffer_.end()) break;
       ready = std::move(it->second);
@@ -148,7 +148,7 @@ void ThreadedPipeline::PremeldWorker(int thread_index) {
     }
     work.cpu_nanos = cpu.ElapsedNanos();
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       pm_stats_.premeld += work;
       if (out->skipped) pm_stats_.premeld_skips++;
       if (out->intention->known_aborted) pm_stats_.premeld_aborts++;
@@ -182,7 +182,7 @@ void ThreadedPipeline::MeldWorker() {
 PipelineStats ThreadedPipeline::StatsSnapshot() const {
   PipelineStats out = engine_.stats();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     out.premeld = pm_stats_.premeld;
     out.premeld_skips = pm_stats_.premeld_skips;
     // Premeld aborts are also tallied by the engine when the known-aborted

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/queue.h"
+#include "common/thread_annotations.h"
 #include "meld/pipeline.h"
 
 namespace hyder {
@@ -60,20 +61,24 @@ class ThreadedPipeline {
   /// The state table (shared with premeld waiters and executors).
   StateTable& states() { return engine_.states(); }
 
-  /// Aggregated stats (call after Join, or accept racy reads).
-  PipelineStats StatsSnapshot() const;
+  /// Aggregated stats. Only valid after `Join`: the embedded engine's
+  /// counters are owned by the meld worker thread until it exits.
+  PipelineStats StatsSnapshot() const EXCLUDES(stats_mu_);
 
   /// First error encountered by any stage, if the pipeline was poisoned.
-  Status FirstError() const;
+  Status FirstError() const EXCLUDES(error_mu_);
 
  private:
   void PremeldWorker(int thread_index);
   void MeldWorker();
-  void Poison(const Status& status);
-  void ReorderAdd(uint64_t seq, IntentionPtr intent);
+  void Poison(const Status& status) EXCLUDES(error_mu_);
+  void ReorderAdd(uint64_t seq, IntentionPtr intent)
+      EXCLUDES(reorder_mu_, push_mu_);
 
   const PipelineConfig config_;
-  /// gm + fm stages, with premeld handled by this class's workers.
+  /// gm + fm stages, with premeld handled by this class's workers. Confined
+  /// to the meld worker thread while it runs (plus the internally locked
+  /// StateTable); the caller may touch it again only after Join.
   SequentialPipeline engine_;
   NodeResolver* const resolver_;
   DecisionCallback on_decision_;
@@ -82,19 +87,24 @@ class ThreadedPipeline {
   std::vector<std::unique_ptr<BoundedQueue<IntentionPtr>>> pm_queues_;
   BoundedQueue<IntentionPtr> ordered_;
 
-  std::mutex reorder_mu_;
-  std::map<uint64_t, IntentionPtr> reorder_buffer_;
-  uint64_t next_ordered_;
-  std::mutex push_mu_;
+  /// Lock order: push_mu_ before reorder_mu_ (ReorderAdd); never hold
+  /// either across a queue Push (except push_mu_, which exists precisely
+  /// to serialize the downstream pushes).
+  Mutex push_mu_ ACQUIRED_BEFORE(reorder_mu_);
+  Mutex reorder_mu_;
+  std::map<uint64_t, IntentionPtr> reorder_buffer_ GUARDED_BY(reorder_mu_);
+  uint64_t next_ordered_ GUARDED_BY(reorder_mu_);
 
-  mutable std::mutex stats_mu_;
-  PipelineStats pm_stats_;
+  mutable Mutex stats_mu_;
+  PipelineStats pm_stats_ GUARDED_BY(stats_mu_);
 
-  mutable std::mutex error_mu_;
-  Status first_error_;
+  mutable Mutex error_mu_;
+  Status first_error_ GUARDED_BY(error_mu_);
   std::atomic<bool> poisoned_{false};
 
   std::vector<std::thread> threads_;
+  /// Caller-thread state (Feed/Close/Start/Join are single-caller by
+  /// contract); never touched by workers.
   uint64_t fed_seq_ = 0;
   bool started_ = false;
   bool closed_ = false;

@@ -14,7 +14,7 @@ Result<NodePtr> ServerResolver::Resolve(VersionId vn) {
     return Status::InvalidArgument("cannot resolve a null version id");
   }
   if (vn.IsEphemeral()) {
-    std::lock_guard<std::mutex> lock(eph_mu_);
+    MutexLock lock(eph_mu_);
     auto it = ephemerals_.find(vn);
     if (it == ephemerals_.end()) {
       return Status::SnapshotTooOld("ephemeral node " + vn.ToString() +
@@ -26,7 +26,7 @@ Result<NodePtr> ServerResolver::Resolve(VersionId vn) {
 }
 
 Result<NodePtr> ServerResolver::ResolveLogged(VersionId vn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HYDER_ASSIGN_OR_RETURN(const std::vector<NodePtr>* nodes,
                          MaterializeLocked(vn.intention_seq()));
   if (vn.node_index() >= nodes->size()) {
@@ -52,7 +52,8 @@ Result<const std::vector<NodePtr>*> ServerResolver::MaterializeLocked(
     return Status::NotFound("no directory entry for intention " +
                             std::to_string(seq));
   }
-  refetches_++;
+  // Relaxed: stats only; the cache mutation itself is ordered by mu_.
+  refetches_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::string> chunks(dir->second.positions.size());
   for (uint64_t pos : dir->second.positions) {
     // Transient read errors retry; DataLoss and the like surface — the
@@ -105,13 +106,13 @@ void ServerResolver::EvictLocked() {
 void ServerResolver::RecordIntentionBlocks(uint64_t seq,
                                            std::vector<uint64_t> positions,
                                            uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   directory_[seq] = DirectoryEntry{std::move(positions), txn_id};
 }
 
 void ServerResolver::CacheIntention(uint64_t seq,
                                     std::vector<NodePtr> nodes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (intentions_.count(seq) != 0) return;
   CachedIntention entry;
   entry.nodes = std::move(nodes);
@@ -122,12 +123,12 @@ void ServerResolver::CacheIntention(uint64_t seq,
 }
 
 void ServerResolver::RegisterEphemeral(const NodePtr& n) {
-  std::lock_guard<std::mutex> lock(eph_mu_);
+  MutexLock lock(eph_mu_);
   ephemerals_[n->vn()] = n;
 }
 
 size_t ServerResolver::SweepEphemerals() {
-  std::lock_guard<std::mutex> lock(eph_mu_);
+  MutexLock lock(eph_mu_);
   size_t dropped = 0;
   for (auto it = ephemerals_.begin(); it != ephemerals_.end();) {
     // RefCount == 1 means only the registry still holds the node: it is
@@ -147,7 +148,7 @@ size_t ServerResolver::SweepEphemerals() {
 
 std::vector<ServerResolver::DirectoryExport> ServerResolver::ExportDirectory()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<DirectoryExport> out;
   out.reserve(directory_.size());
   for (const auto& [seq, entry] : directory_) {
@@ -158,19 +159,19 @@ std::vector<ServerResolver::DirectoryExport> ServerResolver::ExportDirectory()
 
 void ServerResolver::ImportDirectory(
     const std::vector<DirectoryExport>& entries) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const DirectoryExport& e : entries) {
     directory_[e.seq] = DirectoryEntry{e.positions, e.txn_id};
   }
 }
 
 size_t ServerResolver::cached_intentions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return intentions_.size();
 }
 
 size_t ServerResolver::ephemeral_count() const {
-  std::lock_guard<std::mutex> lock(eph_mu_);
+  MutexLock lock(eph_mu_);
   return ephemerals_.size();
 }
 

@@ -1,12 +1,13 @@
 #ifndef HYDER2_SERVER_RESOLVER_H_
 #define HYDER2_SERVER_RESOLVER_H_
 
+#include <atomic>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/retry.h"
+#include "common/thread_annotations.h"
 #include "log/shared_log.h"
 #include "tree/node.h"
 #include "txn/intention.h"
@@ -66,34 +67,42 @@ class ServerResolver : public NodeResolver {
   /// Restores directory entries (bootstrap path).
   void ImportDirectory(const std::vector<DirectoryExport>& entries);
 
-  size_t cached_intentions() const;
-  size_t ephemeral_count() const;
-  uint64_t refetches() const { return refetches_; }
+  size_t cached_intentions() const EXCLUDES(mu_);
+  size_t ephemeral_count() const EXCLUDES(eph_mu_);
+  uint64_t refetches() const {
+    // Relaxed: a monotonic stats counter read with no ordering dependency.
+    return refetches_.load(std::memory_order_relaxed);
+  }
 
  private:
-  Result<NodePtr> ResolveLogged(VersionId vn);
-  Result<const std::vector<NodePtr>*> MaterializeLocked(uint64_t seq);
-  void TouchLocked(uint64_t seq);
-  void EvictLocked();
+  Result<NodePtr> ResolveLogged(VersionId vn) EXCLUDES(mu_);
+  Result<const std::vector<NodePtr>*> MaterializeLocked(uint64_t seq)
+      REQUIRES(mu_);
+  void TouchLocked(uint64_t seq) REQUIRES(mu_);
+  void EvictLocked() REQUIRES(mu_);
 
   SharedLog* const log_;
   const ResolverOptions options_;
 
-  mutable std::mutex mu_;
+  /// Lock order: mu_ and eph_mu_ are never held together (the intention
+  /// cache and the ephemeral registry are disjoint id spaces).
+  mutable Mutex mu_;
   struct CachedIntention {
     std::vector<NodePtr> nodes;
     std::list<uint64_t>::iterator lru_pos;
   };
-  std::unordered_map<uint64_t, CachedIntention> intentions_;
-  std::list<uint64_t> lru_;  // Front = most recently used.
+  std::unordered_map<uint64_t, CachedIntention> intentions_ GUARDED_BY(mu_);
+  std::list<uint64_t> lru_ GUARDED_BY(mu_);  // Front = most recently used.
   struct DirectoryEntry {
     std::vector<uint64_t> positions;
     uint64_t txn_id = 0;
   };
-  std::unordered_map<uint64_t, DirectoryEntry> directory_;
-  mutable std::mutex eph_mu_;
-  std::unordered_map<VersionId, NodePtr> ephemerals_;
-  uint64_t refetches_ = 0;
+  std::unordered_map<uint64_t, DirectoryEntry> directory_ GUARDED_BY(mu_);
+  mutable Mutex eph_mu_;
+  std::unordered_map<VersionId, NodePtr> ephemerals_ GUARDED_BY(eph_mu_);
+  /// Atomic (not guarded): incremented under mu_ but read by the stats
+  /// accessor without it.
+  std::atomic<uint64_t> refetches_{0};
 };
 
 }  // namespace hyder

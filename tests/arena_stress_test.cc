@@ -19,13 +19,13 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "tree/node.h"
 #include "tree/node_pool.h"
 
@@ -36,13 +36,13 @@ namespace {
 class HandoffQueue {
  public:
   void Push(NodePtr n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     nodes_.push_back(std::move(n));
   }
 
   // Pops up to `max` nodes into `out`; returns how many.
   size_t PopSome(std::vector<NodePtr>* out, size_t max) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     size_t n = std::min(max, nodes_.size());
     for (size_t i = 0; i < n; ++i) {
       out->push_back(std::move(nodes_.back()));
@@ -52,13 +52,13 @@ class HandoffQueue {
   }
 
   void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     nodes_.clear();
   }
 
  private:
-  std::mutex mu_;
-  std::vector<NodePtr> nodes_;
+  Mutex mu_;
+  std::vector<NodePtr> nodes_ GUARDED_BY(mu_);
 };
 
 TEST(ArenaStressTest, CrossThreadChurnReconciles) {

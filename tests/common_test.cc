@@ -160,6 +160,14 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_GE(a.Percentile(90), 900u);
 }
 
+TEST(HistogramTest, SelfMergeIsNoOp) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(i);
+  h.Merge(h);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max(), 99u);
+}
+
 TEST(HistogramTest, EmptyIsZero) {
   Histogram h;
   EXPECT_EQ(h.Percentile(50), 0u);

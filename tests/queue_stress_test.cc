@@ -1,0 +1,185 @@
+// Deterministic multi-threaded stress of BoundedQueue (common/queue.h), the
+// back-pressure channel between meld pipeline stages. The checks pin down
+// the contract the pipeline shutdown path depends on:
+//
+//  * every item pushed before Close is popped exactly once (no loss, no
+//    duplication) even with many producers and consumers contending on a
+//    tiny capacity;
+//  * per-producer FIFO order survives MPMC interleaving;
+//  * Close wakes every blocked producer and consumer: pushes fail, pops
+//    drain the backlog and then return nullopt;
+//  * back-pressure holds: the queue never exceeds its capacity.
+//
+// Runs under `ctest -L tsan` so ThreadSanitizer checks the queue's locking,
+// not just its semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+
+namespace hyder {
+namespace {
+
+// Item tagged with its producer and per-producer sequence number so
+// consumers can verify exactly-once delivery and per-producer order.
+struct Tagged {
+  int producer;
+  uint64_t seq;
+};
+
+TEST(QueueStressTest, MpmcDeliversEachItemExactlyOnceInOrder) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr uint64_t kPerProducer = 20000;
+  // A tiny capacity maximizes blocking on both conditions.
+  BoundedQueue<Tagged> q(8);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(Tagged{p, i})) << "queue closed mid-run";
+      }
+    });
+  }
+
+  // Each consumer records what it saw; totals are reconciled after join so
+  // the checks themselves introduce no synchronization beyond the queue's.
+  std::vector<std::vector<Tagged>> seen(kConsumers);
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&q, &seen, c] {
+      while (auto item = q.Pop()) seen[c].push_back(*item);
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  // Exactly-once: per-producer sequence numbers partition across consumers.
+  std::vector<std::vector<uint64_t>> by_producer(kProducers);
+  for (const auto& consumer_log : seen) {
+    // Per-producer order within one consumer's log must be increasing:
+    // the queue is FIFO and one consumer's pops are totally ordered.
+    std::vector<uint64_t> last(kProducers, 0);
+    std::vector<bool> started(kProducers, false);
+    for (const Tagged& t : consumer_log) {
+      if (started[t.producer]) {
+        EXPECT_GT(t.seq, last[t.producer]) << "per-producer FIFO violated";
+      }
+      started[t.producer] = true;
+      last[t.producer] = t.seq;
+      by_producer[t.producer].push_back(t.seq);
+    }
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(by_producer[p].size(), kPerProducer) << "producer " << p;
+    std::sort(by_producer[p].begin(), by_producer[p].end());
+    for (uint64_t i = 0; i < kPerProducer; ++i) {
+      ASSERT_EQ(by_producer[p][i], i) << "lost or duplicated item";
+    }
+  }
+}
+
+TEST(QueueStressTest, BackPressureNeverExceedsCapacity) {
+  constexpr size_t kCapacity = 4;
+  BoundedQueue<uint64_t> q(kCapacity);
+  std::atomic<bool> overflow{false};
+
+  std::thread observer([&] {
+    // size() takes the queue's own lock, so each observation is exact.
+    while (!q.closed()) {
+      if (q.size() > kCapacity) overflow.store(true);
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&q] {
+      for (uint64_t i = 0; i < 5000; ++i) {
+        if (!q.Push(i)) return;
+      }
+    });
+  }
+  std::thread consumer([&] {
+    while (q.Pop()) {
+    }
+  });
+  for (auto& t : producers) t.join();
+  q.Close();
+  consumer.join();
+  observer.join();
+  EXPECT_FALSE(overflow.load());
+}
+
+TEST(QueueStressTest, CloseWakesBlockedProducersAndConsumers) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+
+  std::atomic<int> blocked_push_result{-1};
+  std::atomic<int> drained{0};
+  std::atomic<int> empty_pops{0};
+
+  // Producer blocks on the full queue; consumers beyond the backlog block
+  // on empty. Close must wake all of them.
+  std::thread producer([&] {
+    blocked_push_result.store(q.Push(3) ? 1 : 0);
+  });
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) drained.fetch_add(1);
+      empty_pops.fetch_add(1);
+    });
+  }
+  // No handshake with the blocked threads is possible without racing the
+  // blocking itself; Close is required to be correct regardless of whether
+  // the waiters have parked yet, so no sleep is needed for correctness.
+  q.Close();
+  producer.join();
+  for (auto& t : consumers) t.join();
+
+  // The blocked push either lost the race with Close (failed) or squeezed
+  // in before it (succeeded); either way it returned. Drained counts must
+  // match what actually landed.
+  const int pushed = blocked_push_result.load() == 1 ? 3 : 2;
+  EXPECT_EQ(drained.load(), pushed);
+  EXPECT_EQ(empty_pops.load(), 4);
+  EXPECT_FALSE(q.Pop().has_value()) << "closed and drained";
+  EXPECT_FALSE(q.TryPush(9)) << "pushes must fail after Close";
+}
+
+TEST(QueueStressTest, TryOperationsNeverBlockUnderContention) {
+  BoundedQueue<int> q(16);
+  std::atomic<uint64_t> try_pushed{0};
+  std::atomic<uint64_t> try_popped{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20000; ++i) {
+        if (t % 2 == 0) {
+          if (q.TryPush(i)) try_pushed.fetch_add(1);
+        } else {
+          if (q.TryPop()) try_popped.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Drain what the poppers missed.
+  while (q.TryPop()) try_popped.fetch_add(1);
+  EXPECT_EQ(try_pushed.load(), try_popped.load());
+}
+
+}  // namespace
+}  // namespace hyder

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "log/striped_log.h"
 #include "server/server.h"
 #include "test_cluster.h"
@@ -41,7 +42,7 @@ TEST(StressTest, ConcurrentSnapshotReadersDuringMeld) {
   // server instance, so snapshots are taken up front and refreshed by the
   // writer loop publishing into a shared slot).
   DatabaseState snap = server.LatestState();
-  std::mutex snap_mu;
+  Mutex snap_mu;
 
   std::vector<std::thread> readers;
   for (int t = 0; t < 3; ++t) {
@@ -50,7 +51,7 @@ TEST(StressTest, ConcurrentSnapshotReadersDuringMeld) {
       while (!stop.load(std::memory_order_acquire)) {
         DatabaseState local;
         {
-          std::lock_guard<std::mutex> lock(snap_mu);
+          MutexLock lock(snap_mu);
           local = snap;
         }
         // Raw tree traversal through the resolver (read-only).
@@ -76,7 +77,7 @@ TEST(StressTest, ConcurrentSnapshotReadersDuringMeld) {
     ASSERT_TRUE(server.Submit(std::move(txn)).ok());
     if (i % 4 == 0) {
       ASSERT_TRUE(server.Poll().ok());
-      std::lock_guard<std::mutex> lock(snap_mu);
+      MutexLock lock(snap_mu);
       snap = server.LatestState();
     }
   }

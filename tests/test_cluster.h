@@ -7,10 +7,11 @@
 // decisions, content, and cross-server physical determinism. The production
 // server (src/server) replaces the registry with the block-cache resolver.
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #include "meld/pipeline.h"
 #include "txn/codec.h"
@@ -24,7 +25,7 @@ namespace hyder {
 class MapRegistry : public NodeResolver {
  public:
   Result<NodePtr> Resolve(VersionId vn) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = nodes_.find(vn);
     if (it == nodes_.end()) {
       return Status::SnapshotTooOld("node " + vn.ToString() +
@@ -34,7 +35,7 @@ class MapRegistry : public NodeResolver {
   }
 
   void Register(const NodePtr& n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     nodes_[n->vn()] = n;
   }
 
@@ -55,13 +56,13 @@ class MapRegistry : public NodeResolver {
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return nodes_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<VersionId, NodePtr> nodes_;
+  mutable Mutex mu_;
+  std::unordered_map<VersionId, NodePtr> nodes_ GUARDED_BY(mu_);
 };
 
 /// One logical server: feeds log blocks through assembly, deserialization

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "test_cluster.h"
 #include "tree/validate.h"
 
@@ -22,7 +23,7 @@ class ThreadedHarness {
       : pipeline_(config, DatabaseState{0, Ref::Null()}, &registry_,
                   [this](const NodePtr& n) { registry_.Register(n); },
                   [this](const MeldDecision& d) {
-                    std::lock_guard<std::mutex> lock(mu_);
+                    MutexLock lock(mu_);
                     decisions_.push_back(d);
                   }) {
     pipeline_.Start();
@@ -49,7 +50,7 @@ class ThreadedHarness {
   }
 
   std::vector<MeldDecision> decisions() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return decisions_;
   }
 
@@ -59,8 +60,8 @@ class ThreadedHarness {
  private:
   MapRegistry registry_;
   IntentionAssembler assembler_;
-  std::mutex mu_;
-  std::vector<MeldDecision> decisions_;
+  Mutex mu_;
+  std::vector<MeldDecision> decisions_ GUARDED_BY(mu_);
   ThreadedPipeline pipeline_;
 };
 

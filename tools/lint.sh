@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Repo lint: mechanical checks for the invariants the compiler cannot see.
+# Run from anywhere; exits non-zero with one line per violation.
+#
+# Checks:
+#  1. Tree nodes are slab-allocated: no raw `new Node` / `delete` of nodes
+#     outside the arena implementation (tree/node_pool.cc). Everything else
+#     must go through MakeNode / NodePtr.
+#  2. Locking goes through the annotated wrappers: no `std::mutex`,
+#     `std::lock_guard`, `std::unique_lock`, `std::condition_variable` or
+#     `std::shared_mutex` members/uses outside common/thread_annotations.h.
+#     Raw std primitives are invisible to clang -Wthread-safety.
+#  3. Every `Mutex` member declaration is matched by at least one GUARDED_BY
+#     (or a written justification) in the same header: a mutex that guards
+#     nothing declared is either dead or undocumented.
+#  4. Threads are spawned only by the pipeline (meld/threaded_pipeline.*):
+#     ad-hoc threads in src/ bypass the shutdown/join discipline. Tests and
+#     benches may spawn their own.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+say() {
+  echo "lint: $*" >&2
+  fail=1
+}
+
+# --- 1. Raw node allocation outside the arena -------------------------------
+# `operator new`/`operator delete` of Node live only in tree/node_pool.cc.
+while IFS= read -r hit; do
+  say "raw node allocation (use MakeNode): $hit"
+done < <(grep -rnE 'new[[:space:]]+Node\b|delete[[:space:]]+[a-z_]*node' \
+    --include='*.cc' --include='*.h' src \
+    | grep -v 'tree/node_pool\.cc')
+
+# --- 2. Raw std synchronization primitives ----------------------------------
+while IFS= read -r hit; do
+  say "raw std sync primitive (use common/thread_annotations.h): $hit"
+done < <(grep -rnE \
+    'std::(mutex|shared_mutex|recursive_mutex|lock_guard|unique_lock|scoped_lock|condition_variable)\b' \
+    --include='*.cc' --include='*.h' src tests bench examples \
+    | grep -v 'common/thread_annotations\.h')
+
+# --- 3. Mutex members without GUARDED_BY ------------------------------------
+# A file that declares a `Mutex foo_;` member must also annotate at least
+# one member with GUARDED_BY. (Per-file, not per-mutex: grep cannot bind a
+# mutex to its data, clang -Wthread-safety does that precisely in CI.)
+while IFS= read -r file; do
+  if ! grep -qE 'GUARDED_BY|PT_GUARDED_BY' "$file"; then
+    say "Mutex member without any GUARDED_BY data in $file"
+  fi
+done < <(grep -rlE '^[[:space:]]*(mutable[[:space:]]+)?Mutex[[:space:]]+[a-z_]+_;' \
+    --include='*.h' src tests \
+    | grep -v 'common/thread_annotations\.h')
+
+# --- 4. Naked thread spawn outside the pipeline -----------------------------
+while IFS= read -r hit; do
+  say "thread spawned outside meld/threaded_pipeline (join discipline): $hit"
+done < <(grep -rnE 'std::(thread|jthread)\b' --include='*.cc' --include='*.h' src \
+    | grep -v 'meld/threaded_pipeline\.')
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: OK"
