@@ -1,0 +1,217 @@
+// Meld hot-path throughput: sequential engine vs. the threaded pipeline at
+// t in {0, 2, 5}, replaying one identical log through each.
+//
+// This is the bench behind the de-serialized hot path work (see DESIGN.md,
+// "Meld hot path"): intentions are fed to the threaded engine as *raw
+// payloads* (FeedRaw), so deserialization runs on the premeld workers, the
+// premeld -> final-meld hand-off is the lock-free sequence ring, and node
+// resolution goes through the sharded ServerResolver. Alongside wall-clock
+// intentions/sec it reports the meld thread's resolver lock acquisitions
+// per intention (PipelineStats::fm_resolver_locks) and the ring's blocking
+// events — the contention the optimization is meant to remove.
+//
+// Run with --json[=path] for machine-readable output; the committed
+// results/BENCH_pipeline_throughput.json holds pre- and post-change runs
+// from the same machine.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "check.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "meld/threaded_pipeline.h"
+#include "server/resolver.h"
+#include "txn/codec.h"
+
+namespace hyder {
+namespace bench {
+namespace {
+
+/// Fills a log with `txns` small write transactions submitted in
+/// conflicting batches (shared snapshots), via a generation server running
+/// `config`. The replay engines must run the *same* meld configuration:
+/// ephemeral version ids are a function of (t, d, group) (§3.4), and the
+/// logged intentions' snapshot references name them.
+uint64_t GenerateLog(StripedLog* log, uint64_t txns,
+                     const PipelineConfig& config) {
+  ServerOptions opts;
+  opts.max_inflight = 1 << 20;
+  opts.pipeline = config;
+  HyderServer server(log, opts);
+  Rng rng(42);
+  uint64_t submitted = 0;
+  while (submitted < txns) {
+    const uint64_t batch = std::min<uint64_t>(32, txns - submitted);
+    for (uint64_t i = 0; i < batch; ++i) {
+      Transaction txn = server.Begin(IsolationLevel::kSerializable);
+      HYDER_BENCH_CHECK_OK(txn.Get(rng.Uniform(20000)));
+      HYDER_BENCH_CHECK_OK(txn.Put(rng.Uniform(20000), "bench-val-16byte"));
+      HYDER_BENCH_CHECK_OK(txn.Put(rng.Uniform(20000), "bench-val-16byte"));
+      HYDER_BENCH_CHECK_OK(server.Submit(std::move(txn)));
+    }
+    HYDER_BENCH_CHECK_OK(server.Poll());
+    submitted += batch;
+  }
+  return submitted;
+}
+
+/// One completed intention recovered from the log, ready to feed.
+struct LogIntention {
+  uint64_t seq = 0;
+  uint64_t txn_id = 0;
+  uint32_t block_count = 1;
+  std::string payload;
+  std::vector<uint64_t> positions;
+};
+
+std::vector<LogIntention> ReadBack(StripedLog* log) {
+  std::vector<LogIntention> out;
+  IntentionAssembler assembler;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> partial;
+  for (uint64_t pos = 1; pos < log->Tail(); ++pos) {
+    auto block = log->Read(pos);
+    HYDER_BENCH_CHECK_OK(block);
+    auto header = DecodeBlockHeader(*block);
+    HYDER_BENCH_CHECK_OK(header);
+    auto fed = assembler.AddBlock(*block);
+    HYDER_BENCH_CHECK_OK(fed);
+    partial[header->txn_id].push_back(pos);
+    if (!fed->completed.has_value()) continue;
+    LogIntention li;
+    li.seq = fed->completed->seq;
+    li.txn_id = fed->completed->txn_id;
+    li.block_count = fed->completed->block_count;
+    li.payload = std::move(fed->completed->payload);
+    li.positions = std::move(partial[header->txn_id]);
+    partial.erase(header->txn_id);
+    out.push_back(std::move(li));
+  }
+  return out;
+}
+
+struct RunResult {
+  double wall_ms = 0;
+  double ips = 0;  ///< Intentions melded per wall second.
+  PipelineStats stats;
+};
+
+PipelineConfig MeldConfig(int threads) {
+  PipelineConfig config;
+  config.premeld_threads = threads;
+  config.premeld_distance = 10;
+  // Deep stage queues: the feed thread hands off raw payloads much faster
+  // than workers drain them, and on few-core hosts every full-queue block
+  // is a futex round-trip on the critical path.
+  config.stage_queue_capacity = 512;
+  config.group_meld = true;
+  config.state_retention = 8192;
+  return config;
+}
+
+/// Replays the stream through a SequentialPipeline the way the server's
+/// poll loop does: decode on the feed thread, then Process.
+RunResult RunSequential(StripedLog* log,
+                        const std::vector<LogIntention>& stream,
+                        int threads) {
+  ServerResolver resolver(log, ResolverOptions{});
+  PipelineConfig config = MeldConfig(threads);
+  SequentialPipeline pipeline(
+      config, DatabaseState{0, Ref::Null()}, &resolver,
+      [&resolver](const NodePtr& n) { resolver.RegisterEphemeral(n); });
+  Stopwatch wall;
+  for (const LogIntention& li : stream) {
+    resolver.RecordIntentionBlocks(li.seq, li.positions, li.txn_id);
+    std::vector<NodePtr> nodes;
+    auto intent = DeserializeIntention(li.payload, li.seq, li.block_count,
+                                       &resolver, li.txn_id, &nodes);
+    HYDER_BENCH_CHECK_OK(intent);
+    resolver.CacheIntention(li.seq, std::move(nodes));
+    HYDER_BENCH_CHECK_OK(pipeline.Process(std::move(*intent)));
+  }
+  HYDER_BENCH_CHECK_OK(pipeline.Flush());
+  RunResult r;
+  r.wall_ms = double(wall.ElapsedNanos()) / 1e6;
+  r.ips = double(stream.size()) / (r.wall_ms / 1e3);
+  r.stats = pipeline.stats();
+  return r;
+}
+
+/// Replays the stream through the threaded pipeline on the raw-payload
+/// path: workers decode, the decode sink feeds the resolver's cache.
+RunResult RunThreaded(StripedLog* log,
+                      const std::vector<LogIntention>& stream, int threads) {
+  ServerResolver resolver(log, ResolverOptions{});
+  PipelineConfig config = MeldConfig(threads);
+  ThreadedPipeline pipeline(
+      config, DatabaseState{0, Ref::Null()}, &resolver,
+      [&resolver](const NodePtr& n) { resolver.RegisterEphemeral(n); },
+      /*on_decision=*/nullptr,
+      [&resolver](uint64_t seq, const IntentionPtr&,
+                  std::vector<NodePtr>&& nodes) {
+        resolver.CacheIntention(seq, std::move(nodes));
+      });
+  pipeline.Start();
+  Stopwatch wall;
+  for (const LogIntention& li : stream) {
+    resolver.RecordIntentionBlocks(li.seq, li.positions, li.txn_id);
+    RawIntention raw;
+    raw.seq = li.seq;
+    raw.txn_id = li.txn_id;
+    raw.block_count = li.block_count;
+    raw.payload = li.payload;
+    HYDER_BENCH_CHECK_OK(pipeline.FeedRaw(std::move(raw)));
+  }
+  pipeline.Close();
+  pipeline.Join();
+  RunResult r;
+  r.wall_ms = double(wall.ElapsedNanos()) / 1e6;
+  r.ips = double(stream.size()) / (r.wall_ms / 1e3);
+  r.stats = pipeline.StatsSnapshot();
+  return r;
+}
+
+void Report(const std::string& engine, int threads, size_t intentions,
+            const RunResult& r) {
+  const double locks_per =
+      double(r.stats.fm_resolver_locks) / double(intentions);
+  PrintRow("%s,%d,%zu,%.1f,%.0f,%.2f,%llu,%llu\n", engine.c_str(), threads,
+           intentions, r.wall_ms, r.ips, locks_per,
+           (unsigned long long)r.stats.handoff_blocked_pushes,
+           (unsigned long long)r.stats.handoff_blocked_pops);
+}
+
+void Run() {
+  PrintHeader("pipeline_throughput", "meld hot path (DESIGN.md)",
+              "threaded >= sequential; fm lock rate drops with t > 0");
+  const uint64_t txns = uint64_t(3000 * BenchScale());
+  PrintColumns(
+      "engine,threads,intentions,wall_ms,intentions_per_sec,"
+      "fm_locks_per_intention,blocked_pushes,blocked_pops");
+  for (int t : {0, 2, 5}) {
+    // One log per t: the replay engines must match the generation config
+    // (see GenerateLog), so sequential-vs-threaded is compared per t.
+    StripedLog log(StripedLogOptions{});
+    const uint64_t appended = GenerateLog(&log, txns, MeldConfig(t));
+    std::vector<LogIntention> stream = ReadBack(&log);
+    if (stream.size() != appended) {
+      std::fprintf(stderr, "read-back lost intentions: %zu of %llu\n",
+                   stream.size(), (unsigned long long)appended);
+      std::abort();
+    }
+    Report("sequential", t, stream.size(), RunSequential(&log, stream, t));
+    Report("threaded", t, stream.size(), RunThreaded(&log, stream, t));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hyder
+
+int main(int argc, char** argv) {
+  hyder::bench::InitBenchIO(&argc, argv);
+  hyder::bench::Run();
+  return 0;
+}

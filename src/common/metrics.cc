@@ -46,6 +46,9 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
   final_meld += o.final_meld;
   conflict_zone_sum += o.conflict_zone_sum;
   final_melds += o.final_melds;
+  fm_resolver_locks += o.fm_resolver_locks;
+  handoff_blocked_pushes += o.handoff_blocked_pushes;
+  handoff_blocked_pops += o.handoff_blocked_pops;
   return *this;
 }
 
@@ -54,7 +57,7 @@ std::string PipelineStats::ToString() const {
   std::snprintf(
       buf, sizeof(buf),
       "intentions=%llu committed=%llu aborted=%llu (premeld_aborts=%llu) "
-      "fm[%s] pm[%s] gm[%s] avg_conflict_zone=%.1f",
+      "fm[%s] pm[%s] gm[%s] avg_conflict_zone=%.1f fm_resolver_locks=%llu",
       static_cast<unsigned long long>(intentions),
       static_cast<unsigned long long>(committed),
       static_cast<unsigned long long>(aborted),
@@ -62,7 +65,8 @@ std::string PipelineStats::ToString() const {
       final_meld.ToString().c_str(), premeld.ToString().c_str(),
       group_meld.ToString().c_str(),
       final_melds == 0 ? 0.0
-                       : double(conflict_zone_sum) / double(final_melds));
+                       : double(conflict_zone_sum) / double(final_melds),
+      static_cast<unsigned long long>(fm_resolver_locks));
   return buf;
 }
 

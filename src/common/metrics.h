@@ -71,6 +71,19 @@ struct PipelineStats {
   uint64_t conflict_zone_sum = 0;
   uint64_t final_melds = 0;
 
+  /// Resolver-internal lock acquisitions performed by the meld (group +
+  /// final) thread while processing intentions, measured via the
+  /// thread-local counter in common/lock_counter.h. The meld hot path's
+  /// contention budget: parallel decode and the sharded resolver exist to
+  /// drive this down per intention.
+  uint64_t fm_resolver_locks = 0;
+
+  /// Hand-off ring contention (threaded pipeline only): premeld workers
+  /// that slept because the ring was full (back-pressure), and final-meld
+  /// pops that slept on a sequence gap (pipeline bubbles).
+  uint64_t handoff_blocked_pushes = 0;
+  uint64_t handoff_blocked_pops = 0;
+
   PipelineStats& operator+=(const PipelineStats& o);
 
   std::string ToString() const;

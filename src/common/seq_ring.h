@@ -1,0 +1,173 @@
+#ifndef HYDER2_COMMON_SEQ_RING_H_
+#define HYDER2_COMMON_SEQ_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace hyder {
+
+/// Bounded hand-off ring indexed by a dense uint64 sequence: multiple
+/// producers each publish distinct sequence numbers exactly once, a single
+/// consumer takes them back in strictly increasing order.
+///
+/// This is the meld pipeline's premeld → final-meld hand-off. The previous
+/// implementation (a std::map reorder buffer behind two mutexes feeding a
+/// mutex/condvar queue) cost every intention several contended lock
+/// acquisitions on the final-meld critical path; here the common case is a
+/// single release-store by the producer and a single load + store by the
+/// consumer. Slot occupancy doubles as the reorder buffer: sequence `s`
+/// lives in slot `s % capacity`, and the consumer's cursor provides the
+/// ordering, so no search structure is needed.
+///
+/// Blocking uses one mutex + two condvars, but they are touched only when a
+/// thread actually has to sleep (ring full / sequence gap): waiter presence
+/// is advertised in atomics and the fast paths skip the mutex entirely.
+///
+/// Memory ordering: the flag pairs (slot occupancy vs. waiter presence)
+/// form Dekker-style publications — each side stores one flag and loads the
+/// other — so those accesses use the default seq_cst ordering; acquire/
+/// release alone would allow both sides to miss each other's store and
+/// sleep through a wakeup.
+template <typename T>
+class SeqRing {
+ public:
+  /// `capacity` bounds in-flight sequences (back-pressure); `first_seq` is
+  /// the sequence the consumer expects first. Sequence 0 is reserved.
+  SeqRing(size_t capacity, uint64_t first_seq)
+      : slots_(capacity), next_pop_(first_seq) {}
+
+  SeqRing(const SeqRing&) = delete;
+  SeqRing& operator=(const SeqRing&) = delete;
+
+  /// Publishes `seq` (each sequence exactly once, by exactly one producer).
+  /// Blocks while the ring is full, i.e. while `seq` is at least `capacity`
+  /// ahead of the consumer. Returns false when the ring was closed.
+  bool Push(uint64_t seq, T item) EXCLUDES(wait_mu_) {
+    Slot& slot = slots_[seq % slots_.size()];
+    if (!WaitForRoom(seq)) return false;
+    slot.item = std::move(item);
+    // Publication: the consumer's acquire-matching load of `full` makes the
+    // item write visible. seq_cst (not just release) pairs with the
+    // consumer's pop_waiting_ handshake below.
+    slot.full.store(seq);
+    if (pop_waiting_.load()) {
+      MutexLock lock(wait_mu_);
+      not_empty_.Signal();
+    }
+    return true;
+  }
+
+  /// Takes the next sequence in order, blocking until it is published.
+  /// Returns nullopt once the ring is closed and the next sequence has not
+  /// been (and therefore will never be) published; items already published
+  /// keep draining in order after Close.
+  std::optional<T> PopNext() EXCLUDES(wait_mu_) {
+    // Single consumer: only PopNext writes next_pop_, so this relaxed load
+    // reads our own last store.
+    const uint64_t want = next_pop_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[want % slots_.size()];
+    if (slot.full.load() != want) {
+      if (!WaitForItem(slot, want)) return std::nullopt;
+    }
+    T item = std::move(slot.item);
+    slot.full.store(0);
+    next_pop_.store(want + 1);
+    if (push_waiters_.load() > 0) {
+      // Exactly one sequence becomes eligible per pop (`want + capacity`:
+      // eligibility is `seq < next_pop_ + capacity` and next_pop_ just
+      // advanced by one), so wake only its condvar bucket instead of every
+      // blocked producer — a SignalAll here is a thundering herd in which
+      // all but one producer re-sleep immediately.
+      MutexLock lock(wait_mu_);
+      not_full_[(want + slots_.size()) % kWakeBuckets].SignalAll();
+    }
+    return item;
+  }
+
+  /// Wakes all waiters; further pushes fail, the consumer drains what was
+  /// already published and then receives nullopt.
+  void Close() EXCLUDES(wait_mu_) {
+    closed_.store(true);
+    MutexLock lock(wait_mu_);
+    not_empty_.SignalAll();
+    for (CondVar& cv : not_full_) cv.SignalAll();
+  }
+
+  struct Stats {
+    /// Pushes that had to sleep for ring space (back-pressure events).
+    uint64_t blocked_pushes = 0;
+    /// Pops that had to sleep for the next sequence (pipeline bubbles).
+    uint64_t blocked_pops = 0;
+  };
+  Stats stats() const EXCLUDES(wait_mu_) {
+    MutexLock lock(wait_mu_);
+    return Stats{blocked_pushes_, blocked_pops_};
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    /// Holds the occupying sequence number; 0 = free. Doubles as the
+    /// publication flag for `item`.
+    std::atomic<uint64_t> full{0};
+    T item;
+  };
+
+  bool WaitForRoom(uint64_t seq) EXCLUDES(wait_mu_) {
+    // Fast path: consumer is within `capacity` of us, so our slot's
+    // previous lap has been consumed and no other producer maps here.
+    if (seq < next_pop_.load() + slots_.size()) {
+      return !closed_.load();
+    }
+    MutexLock lock(wait_mu_);
+    blocked_pushes_++;
+    push_waiters_.fetch_add(1);
+    // Sleep on the bucket keyed by our sequence: the consumer signals bucket
+    // `newly_eligible_seq % kWakeBuckets` per pop, which is exactly us when
+    // our turn comes (bucket aliases re-check the condition and re-sleep).
+    while (seq >= next_pop_.load() + slots_.size() && !closed_.load()) {
+      not_full_[seq % kWakeBuckets].Wait(wait_mu_);
+    }
+    push_waiters_.fetch_sub(1);
+    return !closed_.load();
+  }
+
+  bool WaitForItem(Slot& slot, uint64_t want) EXCLUDES(wait_mu_) {
+    MutexLock lock(wait_mu_);
+    blocked_pops_++;
+    pop_waiting_.store(true);
+    while (slot.full.load() != want && !closed_.load()) {
+      not_empty_.Wait(wait_mu_);
+    }
+    pop_waiting_.store(false);
+    return slot.full.load() == want;
+  }
+
+  std::vector<Slot> slots_;
+  /// Consumer cursor: the next sequence PopNext returns. Written only by
+  /// the consumer; read by producers for back-pressure.
+  std::atomic<uint64_t> next_pop_;
+  std::atomic<bool> closed_{false};
+  std::atomic<int> push_waiters_{0};
+  std::atomic<bool> pop_waiting_{false};
+
+  /// Producer wakeup buckets: a blocked push sleeps on bucket
+  /// `seq % kWakeBuckets`, so the consumer can wake just the producer whose
+  /// sequence became eligible rather than every blocked producer.
+  static constexpr size_t kWakeBuckets = 8;
+
+  mutable Mutex wait_mu_;
+  CondVar not_full_[kWakeBuckets];
+  CondVar not_empty_;
+  uint64_t blocked_pushes_ GUARDED_BY(wait_mu_) = 0;
+  uint64_t blocked_pops_ GUARDED_BY(wait_mu_) = 0;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_COMMON_SEQ_RING_H_

@@ -1,10 +1,27 @@
 #include "meld/pipeline.h"
 
+#include "common/lock_counter.h"
 #include "common/stopwatch.h"
 
 namespace hyder {
 
 namespace {
+
+/// Charges the meld thread's resolver lock acquisitions to
+/// `stats->fm_resolver_locks` across a scope (thread-local counter delta,
+/// so concurrent premeld workers' resolver traffic is not misattributed).
+class MeldThreadLockDelta {
+ public:
+  explicit MeldThreadLockDelta(PipelineStats* stats)
+      : stats_(stats), start_(ResolverLockCount()) {}
+  ~MeldThreadLockDelta() {
+    stats_->fm_resolver_locks += ResolverLockCount() - start_;
+  }
+
+ private:
+  PipelineStats* const stats_;
+  const uint64_t start_;
+};
 /// Ephemeral thread-id assignment: final meld is thread 0, group meld is
 /// thread 1, premeld threads are 2..t+1. The slots are fixed (independent
 /// of t) so that any two engines running the same (t, d, group)
@@ -63,6 +80,7 @@ void SequentialPipeline::RestoreEphemeralCounters(
 
 Result<std::vector<MeldDecision>> SequentialPipeline::Process(
     IntentionPtr intent) {
+  MeldThreadLockDelta lock_delta(&stats_);
   if (intent->seq != block_prefix_.size()) {
     return Status::InvalidArgument(
         "pipeline requires consecutive sequences; got " +
@@ -155,6 +173,7 @@ Result<std::vector<MeldDecision>> SequentialPipeline::AfterPremeld(
 }
 
 Result<std::vector<MeldDecision>> SequentialPipeline::Flush() {
+  MeldThreadLockDelta lock_delta(&stats_);
   if (!pending_group_) return std::vector<MeldDecision>{};
   IntentionPtr last = std::move(pending_group_);
   pending_group_ = nullptr;

@@ -34,6 +34,13 @@ struct PipelineConfig {
   bool group_meld = false;
   /// States retained for premeld and executor snapshots.
   uint64_t state_retention = 4096;
+  /// Capacity of each inter-stage hand-off structure in the threaded
+  /// pipeline (per-worker input queues and the premeld → final-meld ring).
+  /// Bounds in-flight intentions per stage — this is the back-pressure that
+  /// ultimately throttles the executors (§5.2). Larger values amortize
+  /// wakeups on oversubscribed hosts at the cost of memory and decision
+  /// latency. Ignored by the sequential engine.
+  size_t stage_queue_capacity = 64;
   /// Ablation only (bench/ablation_graft_fastpath): turn off the meld
   /// operator's subtree-graft fast path.
   bool disable_graft_fastpath = false;

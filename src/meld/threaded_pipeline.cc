@@ -1,12 +1,13 @@
 #include "meld/threaded_pipeline.h"
 
+#include <algorithm>
+
 #include "common/stopwatch.h"
+#include "txn/codec.h"
 
 namespace hyder {
 
 namespace {
-constexpr size_t kStageQueueCapacity = 64;
-
 PipelineConfig EngineConfig(const PipelineConfig& config) {
   PipelineConfig engine = config;
   engine.premeld_threads = 0;  // Premeld runs in this class's workers.
@@ -17,21 +18,24 @@ PipelineConfig EngineConfig(const PipelineConfig& config) {
 ThreadedPipeline::ThreadedPipeline(
     const PipelineConfig& config, DatabaseState initial,
     NodeResolver* resolver, std::function<void(const NodePtr&)> registrar,
-    DecisionCallback on_decision)
+    DecisionCallback on_decision, DecodeSink on_decode)
     : config_(config),
-      engine_(EngineConfig(config), std::move(initial), resolver, registrar),
+      engine_(EngineConfig(config), initial, resolver, registrar),
       resolver_(resolver),
       on_decision_(std::move(on_decision)),
-      ordered_(kStageQueueCapacity),
-      next_ordered_(1) {
+      on_decode_(std::move(on_decode)),
+      ring_(std::max<size_t>(1, config.stage_queue_capacity),
+            initial.seq + 1),
+      fed_seq_(initial.seq) {
   for (int t = 0; t < config_.premeld_threads; ++t) {
     // Premeld thread ids 2..t+1, matching SequentialPipeline's fixed slots
     // so both engines generate identical ephemeral identities (§3.4).
     pm_allocs_.push_back(
         std::make_unique<EphemeralAllocator>(2 + uint32_t(t)));
     pm_allocs_.back()->registrar = registrar;
-    pm_queues_.push_back(
-        std::make_unique<BoundedQueue<IntentionPtr>>(kStageQueueCapacity));
+    pm_queues_.push_back(std::make_unique<BoundedQueue<StageItem>>(
+        std::max<size_t>(1, config.stage_queue_capacity)));
+    worker_stats_.push_back(std::make_unique<WorkerStats>());
   }
 }
 
@@ -50,28 +54,70 @@ void ThreadedPipeline::Start() {
   threads_.emplace_back([this] { MeldWorker(); });
 }
 
+Result<IntentionPtr> ThreadedPipeline::DecodeRaw(const RawIntention& raw,
+                                                 WorkerStats* stats) {
+  CpuStopwatch cpu;
+  std::vector<NodePtr> nodes;
+  HYDER_ASSIGN_OR_RETURN(
+      IntentionPtr intent,
+      DeserializeIntention(raw.payload, raw.seq, raw.block_count, resolver_,
+                           raw.txn_id, &nodes));
+  stats->deserialize.cpu_nanos += cpu.ElapsedNanos();
+  stats->deserialize.nodes_visited += intent->node_count;
+  if (on_decode_) on_decode_(raw.seq, intent, std::move(nodes));
+  return intent;
+}
+
 Status ThreadedPipeline::Feed(IntentionPtr intent) {
+  StageItem item;
+  item.seq = intent->seq;
+  item.decoded = std::move(intent);
+  return Dispatch(std::move(item));
+}
+
+Status ThreadedPipeline::FeedRaw(RawIntention raw) {
+  StageItem item;
+  item.seq = raw.seq;
+  item.raw = std::move(raw);
+  item.is_raw = true;
+  return Dispatch(std::move(item));
+}
+
+Status ThreadedPipeline::Dispatch(StageItem item) {
   if (poisoned_.load(std::memory_order_acquire)) return FirstError();
-  if (closed_) return Status::InvalidArgument("pipeline already closed");
-  if (intent->seq != fed_seq_ + 1) {
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("pipeline already closed");
+  }
+  if (item.seq != fed_seq_ + 1) {
     return Status::InvalidArgument("intentions must be fed in log order");
   }
-  fed_seq_ = intent->seq;
+  fed_seq_ = item.seq;
   if (config_.premeld_threads == 0) {
-    if (!ordered_.Push(std::move(intent))) return FirstError();
+    // No premeld stage: decode inline on the feeder (the current
+    // single-threaded path) and hand straight to the meld thread.
+    IntentionPtr intent;
+    if (item.is_raw) {
+      auto decoded = DecodeRaw(item.raw, &feeder_stats_);
+      if (!decoded.ok()) {
+        Poison(decoded.status());
+        return decoded.status();
+      }
+      intent = std::move(*decoded);
+    } else {
+      intent = std::move(item.decoded);
+    }
+    if (!ring_.Push(item.seq, std::move(intent))) return FirstError();
     return Status::OK();
   }
-  const int thread =
-      PremeldThreadFor(fed_seq_, config_.premeld_threads);
-  if (!pm_queues_[thread]->Push(std::move(intent))) return FirstError();
+  const int thread = PremeldThreadFor(item.seq, config_.premeld_threads);
+  if (!pm_queues_[thread]->Push(std::move(item))) return FirstError();
   return Status::OK();
 }
 
 void ThreadedPipeline::Close() {
-  if (closed_) return;
-  closed_ = true;
+  if (closed_.exchange(true)) return;
   if (config_.premeld_threads == 0) {
-    ordered_.Close();
+    ring_.Close();
   } else {
     for (auto& q : pm_queues_) q->Close();
   }
@@ -83,8 +129,8 @@ void ThreadedPipeline::Join() {
   for (size_t i = 0; i < pm_count; ++i) {
     if (threads_[i].joinable()) threads_[i].join();
   }
-  // All premeld outputs are in the reorder buffer / ordered queue now.
-  ordered_.Close();
+  // All premeld outputs are in the hand-off ring now.
+  ring_.Close();
   if (threads_.back().joinable()) threads_.back().join();
 }
 
@@ -95,7 +141,7 @@ void ThreadedPipeline::Poison(const Status& status) {
   }
   poisoned_.store(true, std::memory_order_release);
   for (auto& q : pm_queues_) q->Close();
-  ordered_.Close();
+  ring_.Close();
   engine_.states().Shutdown();  // Wake premeld waiters.
 }
 
@@ -106,59 +152,47 @@ Status ThreadedPipeline::FirstError() const {
              : first_error_;
 }
 
-void ThreadedPipeline::ReorderAdd(uint64_t seq, IntentionPtr intent) {
-  {
-    MutexLock lock(reorder_mu_);
-    reorder_buffer_[seq] = std::move(intent);
-  }
-  // Only one thread pushes downstream at a time, so ready items leave in
-  // strictly increasing sequence order.
-  MutexLock push_lock(push_mu_);
-  for (;;) {
-    IntentionPtr ready;
-    {
-      MutexLock lock(reorder_mu_);
-      auto it = reorder_buffer_.find(next_ordered_);
-      if (it == reorder_buffer_.end()) break;
-      ready = std::move(it->second);
-      reorder_buffer_.erase(it);
-      next_ordered_++;
-    }
-    if (!ordered_.Push(std::move(ready))) break;  // Poisoned/closing.
-  }
-}
-
 void ThreadedPipeline::PremeldWorker(int thread_index) {
-  BoundedQueue<IntentionPtr>& queue = *pm_queues_[thread_index];
-  while (auto item = queue.Pop()) {
-    IntentionPtr intent = std::move(*item);
-    const uint64_t seq = intent->seq;
+  BoundedQueue<StageItem>& queue = *pm_queues_[thread_index];
+  WorkerStats& ws = *worker_stats_[thread_index];
+  while (auto popped = queue.Pop()) {
+    StageItem item = std::move(*popped);
+    const uint64_t seq = item.seq;
+    IntentionPtr intent;
+    if (item.is_raw) {
+      auto decoded = DecodeRaw(item.raw, &ws);
+      if (!decoded.ok()) {
+        Poison(decoded.status());
+        return;
+      }
+      intent = std::move(*decoded);
+    } else {
+      intent = std::move(item.decoded);
+    }
     if (intent->known_aborted) {
-      ReorderAdd(seq, std::move(intent));
+      if (!ring_.Push(seq, std::move(intent))) return;
       continue;
     }
     CpuStopwatch cpu;
     MeldWork work;
     auto out = RunPremeld(intent, engine_.states(), config_.premeld_threads,
                           config_.premeld_distance,
-                          pm_allocs_[thread_index].get(), resolver_, &work);
+                          pm_allocs_[thread_index].get(), resolver_, &work,
+                          config_.disable_graft_fastpath);
     if (!out.ok()) {
       if (!out.status().IsTimedOut()) Poison(out.status());
       return;
     }
     work.cpu_nanos = cpu.ElapsedNanos();
-    {
-      MutexLock lock(stats_mu_);
-      pm_stats_.premeld += work;
-      if (out->skipped) pm_stats_.premeld_skips++;
-      if (out->intention->known_aborted) pm_stats_.premeld_aborts++;
-    }
-    ReorderAdd(seq, std::move(out->intention));
+    ws.premeld += work;
+    if (out->skipped) ws.skips++;
+    if (out->intention->known_aborted) ws.aborts++;
+    if (!ring_.Push(seq, std::move(out->intention))) return;
   }
 }
 
 void ThreadedPipeline::MeldWorker() {
-  while (auto item = ordered_.Pop()) {
+  while (auto item = ring_.PopNext()) {
     auto decisions = engine_.Process(std::move(*item));
     if (!decisions.ok()) {
       Poison(decisions.status());
@@ -181,15 +215,23 @@ void ThreadedPipeline::MeldWorker() {
 
 PipelineStats ThreadedPipeline::StatsSnapshot() const {
   PipelineStats out = engine_.stats();
-  {
-    MutexLock lock(stats_mu_);
-    out.premeld = pm_stats_.premeld;
-    out.premeld_skips = pm_stats_.premeld_skips;
-    // Premeld aborts are also tallied by the engine when the known-aborted
-    // intention reaches final meld; keep the engine's count for decisions
-    // and report the stage-detected count here.
-    out.premeld_aborts = pm_stats_.premeld_aborts;
+  // Per-worker counters, merged on snapshot (valid after Join; the joins
+  // provide the happens-before edges). The embedded engine also tallies
+  // premeld aborts when known-aborted intentions reach final meld; keep the
+  // engine's count for decisions and report the stage-detected counts here.
+  out.deserialize = feeder_stats_.deserialize;
+  out.premeld = MeldWork{};
+  out.premeld_skips = 0;
+  out.premeld_aborts = 0;
+  for (const auto& ws : worker_stats_) {
+    out.deserialize += ws->deserialize;
+    out.premeld += ws->premeld;
+    out.premeld_skips += ws->skips;
+    out.premeld_aborts += ws->aborts;
   }
+  const SeqRing<IntentionPtr>::Stats ring_stats = ring_.stats();
+  out.handoff_blocked_pushes = ring_stats.blocked_pushes;
+  out.handoff_blocked_pops = ring_stats.blocked_pops;
   return out;
 }
 

@@ -2,16 +2,28 @@
 #define HYDER2_MELD_THREADED_PIPELINE_H_
 
 #include <atomic>
-#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/queue.h"
+#include "common/seq_ring.h"
 #include "common/thread_annotations.h"
 #include "meld/pipeline.h"
 
 namespace hyder {
+
+/// A reassembled-but-not-yet-decoded intention: what block assembly emits.
+/// Feeding these (FeedRaw) moves DeserializeIntention off the log-poll
+/// thread and into the premeld workers, so decode cost scales with
+/// `premeld_threads` instead of serializing on the feeder.
+struct RawIntention {
+  uint64_t seq = 0;
+  uint64_t txn_id = 0;
+  uint32_t block_count = 1;
+  std::string payload;
+};
 
 /// The real multithreaded meld pipeline of Fig. 2: premeld worker threads
 /// run in parallel with a group-meld/final-meld thread, exactly the
@@ -22,22 +34,35 @@ namespace hyder {
 /// reproduction's evaluation host has a single core (see DESIGN.md).
 ///
 /// Stage layout (t = premeld threads):
-///   Feed (caller thread, log order)
+///   Feed / FeedRaw (caller thread, log order)
 ///     -> per-thread premeld input queues (intention v to thread v mod t)
-///     -> premeld workers (block on StateTable::WaitFor, Algorithm 1)
-///     -> sequence reorder buffer
+///     -> premeld workers: decode (FeedRaw path) + premeld
+///        (block on StateTable::WaitFor, Algorithm 1)
+///     -> seq-indexed hand-off ring (common/seq_ring.h; slot occupancy is
+///        the reorder buffer, so no locks on the common path)
 ///     -> group-meld + final-meld thread (an embedded SequentialPipeline
 ///        with premeld disabled, preserving the gm/fm semantics verbatim)
+///
+/// Decode placement does not affect determinism: DeserializeIntention is a
+/// pure function of (payload, seq) — node identities are computed from the
+/// log address, and external references stay lazy — so decoding in a worker
+/// yields the same intention the feeder would have produced.
 ///
 /// Decisions are delivered through the callback from the fm thread.
 class ThreadedPipeline {
  public:
   using DecisionCallback = std::function<void(const MeldDecision&)>;
+  /// Invoked (from whichever thread decoded) for every intention decoded by
+  /// the pipeline, with the freshly materialized node array — the server's
+  /// hook to populate its intention cache (resolver CacheIntention).
+  using DecodeSink = std::function<void(
+      uint64_t seq, const IntentionPtr&, std::vector<NodePtr>&& nodes)>;
 
   ThreadedPipeline(const PipelineConfig& config, DatabaseState initial,
                    NodeResolver* resolver,
                    std::function<void(const NodePtr&)> registrar,
-                   DecisionCallback on_decision);
+                   DecisionCallback on_decision,
+                   DecodeSink on_decode = nullptr);
   ~ThreadedPipeline();
 
   ThreadedPipeline(const ThreadedPipeline&) = delete;
@@ -46,13 +71,21 @@ class ThreadedPipeline {
   /// Launches the worker threads. Call exactly once.
   void Start();
 
-  /// Feeds the next intention in log order. Blocks when the pipeline is
-  /// backed up (this is the back-pressure that ultimately throttles the
-  /// executors, §5.2). Fails after Close or on a poisoned pipeline.
+  /// Feeds the next intention in log order, already decoded (legacy /
+  /// testing path). Blocks when the pipeline is backed up (this is the
+  /// back-pressure that ultimately throttles the executors, §5.2). Fails
+  /// after Close or on a poisoned pipeline.
   Status Feed(IntentionPtr intent);
 
+  /// Feeds the next intention as its reassembled payload; a premeld worker
+  /// deserializes it (with `premeld_threads == 0` the caller thread decodes
+  /// inline, preserving the current single-threaded path). Same ordering
+  /// and back-pressure contract as Feed.
+  Status FeedRaw(RawIntention raw);
+
   /// Ends the input stream: workers drain, the trailing unpaired group
-  /// member (if any) is final-melded, and threads exit.
+  /// member (if any) is final-melded, and threads exit. Safe to call from
+  /// any thread, once Feed/FeedRaw callers have stopped.
   void Close();
 
   /// Waits for all worker threads (implies the stream was Closed).
@@ -62,18 +95,42 @@ class ThreadedPipeline {
   StateTable& states() { return engine_.states(); }
 
   /// Aggregated stats. Only valid after `Join`: the embedded engine's
-  /// counters are owned by the meld worker thread until it exits.
-  PipelineStats StatsSnapshot() const EXCLUDES(stats_mu_);
+  /// counters are owned by the meld worker thread, and the per-worker
+  /// premeld/decode counters by their workers, until the threads exit.
+  PipelineStats StatsSnapshot() const;
 
   /// First error encountered by any stage, if the pipeline was poisoned.
   Status FirstError() const EXCLUDES(error_mu_);
 
  private:
+  /// One unit of premeld-stage input: either a decoded intention (Feed) or
+  /// a raw payload the worker decodes (FeedRaw).
+  struct StageItem {
+    uint64_t seq = 0;
+    IntentionPtr decoded;
+    RawIntention raw;
+    bool is_raw = false;
+  };
+
+  /// Per-worker stage counters, written only by the owning worker thread
+  /// while it runs and read by StatsSnapshot after Join (the join provides
+  /// the happens-before edge). Merge-on-snapshot replaces the old
+  /// stats_mu_-per-intention accounting on the hot path.
+  struct WorkerStats {
+    MeldWork deserialize;
+    MeldWork premeld;
+    uint64_t skips = 0;
+    uint64_t aborts = 0;
+  };
+
   void PremeldWorker(int thread_index);
   void MeldWorker();
   void Poison(const Status& status) EXCLUDES(error_mu_);
-  void ReorderAdd(uint64_t seq, IntentionPtr intent)
-      EXCLUDES(reorder_mu_, push_mu_);
+  /// Shared Feed/FeedRaw tail: order check, then route to a premeld worker
+  /// (or decode inline and hand to the meld thread when t == 0).
+  Status Dispatch(StageItem item);
+  Result<IntentionPtr> DecodeRaw(const RawIntention& raw,
+                                 WorkerStats* stats);
 
   const PipelineConfig config_;
   /// gm + fm stages, with premeld handled by this class's workers. Confined
@@ -82,32 +139,29 @@ class ThreadedPipeline {
   SequentialPipeline engine_;
   NodeResolver* const resolver_;
   DecisionCallback on_decision_;
+  DecodeSink on_decode_;
 
   std::vector<std::unique_ptr<EphemeralAllocator>> pm_allocs_;
-  std::vector<std::unique_ptr<BoundedQueue<IntentionPtr>>> pm_queues_;
-  BoundedQueue<IntentionPtr> ordered_;
-
-  /// Lock order: push_mu_ before reorder_mu_ (ReorderAdd); never hold
-  /// either across a queue Push (except push_mu_, which exists precisely
-  /// to serialize the downstream pushes).
-  Mutex push_mu_ ACQUIRED_BEFORE(reorder_mu_);
-  Mutex reorder_mu_;
-  std::map<uint64_t, IntentionPtr> reorder_buffer_ GUARDED_BY(reorder_mu_);
-  uint64_t next_ordered_ GUARDED_BY(reorder_mu_);
-
-  mutable Mutex stats_mu_;
-  PipelineStats pm_stats_ GUARDED_BY(stats_mu_);
+  std::vector<std::unique_ptr<BoundedQueue<StageItem>>> pm_queues_;
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+  /// Decode counters for the t == 0 inline path (feeder thread only).
+  WorkerStats feeder_stats_;
+  /// Premeld → final-meld hand-off; slot occupancy doubles as the sequence
+  /// reorder buffer (see common/seq_ring.h).
+  SeqRing<IntentionPtr> ring_;
 
   mutable Mutex error_mu_;
   Status first_error_ GUARDED_BY(error_mu_);
   std::atomic<bool> poisoned_{false};
 
   std::vector<std::thread> threads_;
-  /// Caller-thread state (Feed/Close/Start/Join are single-caller by
-  /// contract); never touched by workers.
-  uint64_t fed_seq_ = 0;
+  /// Set by Close (any thread) and read by Feed/FeedRaw; atomic so a
+  /// shutdown racing the feeder is benign.
+  std::atomic<bool> closed_{false};
+  /// Single-caller state: Feed/FeedRaw/Start/Join must be called from one
+  /// thread at a time (the log-poll thread); never touched by workers.
+  uint64_t fed_seq_;
   bool started_ = false;
-  bool closed_ = false;
 };
 
 }  // namespace hyder

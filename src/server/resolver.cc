@@ -2,21 +2,66 @@
 
 #include <algorithm>
 
+#include "common/lock_counter.h"
 #include "txn/codec.h"
 
 namespace hyder {
 
+namespace {
+/// A MutexLock that also charges the acquisition to the thread-local
+/// resolver-lock counter (see common/lock_counter.h): the pipeline's
+/// `fm_resolver_locks` stat is the per-stage delta of this counter.
+class SCOPED_CAPABILITY CountedLock {
+ public:
+  explicit CountedLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+    BumpResolverLockCount();
+  }
+  ~CountedLock() RELEASE() { mu_.Unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+}  // namespace
+
 ServerResolver::ServerResolver(SharedLog* log, ResolverOptions options)
-    : log_(log), options_(options) {}
+    : log_(log), options_(options) {
+  // Each shard must be able to hold at least one intention, or a single
+  // resolve could evict the entry it just materialized.
+  const size_t capacity = std::max<size_t>(1, options_.intention_cache_capacity);
+  const size_t shard_count =
+      std::min(std::max<size_t>(1, options_.shards), capacity);
+  shards_.reserve(shard_count);
+  for (size_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Split the capacity exactly (base + one extra for the first
+    // `capacity % shard_count` shards) so the global bound
+    // `cached_intentions() <= intention_cache_capacity` stays precise.
+    shard->capacity =
+        capacity / shard_count + (s < capacity % shard_count ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+  const size_t stripe_count = std::max<size_t>(1, options_.ephemeral_stripes);
+  eph_stripes_.reserve(stripe_count);
+  for (size_t s = 0; s < stripe_count; ++s) {
+    eph_stripes_.push_back(std::make_unique<EphemeralStripe>());
+  }
+}
+
+ServerResolver::EphemeralStripe& ServerResolver::StripeFor(
+    VersionId vn) const {
+  return *eph_stripes_[std::hash<VersionId>{}(vn) % eph_stripes_.size()];
+}
 
 Result<NodePtr> ServerResolver::Resolve(VersionId vn) {
   if (vn.IsNull()) {
     return Status::InvalidArgument("cannot resolve a null version id");
   }
   if (vn.IsEphemeral()) {
-    MutexLock lock(eph_mu_);
-    auto it = ephemerals_.find(vn);
-    if (it == ephemerals_.end()) {
+    EphemeralStripe& stripe = StripeFor(vn);
+    CountedLock lock(stripe.mu);
+    auto it = stripe.nodes.find(vn);
+    if (it == stripe.nodes.end()) {
       return Status::SnapshotTooOld("ephemeral node " + vn.ToString() +
                                     " has been retired");
     }
@@ -25,10 +70,28 @@ Result<NodePtr> ServerResolver::Resolve(VersionId vn) {
   return ResolveLogged(vn);
 }
 
+NodePtr ServerResolver::TryResolveCached(VersionId vn) {
+  if (vn.IsNull()) return nullptr;
+  if (vn.IsEphemeral()) {
+    EphemeralStripe& stripe = StripeFor(vn);
+    CountedLock lock(stripe.mu);
+    auto it = stripe.nodes.find(vn);
+    return it == stripe.nodes.end() ? nullptr : it->second;
+  }
+  Shard& shard = ShardFor(vn.intention_seq());
+  CountedLock lock(shard.mu);
+  auto it = shard.intentions.find(vn.intention_seq());
+  if (it == shard.intentions.end()) return nullptr;  // No refetch here.
+  if (vn.node_index() >= it->second.nodes.size()) return nullptr;
+  TouchLocked(shard, vn.intention_seq());
+  return it->second.nodes[vn.node_index()];
+}
+
 Result<NodePtr> ServerResolver::ResolveLogged(VersionId vn) {
-  MutexLock lock(mu_);
+  Shard& shard = ShardFor(vn.intention_seq());
+  CountedLock lock(shard.mu);
   HYDER_ASSIGN_OR_RETURN(const std::vector<NodePtr>* nodes,
-                         MaterializeLocked(vn.intention_seq()));
+                         MaterializeLocked(shard, vn.intention_seq()));
   if (vn.node_index() >= nodes->size()) {
     return Status::Corruption("node index " +
                               std::to_string(vn.node_index()) +
@@ -39,20 +102,20 @@ Result<NodePtr> ServerResolver::ResolveLogged(VersionId vn) {
 }
 
 Result<const std::vector<NodePtr>*> ServerResolver::MaterializeLocked(
-    uint64_t seq) {
-  auto it = intentions_.find(seq);
-  if (it != intentions_.end()) {
-    TouchLocked(seq);
+    Shard& shard, uint64_t seq) {
+  auto it = shard.intentions.find(seq);
+  if (it != shard.intentions.end()) {
+    TouchLocked(shard, seq);
     return &it->second.nodes;
   }
   // Refetch from the log: the paper's "random access to the log" path
   // (§1) taken when data is not in this server's partial cached copy.
-  auto dir = directory_.find(seq);
-  if (dir == directory_.end()) {
+  auto dir = shard.directory.find(seq);
+  if (dir == shard.directory.end()) {
     return Status::NotFound("no directory entry for intention " +
                             std::to_string(seq));
   }
-  // Relaxed: stats only; the cache mutation itself is ordered by mu_.
+  // Relaxed: stats only; the cache mutation itself is ordered by shard.mu.
   refetches_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::string> chunks(dir->second.positions.size());
   for (uint64_t pos : dir->second.positions) {
@@ -71,76 +134,86 @@ Result<const std::vector<NodePtr>*> ServerResolver::MaterializeLocked(
   }
   std::string payload;
   for (std::string& c : chunks) payload.append(c);
+  // Decode with no resolver: we hold shard.mu, and a resolver-assisted
+  // decode would opportunistically TryResolveCached external references,
+  // re-entering this shard's lock whenever a referenced sequence maps here.
+  // The refetched intention's references simply stay lazy and memoize on
+  // first dereference, exactly as refs always have on the refetch path.
   std::vector<NodePtr> nodes;
   HYDER_ASSIGN_OR_RETURN(
       IntentionPtr intent,
       DeserializeIntention(payload, seq,
-                           static_cast<uint32_t>(chunks.size()), this,
+                           static_cast<uint32_t>(chunks.size()), nullptr,
                            dir->second.txn_id, &nodes));
   (void)intent;
   CachedIntention entry;
   entry.nodes = std::move(nodes);
-  lru_.push_front(seq);
-  entry.lru_pos = lru_.begin();
-  intentions_.emplace(seq, std::move(entry));
-  EvictLocked();
+  shard.lru.push_front(seq);
+  entry.lru_pos = shard.lru.begin();
+  shard.intentions.emplace(seq, std::move(entry));
+  EvictLocked(shard);
   // Re-find: eviction never removes the most recently used entry.
-  return &intentions_.at(seq).nodes;
+  return &shard.intentions.at(seq).nodes;
 }
 
-void ServerResolver::TouchLocked(uint64_t seq) {
-  auto it = intentions_.find(seq);
-  lru_.erase(it->second.lru_pos);
-  lru_.push_front(seq);
-  it->second.lru_pos = lru_.begin();
+void ServerResolver::TouchLocked(Shard& shard, uint64_t seq) {
+  auto it = shard.intentions.find(seq);
+  shard.lru.erase(it->second.lru_pos);
+  shard.lru.push_front(seq);
+  it->second.lru_pos = shard.lru.begin();
 }
 
-void ServerResolver::EvictLocked() {
-  while (intentions_.size() > options_.intention_cache_capacity) {
-    uint64_t victim = lru_.back();
-    lru_.pop_back();
-    intentions_.erase(victim);
+void ServerResolver::EvictLocked(Shard& shard) {
+  while (shard.intentions.size() > shard.capacity) {
+    uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.intentions.erase(victim);
   }
 }
 
 void ServerResolver::RecordIntentionBlocks(uint64_t seq,
                                            std::vector<uint64_t> positions,
                                            uint64_t txn_id) {
-  MutexLock lock(mu_);
-  directory_[seq] = DirectoryEntry{std::move(positions), txn_id};
+  Shard& shard = ShardFor(seq);
+  CountedLock lock(shard.mu);
+  shard.directory[seq] = DirectoryEntry{std::move(positions), txn_id};
 }
 
 void ServerResolver::CacheIntention(uint64_t seq,
                                     std::vector<NodePtr> nodes) {
-  MutexLock lock(mu_);
-  if (intentions_.count(seq) != 0) return;
+  Shard& shard = ShardFor(seq);
+  CountedLock lock(shard.mu);
+  if (shard.intentions.count(seq) != 0) return;
   CachedIntention entry;
   entry.nodes = std::move(nodes);
-  lru_.push_front(seq);
-  entry.lru_pos = lru_.begin();
-  intentions_.emplace(seq, std::move(entry));
-  EvictLocked();
+  shard.lru.push_front(seq);
+  entry.lru_pos = shard.lru.begin();
+  shard.intentions.emplace(seq, std::move(entry));
+  EvictLocked(shard);
 }
 
 void ServerResolver::RegisterEphemeral(const NodePtr& n) {
-  MutexLock lock(eph_mu_);
-  ephemerals_[n->vn()] = n;
+  EphemeralStripe& stripe = StripeFor(n->vn());
+  CountedLock lock(stripe.mu);
+  stripe.nodes[n->vn()] = n;
 }
 
 size_t ServerResolver::SweepEphemerals() {
-  MutexLock lock(eph_mu_);
   size_t dropped = 0;
-  for (auto it = ephemerals_.begin(); it != ephemerals_.end();) {
-    // RefCount == 1 means only the registry still holds the node: it is
-    // unreachable from every retained state, live intention and cache, so
-    // nothing can ever reference it again except a transaction whose
-    // snapshot has itself been retired (which is answered with
-    // SnapshotTooOld, the same as in the real system).
-    if (it->second->RefCount() == 1) {
-      it = ephemerals_.erase(it);
-      dropped++;
-    } else {
-      ++it;
+  for (auto& stripe : eph_stripes_) {
+    CountedLock lock(stripe->mu);
+    for (auto it = stripe->nodes.begin(); it != stripe->nodes.end();) {
+      // RefCount == 1 means only the registry still holds the node: it is
+      // unreachable from every retained state, live intention and cache, so
+      // nothing can ever reference it again except a transaction whose
+      // snapshot has itself been retired (which is answered with
+      // SnapshotTooOld, the same as in the real system).
+      if (it->second->RefCount() == 1) {
+        it = stripe->nodes.erase(it);
+        dropped++;
+      } else {
+        ++it;
+      }
     }
   }
   return dropped;
@@ -148,31 +221,50 @@ size_t ServerResolver::SweepEphemerals() {
 
 std::vector<ServerResolver::DirectoryExport> ServerResolver::ExportDirectory()
     const {
-  MutexLock lock(mu_);
   std::vector<DirectoryExport> out;
-  out.reserve(directory_.size());
-  for (const auto& [seq, entry] : directory_) {
-    out.push_back(DirectoryExport{seq, entry.txn_id, entry.positions});
+  for (const auto& shard : shards_) {
+    CountedLock lock(shard->mu);
+    out.reserve(out.size() + shard->directory.size());
+    for (const auto& [seq, entry] : shard->directory) {
+      out.push_back(DirectoryExport{seq, entry.txn_id, entry.positions});
+    }
   }
+  // Gathered shard by shard (never holding two shard locks), then sorted so
+  // the checkpoint payload is byte-deterministic regardless of shard count.
+  // The snapshot is not atomic across shards, which matches the original
+  // single-mutex contract: checkpoints run against a quiesced cut.
+  std::sort(out.begin(), out.end(),
+            [](const DirectoryExport& a, const DirectoryExport& b) {
+              return a.seq < b.seq;
+            });
   return out;
 }
 
 void ServerResolver::ImportDirectory(
     const std::vector<DirectoryExport>& entries) {
-  MutexLock lock(mu_);
   for (const DirectoryExport& e : entries) {
-    directory_[e.seq] = DirectoryEntry{e.positions, e.txn_id};
+    Shard& shard = ShardFor(e.seq);
+    CountedLock lock(shard.mu);
+    shard.directory[e.seq] = DirectoryEntry{e.positions, e.txn_id};
   }
 }
 
 size_t ServerResolver::cached_intentions() const {
-  MutexLock lock(mu_);
-  return intentions_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    CountedLock lock(shard->mu);
+    total += shard->intentions.size();
+  }
+  return total;
 }
 
 size_t ServerResolver::ephemeral_count() const {
-  MutexLock lock(eph_mu_);
-  return ephemerals_.size();
+  size_t total = 0;
+  for (const auto& stripe : eph_stripes_) {
+    CountedLock lock(stripe->mu);
+    total += stripe->nodes.size();
+  }
+  return total;
 }
 
 }  // namespace hyder

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <list>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -18,8 +19,17 @@ namespace hyder {
 struct ResolverOptions {
   /// Materialized intentions kept for lazy logged-reference resolution
   /// before LRU eviction (evicted intentions are refetched from the log on
-  /// demand — the paper's random log read path, §1/§5.2).
+  /// demand — the paper's random log read path, §1/§5.2). Distributed over
+  /// the shards; the total never exceeds this value.
   size_t intention_cache_capacity = 4096;
+  /// Lock-striped shards for the intention cache + directory, keyed by
+  /// intention sequence. Premeld workers, the final-meld thread and the
+  /// executors resolve concurrently; striping keeps them off one mutex.
+  /// Clamped to [1, intention_cache_capacity] so each shard can hold at
+  /// least one intention.
+  size_t shards = 8;
+  /// Lock stripes for the ephemeral registry, keyed by VersionId hash.
+  size_t ephemeral_stripes = 8;
   /// Ephemeral registry entries are swept once the registry exceeds this
   /// size; only entries no longer referenced anywhere else are dropped.
   size_t ephemeral_soft_limit = 1 << 20;
@@ -31,15 +41,33 @@ struct ResolverOptions {
 /// materialized-intention cache backed by the shared log, ephemeral
 /// references through the registry fed by the meld pipeline's allocators.
 ///
+/// Both structures are lock-striped (see ResolverOptions::shards /
+/// ephemeral_stripes): an intention sequence maps to one shard holding its
+/// cache entry, LRU position and directory entry, so `Resolve` takes exactly
+/// one shard lock, and calls for different sequences from the premeld
+/// workers, the final-meld thread and the executors proceed in parallel.
+/// Eviction is LRU per shard; with capacity split evenly across shards and
+/// sequences striped round-robin (`seq % shards`), the aggregate behaves
+/// like a global LRU for the sequential access patterns that matter, and
+/// the global capacity bound is exact.
+///
 /// Ephemeral nodes cannot be refetched (they are never logged, §2); a
 /// reference to a swept ephemeral yields `SnapshotTooOld`, which surfaces to
 /// the transaction as an abort-and-retry — the same contract as a retired
 /// snapshot.
+///
+/// Every internal lock acquisition bumps the thread-local counter in
+/// common/lock_counter.h, which is how the pipeline attributes resolver
+/// locking to the stage that performed it.
 class ServerResolver : public NodeResolver {
  public:
   ServerResolver(SharedLog* log, ResolverOptions options);
 
   Result<NodePtr> Resolve(VersionId vn) override;
+
+  /// Cache-only lookup (no log refetch): serves decode-time
+  /// pre-materialization of external references. Null on any miss.
+  NodePtr TryResolveCached(VersionId vn) override;
 
   /// Records that intention `seq` lives in the given log block positions
   /// (called by the log reader as intentions complete).
@@ -47,7 +75,8 @@ class ServerResolver : public NodeResolver {
                              uint64_t txn_id);
 
   /// Caches a freshly deserialized intention's node array (index = node
-  /// index within the intention).
+  /// index within the intention). Thread-safe: with parallel decode the
+  /// premeld workers call this concurrently.
   void CacheIntention(uint64_t seq, std::vector<NodePtr> nodes);
 
   /// Registers an ephemeral node (meld allocator registrar hook).
@@ -62,46 +91,68 @@ class ServerResolver : public NodeResolver {
     uint64_t txn_id;
     std::vector<uint64_t> positions;
   };
-  /// Snapshot of the intention directory (for checkpoints).
+  /// Snapshot of the intention directory (for checkpoints), sorted by
+  /// sequence so checkpoint payload bytes are deterministic.
   std::vector<DirectoryExport> ExportDirectory() const;
   /// Restores directory entries (bootstrap path).
   void ImportDirectory(const std::vector<DirectoryExport>& entries);
 
-  size_t cached_intentions() const EXCLUDES(mu_);
-  size_t ephemeral_count() const EXCLUDES(eph_mu_);
+  size_t cached_intentions() const;
+  size_t ephemeral_count() const;
   uint64_t refetches() const {
     // Relaxed: a monotonic stats counter read with no ordering dependency.
     return refetches_.load(std::memory_order_relaxed);
   }
 
  private:
-  Result<NodePtr> ResolveLogged(VersionId vn) EXCLUDES(mu_);
-  Result<const std::vector<NodePtr>*> MaterializeLocked(uint64_t seq)
-      REQUIRES(mu_);
-  void TouchLocked(uint64_t seq) REQUIRES(mu_);
-  void EvictLocked() REQUIRES(mu_);
-
-  SharedLog* const log_;
-  const ResolverOptions options_;
-
-  /// Lock order: mu_ and eph_mu_ are never held together (the intention
-  /// cache and the ephemeral registry are disjoint id spaces).
-  mutable Mutex mu_;
   struct CachedIntention {
     std::vector<NodePtr> nodes;
     std::list<uint64_t>::iterator lru_pos;
   };
-  std::unordered_map<uint64_t, CachedIntention> intentions_ GUARDED_BY(mu_);
-  std::list<uint64_t> lru_ GUARDED_BY(mu_);  // Front = most recently used.
   struct DirectoryEntry {
     std::vector<uint64_t> positions;
     uint64_t txn_id = 0;
   };
-  std::unordered_map<uint64_t, DirectoryEntry> directory_ GUARDED_BY(mu_);
-  mutable Mutex eph_mu_;
-  std::unordered_map<VersionId, NodePtr> ephemerals_ GUARDED_BY(eph_mu_);
-  /// Atomic (not guarded): incremented under mu_ but read by the stats
-  /// accessor without it.
+  /// One lock stripe of the intention cache: the cache entries, LRU order
+  /// and directory entries of the sequences mapping to this shard.
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, CachedIntention> intentions GUARDED_BY(mu);
+    std::list<uint64_t> lru GUARDED_BY(mu);  // Front = most recently used.
+    std::unordered_map<uint64_t, DirectoryEntry> directory GUARDED_BY(mu);
+    /// This shard's slice of intention_cache_capacity (set once at
+    /// construction, read-only afterwards).
+    size_t capacity = 0;
+  };
+  /// One lock stripe of the ephemeral registry.
+  struct EphemeralStripe {
+    mutable Mutex mu;
+    std::unordered_map<VersionId, NodePtr> nodes GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(uint64_t seq) const {
+    return *shards_[seq % shards_.size()];
+  }
+  EphemeralStripe& StripeFor(VersionId vn) const;
+
+  Result<NodePtr> ResolveLogged(VersionId vn);
+  Result<const std::vector<NodePtr>*> MaterializeLocked(Shard& shard,
+                                                        uint64_t seq)
+      REQUIRES(shard.mu);
+  void TouchLocked(Shard& shard, uint64_t seq) REQUIRES(shard.mu);
+  void EvictLocked(Shard& shard) REQUIRES(shard.mu);
+
+  SharedLog* const log_;
+  const ResolverOptions options_;
+
+  /// Lock order: at most one shard or stripe lock is ever held at a time
+  /// (the intention shards and the ephemeral stripes are disjoint id
+  /// spaces, and no operation spans two sequences' shards while holding
+  /// both).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<EphemeralStripe>> eph_stripes_;
+  /// Atomic (not guarded): incremented under a shard lock but read by the
+  /// stats accessor without it.
   std::atomic<uint64_t> refetches_{0};
 };
 

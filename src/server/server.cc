@@ -127,8 +127,7 @@ Result<std::vector<MeldDecision>> HyderServer::Poll(size_t max_intentions) {
         IntentionPtr intent,
         DeserializeIntention(done->payload, done->seq, done->block_count,
                              &resolver_, done->txn_id, &nodes));
-    pipeline_.mutable_stats()->deserialize.cpu_nanos = 
-        pipeline_.mutable_stats()->deserialize.cpu_nanos + ds_cpu.ElapsedNanos();
+    pipeline_.mutable_stats()->deserialize.cpu_nanos += ds_cpu.ElapsedNanos();
     pipeline_.mutable_stats()->deserialize.nodes_visited += intent->node_count;
     resolver_.CacheIntention(done->seq, std::move(nodes));
 

@@ -154,6 +154,15 @@ class NodeResolver {
   ///  * `SnapshotTooOld` — `vn` is ephemeral and retired from the registry;
   ///  * `NotFound` / `Corruption` — log-level failures.
   virtual Result<NodePtr> Resolve(VersionId vn) = 0;
+
+  /// Best-effort lookup that only consults in-memory state — no log IO, no
+  /// refetch, never an error. Returns null when the node is not immediately
+  /// at hand; the caller keeps the reference lazy and `Resolve` handles it
+  /// on first dereference. Deserialization uses this to pre-materialize
+  /// external references on the decode thread, sparing the meld thread the
+  /// resolver lock on first touch (the reference's identity is its version
+  /// id either way, so pre-resolution cannot affect meld decisions).
+  virtual NodePtr TryResolveCached(VersionId vn) { return nullptr; }
 };
 
 /// A child slot inside a node. Holds a strong reference when materialized.

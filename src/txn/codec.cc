@@ -280,17 +280,20 @@ Result<IntentionPtr> DeserializeIntention(std::string_view payload,
         if (target.IsNull()) {
           return Status::Corruption("null external child reference");
         }
-        // External references stay lazy — including ephemeral ones. The
-        // deserialization stage runs ahead of final meld (Fig. 2), so an
-        // intention may reference ephemeral nodes this server has not yet
-        // generated; they resolve on first dereference, by which time the
-        // in-order meld has produced them. (A reference to an ephemeral
-        // that has been *retired* surfaces SnapshotTooOld at that point.)
-        if (target.IsEphemeral() && ephemeral_resolver != nullptr) {
-          // Opportunistic resolution keeps the common case pointer-direct.
-          auto resolved = ephemeral_resolver->Resolve(target);
-          if (resolved.ok()) {
-            slot.Reset(Ref(std::move(*resolved), target));
+        // External references may stay lazy. The deserialization stage runs
+        // ahead of final meld (Fig. 2), so an intention may reference
+        // ephemeral nodes this server has not yet generated; they resolve
+        // on first dereference, by which time the in-order meld has
+        // produced them. (A reference to an ephemeral that has been
+        // *retired* surfaces SnapshotTooOld at that point.) But resolution
+        // is *attempted* here, cache-only: pre-materializing on the decode
+        // thread moves the resolver lock off the meld thread's first-touch
+        // path, and a reference's identity is its version id whether or not
+        // the node pointer is populated, so meld decisions are unaffected.
+        if (ephemeral_resolver != nullptr) {
+          NodePtr resolved = ephemeral_resolver->TryResolveCached(target);
+          if (resolved != nullptr) {
+            slot.Reset(Ref(std::move(resolved), target));
             continue;
           }
         }

@@ -1,0 +1,134 @@
+#include "common/seq_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace hyder {
+namespace {
+
+TEST(SeqRingTest, InOrderHandoff) {
+  SeqRing<int> ring(4, /*first_seq=*/1);
+  EXPECT_TRUE(ring.Push(1, 10));
+  EXPECT_TRUE(ring.Push(2, 20));
+  EXPECT_TRUE(ring.Push(3, 30));
+  EXPECT_EQ(ring.PopNext(), 10);
+  EXPECT_EQ(ring.PopNext(), 20);
+  EXPECT_EQ(ring.PopNext(), 30);
+}
+
+TEST(SeqRingTest, NonOneFirstSequence) {
+  SeqRing<int> ring(2, /*first_seq=*/42);
+  EXPECT_TRUE(ring.Push(42, 1));
+  EXPECT_TRUE(ring.Push(43, 2));
+  EXPECT_EQ(ring.PopNext(), 1);
+  EXPECT_EQ(ring.PopNext(), 2);
+}
+
+TEST(SeqRingTest, ConsumerWaitsOutSequenceGap) {
+  SeqRing<int> ring(8, 1);
+  // Publish 2 first: the consumer must not surface it before 1.
+  ASSERT_TRUE(ring.Push(2, 20));
+  std::vector<int> got;
+  std::thread consumer([&] {
+    got.push_back(*ring.PopNext());
+    got.push_back(*ring.PopNext());
+  });
+  // Wait until the consumer is demonstrably asleep on the gap, then fill it.
+  while (ring.stats().blocked_pops == 0) std::this_thread::yield();
+  ASSERT_TRUE(ring.Push(1, 10));
+  consumer.join();
+  EXPECT_EQ(got, (std::vector<int>{10, 20}));
+}
+
+TEST(SeqRingTest, FullRingBlocksProducerUntilPop) {
+  SeqRing<int> ring(2, 1);
+  ASSERT_TRUE(ring.Push(1, 10));
+  ASSERT_TRUE(ring.Push(2, 20));
+  bool pushed = false;
+  std::thread producer([&] {
+    // Seq 3 is `capacity` ahead of the consumer: must block until pop.
+    ASSERT_TRUE(ring.Push(3, 30));
+    pushed = true;
+  });
+  while (ring.stats().blocked_pushes == 0) std::this_thread::yield();
+  EXPECT_FALSE(pushed);
+  EXPECT_EQ(ring.PopNext(), 10);
+  producer.join();
+  EXPECT_TRUE(pushed);
+  EXPECT_EQ(ring.PopNext(), 20);
+  EXPECT_EQ(ring.PopNext(), 30);
+  EXPECT_GE(ring.stats().blocked_pushes, 1u);
+}
+
+TEST(SeqRingTest, CloseDrainsPublishedThenEnds) {
+  SeqRing<int> ring(4, 1);
+  ASSERT_TRUE(ring.Push(1, 10));
+  ASSERT_TRUE(ring.Push(2, 20));
+  ring.Close();
+  EXPECT_FALSE(ring.Push(3, 30));
+  EXPECT_EQ(ring.PopNext(), 10);
+  EXPECT_EQ(ring.PopNext(), 20);
+  EXPECT_EQ(ring.PopNext(), std::nullopt);
+}
+
+TEST(SeqRingTest, CloseUnblocksWaitingConsumer) {
+  SeqRing<int> ring(4, 1);
+  std::optional<int> result = 123;
+  std::thread consumer([&] { result = ring.PopNext(); });
+  while (ring.stats().blocked_pops == 0) std::this_thread::yield();
+  ring.Close();
+  consumer.join();
+  EXPECT_EQ(result, std::nullopt);
+}
+
+TEST(SeqRingTest, CloseUnblocksWaitingProducer) {
+  SeqRing<int> ring(1, 1);
+  ASSERT_TRUE(ring.Push(1, 10));
+  bool push_result = true;
+  std::thread producer([&] { push_result = ring.Push(2, 20); });
+  while (ring.stats().blocked_pushes == 0) std::this_thread::yield();
+  ring.Close();
+  producer.join();
+  EXPECT_FALSE(push_result);
+}
+
+TEST(SeqRingTest, MoveOnlyPayload) {
+  SeqRing<std::unique_ptr<int>> ring(2, 1);
+  ASSERT_TRUE(ring.Push(1, std::make_unique<int>(7)));
+  auto item = ring.PopNext();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 7);
+}
+
+/// The pipeline's actual shape: producers own disjoint residue classes
+/// (seq mod producers), the single consumer demands strict order, and the
+/// ring is much smaller than the stream so slots are reused across laps and
+/// back-pressure engages.
+TEST(SeqRingTest, ManyProducersStrictOrder) {
+  constexpr int kProducers = 4;
+  constexpr uint64_t kSeqs = 2000;
+  SeqRing<uint64_t> ring(8, 1);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (uint64_t seq = 1; seq <= kSeqs; ++seq) {
+        if (seq % kProducers != uint64_t(p)) continue;
+        ASSERT_TRUE(ring.Push(seq, seq * 3));
+      }
+    });
+  }
+  for (uint64_t want = 1; want <= kSeqs; ++want) {
+    auto item = ring.PopNext();
+    ASSERT_TRUE(item.has_value());
+    ASSERT_EQ(*item, want * 3);
+  }
+  for (auto& t : producers) t.join();
+  ring.Close();
+  EXPECT_EQ(ring.PopNext(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace hyder

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_counter.h"
 #include "common/thread_annotations.h"
 
 #include "meld/pipeline.h"
@@ -26,6 +27,7 @@ class MapRegistry : public NodeResolver {
  public:
   Result<NodePtr> Resolve(VersionId vn) override {
     MutexLock lock(mu_);
+    BumpResolverLockCount();
     auto it = nodes_.find(vn);
     if (it == nodes_.end()) {
       return Status::SnapshotTooOld("node " + vn.ToString() +
@@ -34,8 +36,16 @@ class MapRegistry : public NodeResolver {
     return it->second;
   }
 
+  NodePtr TryResolveCached(VersionId vn) override {
+    MutexLock lock(mu_);
+    BumpResolverLockCount();
+    auto it = nodes_.find(vn);
+    return it == nodes_.end() ? nullptr : it->second;
+  }
+
   void Register(const NodePtr& n) {
     MutexLock lock(mu_);
+    BumpResolverLockCount();
     nodes_[n->vn()] = n;
   }
 

@@ -16,16 +16,24 @@ namespace {
 constexpr size_t kBlockSize = 1024;
 
 /// Drives the threaded pipeline with a prepared block stream and collects
-/// its decisions and final state.
+/// its decisions and final state. Block assembly hands the pipeline *raw*
+/// payloads (FeedRaw): deserialization happens in the premeld workers, and
+/// the decode sink registers the materialized nodes — the same wiring a
+/// server uses to populate its intention cache off the poll thread.
 class ThreadedHarness {
  public:
   explicit ThreadedHarness(const PipelineConfig& config)
-      : pipeline_(config, DatabaseState{0, Ref::Null()}, &registry_,
-                  [this](const NodePtr& n) { registry_.Register(n); },
-                  [this](const MeldDecision& d) {
-                    MutexLock lock(mu_);
-                    decisions_.push_back(d);
-                  }) {
+      : pipeline_(
+            config, DatabaseState{0, Ref::Null()}, &registry_,
+            [this](const NodePtr& n) { registry_.Register(n); },
+            [this](const MeldDecision& d) {
+              MutexLock lock(mu_);
+              decisions_.push_back(d);
+            },
+            [this](uint64_t, const IntentionPtr&,
+                   std::vector<NodePtr>&& nodes) {
+              for (const NodePtr& n : nodes) registry_.Register(n);
+            }) {
     pipeline_.Start();
   }
 
@@ -34,12 +42,12 @@ class ThreadedHarness {
       HYDER_ASSIGN_OR_RETURN(auto fed, assembler_.AddBlock(b));
       auto& done = fed.completed;
       if (!done.has_value()) continue;
-      HYDER_ASSIGN_OR_RETURN(
-          IntentionPtr intent,
-          DeserializeIntention(done->payload, done->seq, done->block_count,
-                               &registry_, done->txn_id));
-      registry_.RegisterIntention(intent);
-      HYDER_RETURN_IF_ERROR(pipeline_.Feed(std::move(intent)));
+      RawIntention raw;
+      raw.seq = done->seq;
+      raw.txn_id = done->txn_id;
+      raw.block_count = done->block_count;
+      raw.payload = std::move(done->payload);
+      HYDER_RETURN_IF_ERROR(pipeline_.FeedRaw(std::move(raw)));
     }
     return Status::OK();
   }

@@ -16,6 +16,11 @@
 #  4. Threads are spawned only by the pipeline (meld/threaded_pipeline.*):
 #     ad-hoc threads in src/ bypass the shutdown/join discipline. Tests and
 #     benches may spawn their own.
+#  5. The meld/server lock inventory is closed: the meld hot path was
+#     de-serialized deliberately (DESIGN.md, "Meld hot path"), so any new
+#     Mutex/CondVar member in src/meld or src/server must be added to the
+#     allowlist here in the same change that justifies why it cannot be a
+#     SeqRing hand-off or a resolver shard/stripe.
 
 set -u
 
@@ -60,6 +65,25 @@ while IFS= read -r hit; do
   say "thread spawned outside meld/threaded_pipeline (join discipline): $hit"
 done < <(grep -rnE 'std::(thread|jthread)\b' --include='*.cc' --include='*.h' src \
     | grep -v 'meld/threaded_pipeline\.')
+
+# --- 5. Meld/server lock inventory ------------------------------------------
+# Every Mutex/CondVar member currently in the meld and server layers, as
+# `file:member`. Shard/stripe locks appear once per struct, not per instance.
+lock_allowlist='src/meld/state_table.h:mu_
+src/meld/state_table.h:published_
+src/meld/threaded_pipeline.h:error_mu_
+src/server/resolver.h:mu
+src/server/resolver.h:mu'
+lock_actual=$(grep -rnE \
+    '^[[:space:]]*(mutable[[:space:]]+)?(Mutex|CondVar)[[:space:]]+[A-Za-z_]+' \
+    --include='*.h' --include='*.cc' src/meld src/server \
+  | sed -E 's/^([^:]+):[0-9]+:[[:space:]]*(mutable[[:space:]]+)?(Mutex|CondVar)[[:space:]]+([A-Za-z_]+).*/\1:\4/' \
+  | sort)
+while IFS= read -r extra; do
+  [ -n "$extra" ] || continue
+  say "new lock member in the meld/server hot path (see check 5): $extra"
+done < <(comm -13 <(printf '%s\n' "$lock_allowlist" | sort) \
+                 <(printf '%s\n' "$lock_actual"))
 
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAILED" >&2
