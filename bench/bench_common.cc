@@ -6,7 +6,9 @@
 #include <cstring>
 
 #include "check.h"
+#include "common/registry.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace hyder {
 namespace bench {
@@ -102,6 +104,37 @@ void FlushJson() {
   std::fclose(f);
 }
 
+/// Observability sinks armed by InitBenchIO (--trace-out / --metrics-json
+/// or the HYDER_TRACE_OUT / HYDER_METRICS_JSON env vars).
+struct Observability {
+  std::string trace_path;
+  std::string metrics_path;
+  /// Set by an explicit MaybeWriteMetricsJson() call; the atexit fallback
+  /// skips rewriting so a mid-run snapshot (taken while per-object
+  /// providers were alive) is not clobbered by a poorer end-of-process one.
+  bool metrics_written = false;
+};
+
+Observability& Obs() {
+  static Observability o;
+  return o;
+}
+
+void WriteFileOrWarn(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+}
+
+void FlushObservability() {
+  if (!Obs().metrics_written) MaybeWriteMetricsJson();
+  MaybeWriteTraceDump();
+}
+
 std::vector<std::string> SplitCsv(const std::string& line) {
   std::vector<std::string> cells;
   size_t start = 0;
@@ -120,6 +153,7 @@ std::vector<std::string> SplitCsv(const std::string& line) {
 
 void InitBenchIO(int* argc, char** argv) {
   JsonEmitter& e = Emitter();
+  Observability& o = Obs();
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -127,6 +161,10 @@ void InitBenchIO(int* argc, char** argv) {
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       e.armed = true;
       e.path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      o.trace_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      o.metrics_path = argv[i] + 15;
     } else {
       argv[out++] = argv[i];
     }
@@ -137,6 +175,31 @@ void InitBenchIO(int* argc, char** argv) {
     // "1" (or empty) means "armed, default path", like bare --json.
     if (std::string(env) != "1") e.path = env;
   }
+  if (const char* env = std::getenv("HYDER_TRACE_OUT")) o.trace_path = env;
+  if (const char* env = std::getenv("HYDER_METRICS_JSON")) {
+    o.metrics_path = env;
+  }
+  if (!o.trace_path.empty()) Tracer::Enable();
+  if (!o.trace_path.empty() || !o.metrics_path.empty()) {
+    static bool registered = false;
+    if (!registered) {
+      registered = true;
+      std::atexit(FlushObservability);
+    }
+  }
+}
+
+void MaybeWriteMetricsJson() {
+  Observability& o = Obs();
+  if (o.metrics_path.empty()) return;
+  WriteFileOrWarn(o.metrics_path, MetricsRegistry::Global().ToJson());
+  o.metrics_written = true;
+}
+
+void MaybeWriteTraceDump() {
+  Observability& o = Obs();
+  if (o.trace_path.empty()) return;
+  WriteFileOrWarn(o.trace_path, SerializeTraceDump(Tracer::Drain()));
 }
 
 void PrintHeader(const std::string& bench, const std::string& figure,

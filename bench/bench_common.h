@@ -84,7 +84,28 @@ double BenchScale();
 /// PrintColumns/PrintRow plus the header metadata (bench, figure,
 /// paper_shape, scale) are written as JSON at process exit — bare
 /// `--json` defaults the path to `BENCH_<bench>.json`.
+///
+/// Also strips the observability flags:
+///   --trace-out=PATH     turn the lifecycle tracer on (common/trace.h)
+///                        and write the raw event dump to PATH at exit
+///                        (convert with tools/trace_export);
+///   --metrics-json=PATH  write a MetricsRegistry JSON snapshot to PATH
+///                        (at exit, or where the bench calls
+///                        MaybeWriteMetricsJson()).
+/// Environment equivalents: HYDER_TRACE_OUT / HYDER_METRICS_JSON.
 void InitBenchIO(int* argc, char** argv);
+
+/// Writes the metrics JSON snapshot now, if --metrics-json is armed
+/// (no-op otherwise). Benches call this while their servers/pipelines/logs
+/// are still alive so the per-object registry providers are captured; the
+/// atexit fallback only sees process-lifetime instruments. Later calls
+/// overwrite — the last snapshot wins.
+void MaybeWriteMetricsJson();
+
+/// Drains the tracer and (re)writes the raw dump now, if --trace-out is
+/// armed. Also runs at exit; the drain is non-destructive, so each write
+/// holds every event recorded so far.
+void MaybeWriteTraceDump();
 
 /// Standard header: bench name, the paper figure, and the qualitative
 /// shape being reproduced. Registers the JSON flush (atexit) when the

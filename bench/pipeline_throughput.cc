@@ -170,6 +170,9 @@ RunResult RunThreaded(StripedLog* log,
   r.wall_ms = double(wall.ElapsedNanos()) / 1e6;
   r.ips = double(stream.size()) / (r.wall_ms / 1e3);
   r.stats = pipeline.StatsSnapshot();
+  // Snapshot while the pipeline/resolver/log providers are still
+  // registered (last run wins — the t=5 threaded replay).
+  MaybeWriteMetricsJson();
   return r;
 }
 

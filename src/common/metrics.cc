@@ -4,6 +4,33 @@
 
 namespace hyder {
 
+namespace {
+/// Joins a metric prefix and field name. An empty prefix yields the bare
+/// field: MetricsRegistry providers emit bare fields (the registry adds
+/// the provider prefix itself), while direct callers pass their own.
+std::string Key(const std::string& prefix, const char* field) {
+  return prefix.empty() ? std::string(field) : prefix + "." + field;
+}
+}  // namespace
+
+// Field-count guards: every struct below is a flat bag of uint64_t
+// counters, so its size pins the field count exactly. Adding a field
+// without updating ToString(), EmitTo() and operator+= silently drops it
+// from every stats printout (that happened to fm_resolver_locks and the
+// hand-off counters once) — so the assert fails the build until the
+// companion functions in this file are updated and the expected count
+// below is bumped.
+static_assert(sizeof(MeldWork) == 6 * sizeof(uint64_t),
+              "MeldWork field added: update ToString/EmitTo/operator+= "
+              "and this count");
+static_assert(sizeof(ArenaStats) == 9 * sizeof(uint64_t),
+              "ArenaStats field added: update ToString/EmitTo and this "
+              "count");
+static_assert(sizeof(PipelineStats) ==
+                  13 * sizeof(uint64_t) + 4 * sizeof(MeldWork),
+              "PipelineStats field added: update ToString/EmitTo/"
+              "operator+= and this count");
+
 std::string MeldWork::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -18,19 +45,45 @@ std::string MeldWork::ToString() const {
   return buf;
 }
 
+void MeldWork::EmitTo(const std::string& prefix,
+                      const MetricEmit& emit) const {
+  emit(Key(prefix, "nodes_visited"), double(nodes_visited));
+  emit(Key(prefix, "ephemeral_created"), double(ephemeral_created));
+  emit(Key(prefix, "grafts"), double(grafts));
+  emit(Key(prefix, "conflict_checks"), double(conflict_checks));
+  emit(Key(prefix, "splits"), double(splits));
+  emit(Key(prefix, "cpu_nanos"), double(cpu_nanos));
+}
+
 std::string ArenaStats::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "live=%llu allocated=%llu recycled=%llu slabs=%llu "
-                "slab_kb=%llu heap_payloads=%llu",
+                "slab_kb=%llu carved=%llu free_shared=%llu "
+                "heap_payloads=%llu",
                 static_cast<unsigned long long>(live),
                 static_cast<unsigned long long>(allocated),
                 static_cast<unsigned long long>(recycled),
                 static_cast<unsigned long long>(slabs),
                 static_cast<unsigned long long>(slab_bytes / 1024),
+                static_cast<unsigned long long>(carved),
+                static_cast<unsigned long long>(free_shared),
                 static_cast<unsigned long long>(payload_heap_allocs -
                                                 payload_heap_frees));
   return buf;
+}
+
+void ArenaStats::EmitTo(const std::string& prefix,
+                        const MetricEmit& emit) const {
+  emit(Key(prefix, "live"), double(live));
+  emit(Key(prefix, "allocated"), double(allocated));
+  emit(Key(prefix, "recycled"), double(recycled));
+  emit(Key(prefix, "slabs"), double(slabs));
+  emit(Key(prefix, "slab_bytes"), double(slab_bytes));
+  emit(Key(prefix, "carved"), double(carved));
+  emit(Key(prefix, "free_shared"), double(free_shared));
+  emit(Key(prefix, "payload_heap_allocs"), double(payload_heap_allocs));
+  emit(Key(prefix, "payload_heap_frees"), double(payload_heap_frees));
 }
 
 PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
@@ -49,25 +102,60 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
   fm_resolver_locks += o.fm_resolver_locks;
   handoff_blocked_pushes += o.handoff_blocked_pushes;
   handoff_blocked_pops += o.handoff_blocked_pops;
+  handoff_blocked_push_nanos += o.handoff_blocked_push_nanos;
+  handoff_blocked_pop_nanos += o.handoff_blocked_pop_nanos;
   return *this;
 }
 
 std::string PipelineStats::ToString() const {
-  char buf[512];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
-      "intentions=%llu committed=%llu aborted=%llu (premeld_aborts=%llu) "
-      "fm[%s] pm[%s] gm[%s] avg_conflict_zone=%.1f fm_resolver_locks=%llu",
+      "intentions=%llu committed=%llu aborted=%llu (premeld_aborts=%llu "
+      "premeld_skips=%llu singletons=%llu) ds[%s] pm[%s] gm[%s] fm[%s] "
+      "final_melds=%llu avg_conflict_zone=%.1f fm_resolver_locks=%llu "
+      "handoff_blocked=%llu/%llu (%.1f/%.1f ms)",
       static_cast<unsigned long long>(intentions),
       static_cast<unsigned long long>(committed),
       static_cast<unsigned long long>(aborted),
       static_cast<unsigned long long>(premeld_aborts),
-      final_meld.ToString().c_str(), premeld.ToString().c_str(),
-      group_meld.ToString().c_str(),
+      static_cast<unsigned long long>(premeld_skips),
+      static_cast<unsigned long long>(group_singletons),
+      deserialize.ToString().c_str(), premeld.ToString().c_str(),
+      group_meld.ToString().c_str(), final_meld.ToString().c_str(),
+      static_cast<unsigned long long>(final_melds),
       final_melds == 0 ? 0.0
                        : double(conflict_zone_sum) / double(final_melds),
-      static_cast<unsigned long long>(fm_resolver_locks));
+      static_cast<unsigned long long>(fm_resolver_locks),
+      static_cast<unsigned long long>(handoff_blocked_pushes),
+      static_cast<unsigned long long>(handoff_blocked_pops),
+      double(handoff_blocked_push_nanos) / 1e6,
+      double(handoff_blocked_pop_nanos) / 1e6);
   return buf;
+}
+
+void PipelineStats::EmitTo(const std::string& prefix,
+                           const MetricEmit& emit) const {
+  emit(Key(prefix, "intentions"), double(intentions));
+  emit(Key(prefix, "committed"), double(committed));
+  emit(Key(prefix, "aborted"), double(aborted));
+  emit(Key(prefix, "premeld_aborts"), double(premeld_aborts));
+  emit(Key(prefix, "premeld_skips"), double(premeld_skips));
+  emit(Key(prefix, "group_singletons"), double(group_singletons));
+  deserialize.EmitTo(Key(prefix, "ds"), emit);
+  premeld.EmitTo(Key(prefix, "pm"), emit);
+  group_meld.EmitTo(Key(prefix, "gm"), emit);
+  final_meld.EmitTo(Key(prefix, "fm"), emit);
+  emit(Key(prefix, "conflict_zone_sum"), double(conflict_zone_sum));
+  emit(Key(prefix, "final_melds"), double(final_melds));
+  emit(Key(prefix, "fm_resolver_locks"), double(fm_resolver_locks));
+  emit(Key(prefix, "handoff_blocked_pushes"),
+       double(handoff_blocked_pushes));
+  emit(Key(prefix, "handoff_blocked_pops"), double(handoff_blocked_pops));
+  emit(Key(prefix, "handoff_blocked_push_nanos"),
+       double(handoff_blocked_push_nanos));
+  emit(Key(prefix, "handoff_blocked_pop_nanos"),
+       double(handoff_blocked_pop_nanos));
 }
 
 }  // namespace hyder

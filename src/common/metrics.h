@@ -2,9 +2,16 @@
 #define HYDER2_COMMON_METRICS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace hyder {
+
+/// Snapshot-time field emitter (see common/registry.h): stats structs
+/// publish every field through `EmitTo(prefix, emit)` so the registry's
+/// exporters, ToString() and the field-count guards in metrics.cc stay one
+/// audited list per struct.
+using MetricEmit = std::function<void(const std::string&, double)>;
 
 /// Work counters for one meld execution (one call of the meld operator).
 ///
@@ -31,6 +38,8 @@ struct MeldWork {
   }
 
   std::string ToString() const;
+  /// Emits every field as "<prefix>.<field>".
+  void EmitTo(const std::string& prefix, const MetricEmit& emit) const;
 };
 
 /// Counters of the node arena (tree/node_pool). `live` is exact at any
@@ -50,6 +59,7 @@ struct ArenaStats {
   uint64_t payload_heap_frees = 0;
 
   std::string ToString() const;
+  void EmitTo(const std::string& prefix, const MetricEmit& emit) const;
 };
 
 /// Aggregate statistics of a pipeline run, broken down by stage.
@@ -83,10 +93,15 @@ struct PipelineStats {
   /// pops that slept on a sequence gap (pipeline bubbles).
   uint64_t handoff_blocked_pushes = 0;
   uint64_t handoff_blocked_pops = 0;
+  /// Time those sleeps cost, in nanoseconds (the pipeline-latency shape of
+  /// the paper's Fig. 13 analysis: bubbles vs. back-pressure).
+  uint64_t handoff_blocked_push_nanos = 0;
+  uint64_t handoff_blocked_pop_nanos = 0;
 
   PipelineStats& operator+=(const PipelineStats& o);
 
   std::string ToString() const;
+  void EmitTo(const std::string& prefix, const MetricEmit& emit) const;
 };
 
 }  // namespace hyder

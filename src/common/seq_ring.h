@@ -6,7 +6,10 @@
 #include <optional>
 #include <vector>
 
+#include "common/registry.h"
+#include "common/stopwatch.h"
 #include "common/thread_annotations.h"
+#include "common/trace.h"
 
 namespace hyder {
 
@@ -102,10 +105,23 @@ class SeqRing {
     uint64_t blocked_pushes = 0;
     /// Pops that had to sleep for the next sequence (pipeline bubbles).
     uint64_t blocked_pops = 0;
+    /// Wall time those sleeps cost (the pipeline's hand-off latency).
+    uint64_t blocked_push_nanos = 0;
+    uint64_t blocked_pop_nanos = 0;
   };
   Stats stats() const EXCLUDES(wait_mu_) {
     MutexLock lock(wait_mu_);
-    return Stats{blocked_pushes_, blocked_pops_};
+    return Stats{blocked_pushes_, blocked_pops_, blocked_push_nanos_,
+                 blocked_pop_nanos_};
+  }
+
+  /// Optional per-sleep latency histograms (microseconds; see
+  /// common/registry.h). Set before any Push/PopNext; the pointers are
+  /// read by blocked waiters without synchronization.
+  void SetBlockedHistograms(LatencyHistogram* push_us,
+                            LatencyHistogram* pop_us) {
+    push_blocked_us_ = push_us;
+    pop_blocked_us_ = pop_us;
   }
 
   size_t capacity() const { return slots_.size(); }
@@ -124,6 +140,8 @@ class SeqRing {
     if (seq < next_pop_.load() + slots_.size()) {
       return !closed_.load();
     }
+    TraceSpan span(TraceStage::kHandoffWait, seq);
+    Stopwatch blocked;
     MutexLock lock(wait_mu_);
     blocked_pushes_++;
     push_waiters_.fetch_add(1);
@@ -134,10 +152,15 @@ class SeqRing {
       not_full_[seq % kWakeBuckets].Wait(wait_mu_);
     }
     push_waiters_.fetch_sub(1);
+    const uint64_t nanos = blocked.ElapsedNanos();
+    blocked_push_nanos_ += nanos;
+    if (push_blocked_us_ != nullptr) push_blocked_us_->Add(nanos / 1000);
     return !closed_.load();
   }
 
   bool WaitForItem(Slot& slot, uint64_t want) EXCLUDES(wait_mu_) {
+    TraceSpan span(TraceStage::kHandoffWait, want);
+    Stopwatch blocked;
     MutexLock lock(wait_mu_);
     blocked_pops_++;
     pop_waiting_.store(true);
@@ -145,6 +168,9 @@ class SeqRing {
       not_empty_.Wait(wait_mu_);
     }
     pop_waiting_.store(false);
+    const uint64_t nanos = blocked.ElapsedNanos();
+    blocked_pop_nanos_ += nanos;
+    if (pop_blocked_us_ != nullptr) pop_blocked_us_->Add(nanos / 1000);
     return slot.full.load() == want;
   }
 
@@ -166,6 +192,11 @@ class SeqRing {
   CondVar not_empty_;
   uint64_t blocked_pushes_ GUARDED_BY(wait_mu_) = 0;
   uint64_t blocked_pops_ GUARDED_BY(wait_mu_) = 0;
+  uint64_t blocked_push_nanos_ GUARDED_BY(wait_mu_) = 0;
+  uint64_t blocked_pop_nanos_ GUARDED_BY(wait_mu_) = 0;
+  /// Set once before use (SetBlockedHistograms); null = not recorded.
+  LatencyHistogram* push_blocked_us_ = nullptr;
+  LatencyHistogram* pop_blocked_us_ = nullptr;
 };
 
 }  // namespace hyder

@@ -7,7 +7,19 @@ namespace hyder {
 
 FaultInjectingLog::FaultInjectingLog(SharedLog* base,
                                      FaultInjectionOptions options)
-    : base_(base), options_(options), rng_(options.seed) {}
+    : base_(base), options_(options), rng_(options.seed) {
+  metrics_ = MetricsRegistry::Global().RegisterProvider(
+      "log.fault", [this](const MetricsRegistry::Emit& emit) {
+        EmitLogStats(stats(), emit);
+        const FaultCounts c = fault_counts();
+        emit("append_failures", double(c.append_failures));
+        emit("duplicate_appends", double(c.duplicate_appends));
+        emit("torn_appends", double(c.torn_appends));
+        emit("read_failures", double(c.read_failures));
+        emit("dataloss_reads", double(c.dataloss_reads));
+        emit("latency_spikes", double(c.latency_spikes));
+      });
+}
 
 void FaultInjectingLog::MaybeInjectLatencyLocked() {
   if (options_.latency_p <= 0 || !rng_.Bernoulli(options_.latency_p)) return;

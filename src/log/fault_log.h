@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/random.h"
+#include "common/registry.h"
 #include "common/thread_annotations.h"
 #include "log/shared_log.h"
 
@@ -86,6 +87,10 @@ class FaultInjectingLog : public SharedLog {
   std::unordered_set<uint64_t> decayed_ GUARDED_BY(mu_);
   LogStats stats_ GUARDED_BY(mu_);
   FaultCounts counts_ GUARDED_BY(mu_);
+  /// "log.fault.*" (LogStats + per-fault-kind injection counts) in the
+  /// global MetricsRegistry (declared last: the provider reads the guarded
+  /// counters and must unregister first).
+  ProviderHandle metrics_;
 };
 
 }  // namespace hyder

@@ -105,7 +105,12 @@ Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
 
 FileLog::FileLog(std::FILE* file, Options options, uint64_t tail,
                  bool format_v2)
-    : options_(options), format_v2_(format_v2), file_(file), tail_(tail) {}
+    : options_(options), format_v2_(format_v2), file_(file), tail_(tail) {
+  metrics_ = MetricsRegistry::Global().RegisterProvider(
+      "log.file", [this](const MetricsRegistry::Emit& emit) {
+        EmitLogStats(stats(), emit);
+      });
+}
 
 FileLog::~FileLog() {
   if (file_ != nullptr) std::fclose(file_);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/registry.h"
 #include "common/thread_annotations.h"
 #include "log/shared_log.h"
 
@@ -79,6 +80,9 @@ class FileLog : public SharedLog {
   std::FILE* file_ GUARDED_BY(mu_);
   uint64_t tail_ GUARDED_BY(mu_);  // Next position to assign (1-based).
   LogStats stats_ GUARDED_BY(mu_);
+  /// "log.file.*" in the global MetricsRegistry (declared last: the
+  /// provider reads stats() and must unregister first).
+  ProviderHandle metrics_;
 };
 
 }  // namespace hyder

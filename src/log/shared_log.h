@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/result.h"
 
 namespace hyder {
@@ -60,6 +61,23 @@ struct LogStats {
 };
 
 inline LogStats SharedLog::stats() const { return LogStats{}; }
+
+// Field-count guard (see common/metrics.cc): adding a LogStats counter
+// without teaching EmitLogStats about it silently drops it from every
+// metrics snapshot.
+static_assert(sizeof(LogStats) == 5 * sizeof(uint64_t),
+              "LogStats field added: update EmitLogStats and this count");
+
+/// Publishes a LogStats snapshot field by field — the registry-provider
+/// building block shared by every log implementation (each registers a
+/// "log.<kind>" provider; see common/registry.h).
+inline void EmitLogStats(const LogStats& s, const MetricEmit& emit) {
+  emit("appends", double(s.appends));
+  emit("reads", double(s.reads));
+  emit("bytes_appended", double(s.bytes_appended));
+  emit("errors", double(s.errors));
+  emit("retries", double(s.retries));
+}
 
 }  // namespace hyder
 

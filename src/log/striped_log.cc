@@ -4,6 +4,10 @@ namespace hyder {
 
 StripedLog::StripedLog(StripedLogOptions options) : options_(options) {
   units_.resize(options_.storage_units < 1 ? 1 : options_.storage_units);
+  metrics_ = MetricsRegistry::Global().RegisterProvider(
+      "log.striped", [this](const MetricsRegistry::Emit& emit) {
+        EmitLogStats(stats(), emit);
+      });
 }
 
 Result<uint64_t> StripedLog::Append(std::string block) {

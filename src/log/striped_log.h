@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/registry.h"
 #include "common/thread_annotations.h"
 #include "log/shared_log.h"
 
@@ -59,6 +60,9 @@ class StripedLog : public SharedLog {
   /// Next position to assign (positions are 1-based).
   uint64_t tail_ GUARDED_BY(mu_) = 1;
   LogStats stats_ GUARDED_BY(mu_);
+  /// "log.striped.*" in the global MetricsRegistry (declared last: the
+  /// provider reads stats() and must unregister first).
+  ProviderHandle metrics_;
 };
 
 }  // namespace hyder

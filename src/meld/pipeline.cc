@@ -2,6 +2,7 @@
 
 #include "common/lock_counter.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace hyder {
 
@@ -101,6 +102,7 @@ Result<std::vector<MeldDecision>> SequentialPipeline::Process(
   if (config_.premeld_threads > 0 && !intent->known_aborted) {
     const int thread =
         PremeldThreadFor(intent->seq, config_.premeld_threads);
+    TraceSpan span(TraceStage::kPremeld, intent->seq);
     CpuStopwatch cpu;
     MeldWork work;
     HYDER_ASSIGN_OR_RETURN(
@@ -127,6 +129,7 @@ Result<std::vector<MeldDecision>> SequentialPipeline::AfterPremeld(
   }
   IntentionPtr first = std::move(pending_group_);
   pending_group_ = nullptr;
+  TraceSpan span(TraceStage::kGroupMeld, intent->seq);
   CpuStopwatch cpu;
   MeldWork work;
   HYDER_ASSIGN_OR_RETURN(
@@ -185,6 +188,7 @@ void SequentialPipeline::PublishUpTo(uint64_t seq, const Ref& root) {
   while (published_seq_ < seq) {
     ++published_seq_;
     states_.Publish(DatabaseState{published_seq_, root});
+    TraceInstant(TraceStage::kPublish, published_seq_);
   }
 }
 
@@ -202,6 +206,7 @@ Result<std::vector<MeldDecision>> SequentialPipeline::FinalMeld(
     return decisions;
   }
 
+  TraceSpan span(TraceStage::kFinalMeld, intent->seq);
   DatabaseState latest = states_.Latest();
   MeldContext ctx;
   ctx.out_tag = intent->seq | kFinalTagBit;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "txn/codec.h"
 
 namespace hyder {
@@ -12,6 +13,17 @@ PipelineConfig EngineConfig(const PipelineConfig& config) {
   PipelineConfig engine = config;
   engine.premeld_threads = 0;  // Premeld runs in this class's workers.
   return engine;
+}
+
+/// Upper bound on sequences in flight between Dispatch and their decision:
+/// every premeld input queue (t * qcap) plus one item held by each premeld
+/// worker (t), the hand-off ring (qcap), the meld thread's in-hand item and
+/// pending group member, with slack. Sizes the feed-timestamp ring so a
+/// slot is never overwritten before its stamp is consumed.
+size_t FeedTsSlots(const PipelineConfig& config) {
+  const size_t qcap = std::max<size_t>(1, config.stage_queue_capacity);
+  const size_t t = size_t(std::max(0, config.premeld_threads));
+  return (t + 1) * qcap + t + 8;
 }
 }  // namespace
 
@@ -26,6 +38,9 @@ ThreadedPipeline::ThreadedPipeline(
       on_decode_(std::move(on_decode)),
       ring_(std::max<size_t>(1, config.stage_queue_capacity),
             initial.seq + 1),
+      feed_ts_(FeedTsSlots(config)),
+      durable_to_decision_us_(MetricsRegistry::Global().histogram(
+          "pipeline.durable_to_decision_us")),
       fed_seq_(initial.seq) {
   for (int t = 0; t < config_.premeld_threads; ++t) {
     // Premeld thread ids 2..t+1, matching SequentialPipeline's fixed slots
@@ -37,6 +52,14 @@ ThreadedPipeline::ThreadedPipeline(
         std::max<size_t>(1, config.stage_queue_capacity)));
     worker_stats_.push_back(std::make_unique<WorkerStats>());
   }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  ring_.SetBlockedHistograms(
+      registry.histogram("pipeline.handoff_push_blocked_us"),
+      registry.histogram("pipeline.handoff_pop_blocked_us"));
+  metrics_ = registry.RegisterProvider(
+      "pipeline", [this](const MetricsRegistry::Emit& emit) {
+        StatsSnapshot().EmitTo("", emit);
+      });
 }
 
 ThreadedPipeline::~ThreadedPipeline() {
@@ -56,6 +79,7 @@ void ThreadedPipeline::Start() {
 
 Result<IntentionPtr> ThreadedPipeline::DecodeRaw(const RawIntention& raw,
                                                  WorkerStats* stats) {
+  TraceSpan span(TraceStage::kDecode, raw.seq);
   CpuStopwatch cpu;
   std::vector<NodePtr> nodes;
   HYDER_ASSIGN_OR_RETURN(
@@ -92,6 +116,10 @@ Status ThreadedPipeline::Dispatch(StageItem item) {
     return Status::InvalidArgument("intentions must be fed in log order");
   }
   fed_seq_ = item.seq;
+  // Stamp for the durable->decision histogram: the intention is durable
+  // (read back from the log) when it reaches the pipeline.
+  feed_ts_[item.seq % feed_ts_.size()].store(Stopwatch::NowNanos(),
+                                             std::memory_order_release);
   if (config_.premeld_threads == 0) {
     // No premeld stage: decode inline on the feeder (the current
     // single-threaded path) and hand straight to the meld thread.
@@ -132,6 +160,9 @@ void ThreadedPipeline::Join() {
   // All premeld outputs are in the hand-off ring now.
   ring_.Close();
   if (threads_.back().joinable()) threads_.back().join();
+  // Workers are gone: StatsSnapshot may merge their counters from now on
+  // (the joins above ordered the writes before this store).
+  joined_.store(true, std::memory_order_release);
 }
 
 void ThreadedPipeline::Poison(const Status& status) {
@@ -173,6 +204,7 @@ void ThreadedPipeline::PremeldWorker(int thread_index) {
       if (!ring_.Push(seq, std::move(intent))) return;
       continue;
     }
+    TraceSpan span(TraceStage::kPremeld, seq);
     CpuStopwatch cpu;
     MeldWork work;
     auto out = RunPremeld(intent, engine_.states(), config_.premeld_threads,
@@ -193,14 +225,16 @@ void ThreadedPipeline::PremeldWorker(int thread_index) {
 
 void ThreadedPipeline::MeldWorker() {
   while (auto item = ring_.PopNext()) {
+    // Snapshot-consistency contract (see StatsSnapshot): bump intentions
+    // before melding, the decision counters after, so a concurrent reader
+    // never sees committed + aborted > intentions.
+    meld_intentions_.fetch_add(1, std::memory_order_relaxed);
     auto decisions = engine_.Process(std::move(*item));
     if (!decisions.ok()) {
       Poison(decisions.status());
       return;
     }
-    if (on_decision_) {
-      for (const MeldDecision& d : *decisions) on_decision_(d);
-    }
+    DeliverDecisions(*decisions);
   }
   if (poisoned_.load(std::memory_order_acquire)) return;
   auto tail = engine_.Flush();
@@ -208,12 +242,58 @@ void ThreadedPipeline::MeldWorker() {
     Poison(tail.status());
     return;
   }
+  DeliverDecisions(*tail);
+}
+
+void ThreadedPipeline::DeliverDecisions(
+    const std::vector<MeldDecision>& decisions) {
+  if (!decisions.empty()) {
+    const uint64_t now = Stopwatch::NowNanos();
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    for (const MeldDecision& d : decisions) {
+      if (d.committed) {
+        committed++;
+      } else {
+        aborted++;
+      }
+      const uint64_t fed =
+          feed_ts_[d.seq % feed_ts_.size()].load(std::memory_order_acquire);
+      if (fed != 0 && now > fed) {
+        durable_to_decision_us_->Add((now - fed) / 1000);
+      }
+    }
+    if (committed != 0) {
+      meld_committed_.fetch_add(committed, std::memory_order_release);
+    }
+    if (aborted != 0) {
+      meld_aborted_.fetch_add(aborted, std::memory_order_release);
+    }
+  }
   if (on_decision_) {
-    for (const MeldDecision& d : *tail) on_decision_(d);
+    for (const MeldDecision& d : decisions) on_decision_(d);
   }
 }
 
 PipelineStats ThreadedPipeline::StatsSnapshot() const {
+  if (!joined_.load(std::memory_order_acquire)) {
+    // Mid-run: the engine's PipelineStats and the per-worker counters are
+    // thread-confined until Join, so report only the atomically mirrored
+    // headline counters plus the (internally locked) ring counters.
+    // Read order matters: decision counters first (acquire), intentions
+    // last — paired with MeldWorker's intentions-before / decisions-after
+    // stores, this guarantees committed + aborted <= intentions.
+    PipelineStats out;
+    out.committed = meld_committed_.load(std::memory_order_acquire);
+    out.aborted = meld_aborted_.load(std::memory_order_acquire);
+    out.intentions = meld_intentions_.load(std::memory_order_relaxed);
+    const SeqRing<IntentionPtr>::Stats ring_stats = ring_.stats();
+    out.handoff_blocked_pushes = ring_stats.blocked_pushes;
+    out.handoff_blocked_pops = ring_stats.blocked_pops;
+    out.handoff_blocked_push_nanos = ring_stats.blocked_push_nanos;
+    out.handoff_blocked_pop_nanos = ring_stats.blocked_pop_nanos;
+    return out;
+  }
   PipelineStats out = engine_.stats();
   // Per-worker counters, merged on snapshot (valid after Join; the joins
   // provide the happens-before edges). The embedded engine also tallies
@@ -232,6 +312,8 @@ PipelineStats ThreadedPipeline::StatsSnapshot() const {
   const SeqRing<IntentionPtr>::Stats ring_stats = ring_.stats();
   out.handoff_blocked_pushes = ring_stats.blocked_pushes;
   out.handoff_blocked_pops = ring_stats.blocked_pops;
+  out.handoff_blocked_push_nanos = ring_stats.blocked_push_nanos;
+  out.handoff_blocked_pop_nanos = ring_stats.blocked_pop_nanos;
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/queue.h"
+#include "common/registry.h"
 #include "common/seq_ring.h"
 #include "common/thread_annotations.h"
 #include "meld/pipeline.h"
@@ -94,9 +95,19 @@ class ThreadedPipeline {
   /// The state table (shared with premeld waiters and executors).
   StateTable& states() { return engine_.states(); }
 
-  /// Aggregated stats. Only valid after `Join`: the embedded engine's
-  /// counters are owned by the meld worker thread, and the per-worker
-  /// premeld/decode counters by their workers, until the threads exit.
+  /// Aggregated stats. Safe to call from any thread at any time:
+  ///
+  ///  * After `Join`, the full per-stage detail (decode/premeld/gm/fm
+  ///    MeldWork, resolver locks, ...) is merged from the worker-owned
+  ///    counters — the joins provide the happens-before edges.
+  ///  * Mid-run, only the headline counters (intentions / committed /
+  ///    aborted) and the hand-off ring counters are populated, read from
+  ///    atomic mirrors maintained by the meld worker. Invariant: a mid-run
+  ///    snapshot never reports committed + aborted > intentions, because
+  ///    the worker bumps `intentions` before melding and the decision
+  ///    counters (with release ordering) after, while the snapshot reads
+  ///    the decision counters first (acquire) and `intentions` second.
+  ///    tests/threaded_pipeline_test.cc hammers this invariant.
   PipelineStats StatsSnapshot() const;
 
   /// First error encountered by any stage, if the pipeline was poisoned.
@@ -125,6 +136,9 @@ class ThreadedPipeline {
 
   void PremeldWorker(int thread_index);
   void MeldWorker();
+  /// Meld-thread decision fan-out: updates the mid-run counters and the
+  /// durable->decision histogram, then invokes the callback.
+  void DeliverDecisions(const std::vector<MeldDecision>& decisions);
   void Poison(const Status& status) EXCLUDES(error_mu_);
   /// Shared Feed/FeedRaw tail: order check, then route to a premeld worker
   /// (or decode inline and hand to the meld thread when t == 0).
@@ -150,6 +164,26 @@ class ThreadedPipeline {
   /// reorder buffer (see common/seq_ring.h).
   SeqRing<IntentionPtr> ring_;
 
+  /// Feed-timestamp ring for the durable→decision latency histogram: slot
+  /// `seq % size` holds the NowNanos stamp taken when Dispatch accepted the
+  /// sequence. Sized past the pipeline's in-flight bound (premeld queues +
+  /// workers + hand-off ring + the meld thread's pending group member), so
+  /// a slot's stamp is consumed before the next lap overwrites it.
+  std::vector<std::atomic<uint64_t>> feed_ts_;
+  /// Global-registry instruments (process lifetime; see common/registry.h).
+  LatencyHistogram* const durable_to_decision_us_;
+
+  /// Mid-run headline counters mirrored by the meld worker (the engine's
+  /// own PipelineStats are thread-confined until Join). Ordering contract
+  /// documented on StatsSnapshot().
+  std::atomic<uint64_t> meld_intentions_{0};
+  std::atomic<uint64_t> meld_committed_{0};
+  std::atomic<uint64_t> meld_aborted_{0};
+  /// Set by Join after all workers exited; selects the full-detail
+  /// StatsSnapshot path (the release store pairs with the snapshot's
+  /// acquire load, though Join's thread joins already order the counters).
+  std::atomic<bool> joined_{false};
+
   mutable Mutex error_mu_;
   Status first_error_ GUARDED_BY(error_mu_);
   std::atomic<bool> poisoned_{false};
@@ -162,6 +196,11 @@ class ThreadedPipeline {
   /// thread at a time (the log-poll thread); never touched by workers.
   uint64_t fed_seq_;
   bool started_ = false;
+
+  /// Publishes "pipeline.*" fields (via StatsSnapshot, which is mid-run
+  /// safe) to the global MetricsRegistry. Declared last so the provider is
+  /// unregistered before any member it reads is destroyed.
+  ProviderHandle metrics_;
 };
 
 }  // namespace hyder

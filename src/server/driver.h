@@ -36,7 +36,16 @@ class ClosedLoopDriver {
       : server_(server),
         target_inflight_(target_inflight),
         isolation_(isolation),
-        factory_(std::move(factory)) {}
+        factory_(std::move(factory)) {
+    metrics_ = MetricsRegistry::Global().RegisterProvider(
+        "driver", [this](const MetricsRegistry::Emit& emit) {
+          emit("submitted", double(report_.submitted));
+          emit("committed", double(report_.committed));
+          emit("aborted", double(report_.aborted));
+          emit("read_only", double(report_.read_only));
+          emit("target_inflight", double(target_inflight_));
+        });
+  }
 
   /// Processes `intentions` through the pipeline (filling the in-flight
   /// window as needed) and accumulates decisions into `report_`.
@@ -52,6 +61,9 @@ class ClosedLoopDriver {
   const IsolationLevel isolation_;
   TxnFactory factory_;
   DriverReport report_;
+  /// "driver.*" gauges in the global registry; snapshots must run on the
+  /// driving thread (the driver, like the server, is single-threaded).
+  ProviderHandle metrics_;
 };
 
 }  // namespace hyder

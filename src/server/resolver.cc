@@ -267,4 +267,12 @@ size_t ServerResolver::ephemeral_count() const {
   return total;
 }
 
+void ServerResolver::EmitMetrics(const std::string& prefix,
+                                 const MetricEmit& emit) const {
+  const std::string dot = prefix.empty() ? "" : prefix + ".";
+  emit(dot + "cached_intentions", double(cached_intentions()));
+  emit(dot + "ephemeral_count", double(ephemeral_count()));
+  emit(dot + "refetches", double(refetches()));
+}
+
 }  // namespace hyder

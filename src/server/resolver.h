@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "common/thread_annotations.h"
 #include "log/shared_log.h"
@@ -99,6 +100,9 @@ class ServerResolver : public NodeResolver {
 
   size_t cached_intentions() const;
   size_t ephemeral_count() const;
+  /// Publishes the resolver gauges under `prefix` (MetricsRegistry provider
+  /// building block; see common/registry.h). Thread-safe.
+  void EmitMetrics(const std::string& prefix, const MetricEmit& emit) const;
   uint64_t refetches() const {
     // Relaxed: a monotonic stats counter read with no ordering dependency.
     return refetches_.load(std::memory_order_relaxed);

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace hyder {
 
@@ -16,7 +17,23 @@ HyderServer::HyderServer(SharedLog* log, ServerOptions options,
       pipeline_(options.pipeline, initial, &resolver_,
                 [this](const NodePtr& n) { resolver_.RegisterEphemeral(n); }),
       assembler_(initial.seq + 1),
-      next_read_pos_(start_position) {}
+      next_read_pos_(start_position),
+      append_to_durable_us_(MetricsRegistry::Global().histogram(
+          "pipeline.append_to_durable_us")),
+      durable_to_decision_us_(MetricsRegistry::Global().histogram(
+          "pipeline.durable_to_decision_us")) {
+  metrics_ = MetricsRegistry::Global().RegisterProvider(
+      "server" + std::to_string(options_.server_id),
+      [this](const MetricsRegistry::Emit& emit) {
+        pipeline_.stats().EmitTo("pipeline", emit);
+        resolver_.EmitMetrics("resolver", emit);
+        emit("inflight", double(pending_.size()));
+        emit("assembler_pending", double(assembler_.pending()));
+        emit("skipped_blocks", double(skipped_blocks_));
+        emit("duplicate_blocks", double(duplicate_blocks_));
+        emit("next_read_position", double(next_read_pos_));
+      });
+}
 
 Transaction HyderServer::Begin() { return Begin(options_.default_isolation); }
 
@@ -54,22 +71,29 @@ Result<HyderServer::Submitted> HyderServer::Submit(Transaction&& txn) {
     return Status::Busy("in-flight transaction limit reached (" +
                         std::to_string(options_.max_inflight) + ")");
   }
+  TraceInstant(TraceStage::kSubmit, txn.txn_id());
   HYDER_ASSIGN_OR_RETURN(
       std::vector<std::string> blocks,
       SerializeIntention(txn.builder_, txn.txn_id(), log_->block_size()));
-  for (const std::string& block : blocks) {
-    // Transient append failures are ambiguous: the block may or may not
-    // have landed. Retrying is safe because the assembler drops duplicate
-    // copies by (txn id, block index); positions are re-discovered while
-    // tailing the log, which keeps remote and local intentions on one code
-    // path.
-    HYDER_ASSIGN_OR_RETURN(
-        uint64_t pos,
-        RetryTransient(
-            options_.log_retry, [&] { return log_->Append(block); },
-            [this](const Status&) { log_->RecordRetry(); }));
-    (void)pos;
+  Stopwatch append_watch;
+  {
+    TraceSpan append_span(TraceStage::kAppend, txn.txn_id());
+    for (const std::string& block : blocks) {
+      // Transient append failures are ambiguous: the block may or may not
+      // have landed. Retrying is safe because the assembler drops duplicate
+      // copies by (txn id, block index); positions are re-discovered while
+      // tailing the log, which keeps remote and local intentions on one
+      // code path.
+      HYDER_ASSIGN_OR_RETURN(
+          uint64_t pos,
+          RetryTransient(
+              options_.log_retry, [&] { return log_->Append(block); },
+              [this](const Status&) { log_->RecordRetry(); }));
+      (void)pos;
+    }
   }
+  append_to_durable_us_->Add(append_watch.ElapsedNanos() / 1000);
+  TraceInstant(TraceStage::kDurable, txn.txn_id());
   pending_.insert(txn.txn_id());
   return out;
 }
@@ -121,20 +145,35 @@ Result<std::vector<MeldDecision>> HyderServer::Poll(size_t max_intentions) {
     resolver_.RecordIntentionBlocks(done->seq, std::move(positions),
                                     done->txn_id);
 
+    // All of the intention's blocks are durable and assembled: stamp for
+    // the durable->decision histogram (consumed below once meld decides).
+    durable_ts_[done->seq] = Stopwatch::NowNanos();
     std::vector<NodePtr> nodes;
     CpuStopwatch ds_cpu;
-    HYDER_ASSIGN_OR_RETURN(
-        IntentionPtr intent,
-        DeserializeIntention(done->payload, done->seq, done->block_count,
-                             &resolver_, done->txn_id, &nodes));
-    pipeline_.mutable_stats()->deserialize.cpu_nanos += ds_cpu.ElapsedNanos();
-    pipeline_.mutable_stats()->deserialize.nodes_visited += intent->node_count;
-    resolver_.CacheIntention(done->seq, std::move(nodes));
+    IntentionPtr intent;
+    {
+      TraceSpan decode_span(TraceStage::kDecode, done->seq);
+      HYDER_ASSIGN_OR_RETURN(
+          intent,
+          DeserializeIntention(done->payload, done->seq, done->block_count,
+                               &resolver_, done->txn_id, &nodes));
+      pipeline_.mutable_stats()->deserialize.cpu_nanos +=
+          ds_cpu.ElapsedNanos();
+      pipeline_.mutable_stats()->deserialize.nodes_visited +=
+          intent->node_count;
+      resolver_.CacheIntention(done->seq, std::move(nodes));
+    }
 
     HYDER_ASSIGN_OR_RETURN(std::vector<MeldDecision> decisions,
                            pipeline_.Process(std::move(intent)));
     processed++;
     for (const MeldDecision& d : decisions) {
+      auto ts = durable_ts_.find(d.seq);
+      if (ts != durable_ts_.end()) {
+        durable_to_decision_us_->Add(
+            (Stopwatch::NowNanos() - ts->second) / 1000);
+        durable_ts_.erase(ts);
+      }
       if (pending_.erase(d.txn_id) > 0) {
         outcomes_[d.txn_id] = d.committed;
       }

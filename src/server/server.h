@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/registry.h"
 #include "common/retry.h"
 #include "meld/pipeline.h"
 #include "server/resolver.h"
@@ -164,6 +165,21 @@ class HyderServer {
   std::unordered_map<uint64_t, std::vector<uint64_t>> partial_positions_;
   std::unordered_set<uint64_t> pending_;           ///< Local undecided txns.
   std::unordered_map<uint64_t, bool> outcomes_;    ///< Local decided txns.
+
+  /// Per-stage latency histograms (global MetricsRegistry; process
+  /// lifetime). append->durable covers Submit's append loop (including
+  /// retries); durable->decision covers assembly-complete to meld decision.
+  LatencyHistogram* const append_to_durable_us_;
+  LatencyHistogram* const durable_to_decision_us_;
+  /// Assembly-completion stamps by intention seq, consumed at decision
+  /// time. Bounded: group meld defers at most one undecided sequence.
+  std::unordered_map<uint64_t, uint64_t> durable_ts_;
+
+  /// Publishes "server<id>.*" (pipeline stats, resolver gauges, log-tail
+  /// counters) to the global registry. Snapshots must run on the thread
+  /// driving this server — the class itself is single-threaded. Declared
+  /// last so the provider unregisters before members are destroyed.
+  ProviderHandle metrics_;
 };
 
 }  // namespace hyder

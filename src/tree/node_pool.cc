@@ -4,6 +4,7 @@
 #include <new>
 
 #include "common/arena.h"
+#include "common/registry.h"
 #include "tree/node.h"
 
 namespace hyder {
@@ -113,6 +114,18 @@ ArenaStats NodeArenaStats() {
 #endif
   return s;
 }
+
+namespace {
+/// Process-lifetime "arena.*" provider: the arena is global, so unlike the
+/// per-object server/log providers this one registers once and never
+/// unregisters (the handle is intentionally leaked alongside the
+/// registry).
+[[maybe_unused]] const ProviderHandle* const g_arena_metrics =
+    new ProviderHandle(MetricsRegistry::Global().RegisterProvider(
+        "arena", [](const MetricsRegistry::Emit& emit) {
+          NodeArenaStats().EmitTo("", emit);
+        }));
+}  // namespace
 
 void CountPayloadHeapAlloc() {
   g_payload_heap_allocs.fetch_add(1, std::memory_order_relaxed);

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -204,6 +206,51 @@ TEST(ThreadedPipelineTest, BackpressureDoesNotDeadlock) {
     ASSERT_TRUE(threaded.FeedBlocks(blocks).ok());
   }
   threaded.Finish();
+  EXPECT_EQ(threaded.decisions().size(), sequential.decisions.size());
+}
+
+// StatsSnapshot() taken mid-run reports only the atomically mirrored
+// headline counters, and its read ordering (decisions first, intentions
+// last) pairs with the meld worker's write ordering so an observer can
+// never see more decisions than intentions — a snapshot claiming
+// committed + aborted > intentions would describe decisions for work that
+// was never fed. Hammer snapshots from a second thread for the whole run.
+TEST(ThreadedPipelineTest, MidRunSnapshotNeverOvercountsDecisions) {
+  PipelineConfig config;
+  config.premeld_threads = 2;
+  config.premeld_distance = 2;
+  SequentialRun sequential(config);
+  BuildWorkload(config, 11, 400, &sequential);
+
+  ThreadedHarness threaded(config);
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> snapshots{0};
+  std::atomic<uint64_t> violations{0};
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const PipelineStats s = threaded.pipeline().StatsSnapshot();
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+      if (s.committed + s.aborted > s.intentions) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (const auto& blocks : sequential.blocks) {
+    ASSERT_TRUE(threaded.FeedBlocks(blocks).ok());
+  }
+  threaded.Finish();
+  done.store(true, std::memory_order_release);
+  observer.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(snapshots.load(), 0u);
+
+  // Post-Join the full merged stats are available and exact: every fed
+  // intention has exactly one decision.
+  const PipelineStats final_stats = threaded.pipeline().StatsSnapshot();
+  EXPECT_EQ(final_stats.intentions, sequential.blocks.size());
+  EXPECT_EQ(final_stats.committed + final_stats.aborted,
+            final_stats.intentions);
   EXPECT_EQ(threaded.decisions().size(), sequential.decisions.size());
 }
 

@@ -21,6 +21,11 @@
 #     Mutex/CondVar member in src/meld or src/server must be added to the
 #     allowlist here in the same change that justifies why it cannot be a
 #     SeqRing hand-off or a resolver shard/stripe.
+#  6. Library code never dumps stats (or anything else) to the process's
+#     streams: no fprintf(stderr/stdout), printf, std::cerr or std::cout in
+#     src/. Counters and gauges go through MetricsRegistry
+#     (common/registry.h), errors through Status/Result. CLIs under bench/,
+#     tools/ and examples/ own their streams and are exempt.
 
 set -u
 
@@ -84,6 +89,16 @@ while IFS= read -r extra; do
   say "new lock member in the meld/server hot path (see check 5): $extra"
 done < <(comm -13 <(printf '%s\n' "$lock_allowlist" | sort) \
                  <(printf '%s\n' "$lock_actual"))
+
+# --- 6. Ad-hoc stats dumps in library code ----------------------------------
+# src/ formats strings with snprintf but never writes to stdout/stderr; an
+# ad-hoc `fprintf(stderr, "...stats...")` is unaggregatable and invisible to
+# the JSON/trace exporters. Register a MetricsRegistry provider instead.
+while IFS= read -r hit; do
+  say "stream dump in library code (use MetricsRegistry / Status): $hit"
+done < <(grep -rnE \
+    '\bfprintf[[:space:]]*\(|std::cerr|std::cout|(^|[^a-zA-Z_:.>])printf[[:space:]]*\(' \
+    --include='*.cc' --include='*.h' src)
 
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAILED" >&2

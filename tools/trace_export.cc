@@ -1,0 +1,60 @@
+// Converts a raw trace dump (bench --trace-out=, see common/trace.h) into
+// Chrome trace-event JSON loadable by chrome://tracing and
+// https://ui.perfetto.dev — one track per pipeline stage (per recording
+// thread where a stage runs on several).
+//
+//   trace_export <raw-dump> <out.json>
+//   trace_export <raw-dump> -          # JSON to stdout
+
+#include <cstdio>
+#include <string>
+
+#include "common/trace.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <raw-dump> <out.json|->\n", argv[0]);
+    return 2;
+  }
+  std::string dump;
+  if (!ReadFile(argv[1], &dump)) {
+    std::fprintf(stderr, "trace_export: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  auto events = hyder::ParseTraceDump(dump);
+  if (!events.ok()) {
+    std::fprintf(stderr, "trace_export: %s\n",
+                 events.status().ToString().c_str());
+    return 1;
+  }
+  const std::string json = hyder::ChromeTraceJson(*events);
+  if (std::string(argv[2]) == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return 0;
+  }
+  std::FILE* out = std::fopen(argv[2], "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "trace_export: cannot write %s\n", argv[2]);
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::fprintf(stderr, "trace_export: %zu events -> %s\n", events->size(),
+               argv[2]);
+  return 0;
+}
