@@ -8,11 +8,14 @@
 // clients layer per-thread caches on top (see tree/node_pool.h) so the
 // shared mutex is touched only on batched refill/drain.
 //
-// Slots are raw storage: the arena never constructs or destroys objects,
-// and slabs are only returned to the OS when the arena itself is
-// destroyed. Holders of process-lifetime arenas deliberately leak them so
-// late thread-exit drains always have a valid target.
+// Slots are raw storage: the arena never constructs or destroys objects.
+// Slabs are returned to the OS at arena destruction, or earlier via
+// `TrimFreeSlabs()` when every slot carved from a slab has been freed —
+// the memory half of log truncation (a retired prefix's nodes come back
+// as whole slabs). Holders of process-lifetime arenas deliberately leak
+// them so late thread-exit drains always have a valid target.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -35,6 +38,7 @@ class SlotArena {
   struct Stats {
     uint64_t slabs = 0;       ///< Slabs allocated from the OS.
     uint64_t slab_bytes = 0;  ///< Total bytes held in slabs.
+    uint64_t slabs_released = 0;  ///< Slabs returned early by TrimFreeSlabs.
     uint64_t carved = 0;      ///< Slots ever carved fresh from a slab.
     uint64_t free_slots = 0;  ///< Slots currently in the shared free list.
   };
@@ -81,11 +85,65 @@ class SlotArena {
     free_.insert(free_.end(), slots, slots + count);
   }
 
+  /// Returns to the OS every slab whose carved slots are all back in the
+  /// shared free list, and reports how many were released. The slab still
+  /// being bump-carved is kept (its uncarved tail must stay valid). O(free
+  /// + slabs·log slabs); called at reclaim points (log truncation, state
+  /// retirement), never on the allocation hot path. Callers layering
+  /// thread caches must drain them first or cached slots pin their slabs.
+  size_t TrimFreeSlabs() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (slabs_.empty() || free_.empty()) return 0;
+    const size_t slab_span = stride_ * opt_.slots_per_slab;
+    std::vector<char*> bases;
+    bases.reserve(slabs_.size());
+    for (void* slab : slabs_) bases.push_back(static_cast<char*>(slab));
+    std::sort(bases.begin(), bases.end());
+    // Count free slots per slab (binary search for the owning base).
+    std::vector<size_t> free_count(bases.size(), 0);
+    for (void* slot : free_) {
+      const auto it = std::upper_bound(bases.begin(), bases.end(),
+                                       static_cast<char*>(slot));
+      free_count[size_t(it - bases.begin()) - 1]++;
+    }
+    // A slab is releasable when every slot carved from it is free. All
+    // slabs are fully carved except the current bump slab, which is never
+    // released while it still has an uncarved tail.
+    std::vector<char*> releasable;
+    for (size_t i = 0; i < bases.size(); ++i) {
+      const bool is_bump_slab =
+          bump_left_ > 0 && bump_ >= bases[i] && bump_ < bases[i] + slab_span;
+      if (!is_bump_slab && free_count[i] == opt_.slots_per_slab) {
+        releasable.push_back(bases[i]);
+      }
+    }
+    if (releasable.empty()) return 0;
+    auto released = [&](char* p) {
+      const auto it = std::upper_bound(releasable.begin(), releasable.end(), p);
+      return it != releasable.begin() && p < *(it - 1) + slab_span;
+    };
+    free_.erase(std::remove_if(
+                    free_.begin(), free_.end(),
+                    [&](void* s) { return released(static_cast<char*>(s)); }),
+                free_.end());
+    slabs_.erase(std::remove_if(
+                     slabs_.begin(), slabs_.end(),
+                     [&](void* s) { return released(static_cast<char*>(s)); }),
+                 slabs_.end());
+    for (char* slab : releasable) {
+      ::operator delete(static_cast<void*>(slab),
+                        std::align_val_t(opt_.slot_align));
+    }
+    released_ += releasable.size();
+    return releasable.size();
+  }
+
   Stats stats() const EXCLUDES(mu_) {
     MutexLock lock(mu_);
     Stats s;
     s.slabs = slabs_.size();
     s.slab_bytes = uint64_t(slabs_.size()) * stride_ * opt_.slots_per_slab;
+    s.slabs_released = released_;
     s.carved = carved_;
     s.free_slots = free_.size();
     return s;
@@ -110,6 +168,7 @@ class SlotArena {
   char* bump_ GUARDED_BY(mu_) = nullptr;
   size_t bump_left_ GUARDED_BY(mu_) = 0;
   uint64_t carved_ GUARDED_BY(mu_) = 0;
+  uint64_t released_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hyder

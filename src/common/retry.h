@@ -6,6 +6,7 @@
 #include <functional>
 #include <utility>
 
+#include "common/random.h"
 #include "common/result.h"
 
 namespace hyder {
@@ -25,6 +26,15 @@ struct RetryPolicy {
   uint64_t initial_backoff_nanos = 1'000'000;  // 1 ms
   double backoff_multiplier = 2.0;
   uint64_t max_backoff_nanos = 128'000'000;  // 128 ms
+  /// Bounded jitter: each wait is drawn uniformly from
+  /// [backoff * (1 - jitter_fraction), backoff], so a fleet of servers
+  /// retrying against one recovering log service decorrelates instead of
+  /// hammering it in lockstep. 0 disables jitter (every wait is exactly the
+  /// exponential schedule). The draw is seeded (`jitter_seed`, advanced
+  /// per-retry with SplitMix64) and independent of wall clock, so a retry
+  /// schedule is a pure function of the policy — deterministic under test.
+  double jitter_fraction = 0;
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
   /// Called with the backoff for each retry; null = retry immediately.
   /// Inject `SimClock`-driven waits in benches or real sleeps in servers.
   std::function<void(uint64_t nanos)> sleeper;
@@ -51,6 +61,8 @@ auto RetryTransient(const RetryPolicy& policy, Op&& op,
                     const std::function<void(const Status&)>& on_retry = {})
     -> decltype(op()) {
   const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  const double jitter = std::clamp(policy.jitter_fraction, 0.0, 1.0);
+  uint64_t jitter_state = policy.jitter_seed;
   uint64_t backoff = policy.initial_backoff_nanos;
   for (int attempt = 1;; ++attempt) {
     auto r = op();
@@ -59,7 +71,17 @@ auto RetryTransient(const RetryPolicy& policy, Op&& op,
       return r;
     }
     if (on_retry) on_retry(retry_internal::StatusOf(r));
-    if (policy.sleeper) policy.sleeper(backoff);
+    if (policy.sleeper) {
+      uint64_t wait = backoff;
+      if (jitter > 0 && backoff > 0) {
+        // Uniform in [backoff*(1-jitter), backoff], from the policy's own
+        // seeded stream — never the wall clock.
+        const uint64_t span =
+            static_cast<uint64_t>(static_cast<double>(backoff) * jitter);
+        if (span > 0) wait -= SplitMix64(jitter_state) % (span + 1);
+      }
+      policy.sleeper(wait);
+    }
     backoff = std::min(
         static_cast<uint64_t>(static_cast<double>(backoff) *
                               policy.backoff_multiplier),

@@ -32,6 +32,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kTruncated:
+      return "Truncated";
   }
   return "Unknown";
 }

@@ -34,6 +34,7 @@ enum class StatusCode : int {
   kInternal = 11,
   kUnavailable = 12,
   kDataLoss = 13,
+  kTruncated = 14,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "Aborted", ...).
@@ -105,6 +106,15 @@ class [[nodiscard]] Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  /// The addressed log prefix was reclaimed behind the cluster's low-water
+  /// mark (log truncation, DESIGN.md "Log truncation & catch-up"). Unlike
+  /// `NotFound` (past the tail — may appear later) and `DataLoss` (the
+  /// medium failed), a truncated position was discarded *on purpose*: the
+  /// data is recoverable from the checkpoint that anchored the truncation,
+  /// so consumers fall back to checkpoint state instead of retrying.
+  static Status Truncated(std::string msg) {
+    return Status(StatusCode::kTruncated, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
@@ -126,6 +136,7 @@ class [[nodiscard]] Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsTruncated() const { return code_ == StatusCode::kTruncated; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -30,6 +30,13 @@ void FaultInjectingLog::MaybeInjectLatencyLocked() {
 Result<uint64_t> FaultInjectingLog::Append(std::string block) {
   MutexLock lock(mu_);
   MaybeInjectLatencyLocked();
+  if (forced_append_skip_ > 0) {
+    forced_append_skip_--;
+  } else if (forced_append_failures_ > 0) {
+    forced_append_failures_--;
+    stats_.errors++;
+    return Status::Internal("append failed (forced outage); nothing landed");
+  }
   // One uniform draw partitioned by cumulative probability keeps the fault
   // schedule a pure function of (seed, operation index).
   double d = rng_.NextDouble();
@@ -122,6 +129,30 @@ LogStats FaultInjectingLog::stats() const {
 void FaultInjectingLog::CorruptPosition(uint64_t position) {
   MutexLock lock(mu_);
   decayed_.insert(position);
+}
+
+void FaultInjectingLog::FailNextAppends(uint64_t n, uint64_t after) {
+  MutexLock lock(mu_);
+  forced_append_skip_ += after;
+  forced_append_failures_ += n;
+}
+
+Status FaultInjectingLog::Truncate(uint64_t low_water_position) {
+  Status s = base_->Truncate(low_water_position);
+  MutexLock lock(mu_);
+  if (s.ok()) {
+    // Mirror the base's counters so "log.fault.*" (what chaos runs export)
+    // carries the mark even when the base log is not separately registered.
+    const uint64_t new_mark = base_->LowWaterMark();
+    if (new_mark > stats_.low_water) {
+      stats_.truncations++;
+      stats_.truncated_blocks += new_mark - stats_.low_water;
+      stats_.low_water = new_mark;
+    }
+  } else {
+    stats_.errors++;
+  }
+  return s;
 }
 
 FaultInjectingLog::FaultCounts FaultInjectingLog::fault_counts() const {

@@ -60,11 +60,23 @@ class FaultInjectingLog : public SharedLog {
   uint64_t Tail() const override { return base_->Tail(); }
   size_t block_size() const override { return base_->block_size(); }
   void RecordRetry() EXCLUDES(mu_) override;
+  /// Forwarded to the base log; counted (truncations/low_water) in this
+  /// wrapper's stats too so chaos runs export the mark via "log.fault.*".
+  Status Truncate(uint64_t low_water_position) EXCLUDES(mu_) override;
+  uint64_t LowWaterMark() const override { return base_->LowWaterMark(); }
   LogStats stats() const EXCLUDES(mu_) override;
 
   /// Forces `position` into the decayed set: every subsequent read fails
   /// with `DataLoss`. For tests that need a corrupt block at an exact spot.
   void CorruptPosition(uint64_t position) EXCLUDES(mu_);
+
+  /// Arms a deterministic outage: after `after` more successful appends,
+  /// the next `n` appends fail with a non-transient `Internal` error (no
+  /// retry can save them) and nothing lands in the base log. This is the
+  /// mid-checkpoint-crash lever: arming with `after > 0` before a
+  /// checkpoint write lands a strict prefix of its blocks and then kills
+  /// the writer, leaving a partial checkpoint that recovery must skip.
+  void FailNextAppends(uint64_t n, uint64_t after = 0) EXCLUDES(mu_);
 
   /// Per-fault-kind injection counts.
   struct FaultCounts {
@@ -84,6 +96,8 @@ class FaultInjectingLog : public SharedLog {
   const FaultInjectionOptions options_;
   mutable Mutex mu_;
   Rng rng_ GUARDED_BY(mu_);
+  uint64_t forced_append_failures_ GUARDED_BY(mu_) = 0;
+  uint64_t forced_append_skip_ GUARDED_BY(mu_) = 0;
   std::unordered_set<uint64_t> decayed_ GUARDED_BY(mu_);
   LogStats stats_ GUARDED_BY(mu_);
   FaultCounts counts_ GUARDED_BY(mu_);

@@ -5,6 +5,11 @@
 #include <cstring>
 #include <memory>
 
+#ifdef __linux__
+#include <fcntl.h>
+#include <linux/falloc.h>
+#endif
+
 #include "common/crc32c.h"
 #include "common/varint.h"
 
@@ -23,6 +28,46 @@ bool ReadLengthWord(std::FILE* file, size_t slot_size, uint64_t slot_index,
     return false;
   }
   *raw = DecodeFixed32(header);
+  return true;
+}
+
+/// Sidecar layout: [u32 magic][u32 format_v2][u32 lwm_lo][u32 lwm_hi]
+/// [u32 crc32c(first 16 bytes)] — 20 bytes, rewritten atomically via
+/// tmp+rename on every truncation.
+constexpr size_t kSidecarSize = 20;
+
+std::string SidecarPath(const std::string& path) { return path + ".lwm"; }
+
+void EncodeSidecar(std::string* out, bool format_v2, uint64_t low_water) {
+  PutFixed32(out, FileLog::kLwmMagic);
+  PutFixed32(out, format_v2 ? 1u : 0u);
+  PutFixed32(out, static_cast<uint32_t>(low_water));
+  PutFixed32(out, static_cast<uint32_t>(low_water >> 32));
+  PutFixed32(out, Crc32c(out->data(), 16));
+}
+
+/// Reads `<path>.lwm` if present. Returns false (no error) when the sidecar
+/// does not exist; Corruption when it exists but fails validation — a
+/// half-written mark must stop recovery rather than resurrect a reclaimed
+/// prefix as garbage.
+Result<bool> ReadSidecar(const std::string& path, bool* format_v2,
+                         uint64_t* low_water) {
+  std::FILE* f = std::fopen(SidecarPath(path).c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[kSidecarSize];
+  const size_t n = std::fread(buf, 1, kSidecarSize, f);
+  std::fclose(f);
+  if (n != kSidecarSize || DecodeFixed32(buf) != FileLog::kLwmMagic ||
+      DecodeFixed32(buf + 16) != Crc32c(buf, 16)) {
+    return Status::Corruption("invalid low-water sidecar " +
+                              SidecarPath(path));
+  }
+  *format_v2 = DecodeFixed32(buf + 4) != 0;
+  *low_water = uint64_t(DecodeFixed32(buf + 8)) |
+               (uint64_t(DecodeFixed32(buf + 12)) << 32);
+  if (*low_water == 0) {
+    return Status::Corruption("low-water sidecar holds position 0");
+  }
   return true;
 }
 
@@ -49,11 +94,25 @@ Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
   }
   const uint64_t file_size = static_cast<uint64_t>(std::ftell(file));
 
-  // Sniff the slot format from the first length word: v2 sets the high bit.
-  // Fresh (empty) files use v2; legacy files keep their layout for life so
-  // slot offsets stay consistent.
+  // A truncated log's authoritative state lives in the sidecar: once the
+  // prefix is hole-punched, slot 0 reads as zeros, so both the format flag
+  // and the first walkable slot must come from it.
   bool format_v2 = true;
-  if (file_size >= 4) {
+  uint64_t low_water = 1;
+  bool have_sidecar = false;
+  {
+    auto sc = ReadSidecar(path, &format_v2, &low_water);
+    if (!sc.ok()) {
+      std::fclose(file);
+      return sc.status();
+    }
+    have_sidecar = sc.value();
+  }
+
+  // Without a sidecar, sniff the slot format from the first length word: v2
+  // sets the high bit. Fresh (empty) files use v2; legacy files keep their
+  // layout for life so slot offsets stay consistent.
+  if (!have_sidecar && file_size >= 4) {
     uint32_t raw = 0;
     if (!ReadLengthWord(file, /*slot_size=*/1, 0, &raw)) {
       std::fclose(file);
@@ -67,8 +126,10 @@ Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
   const uint64_t complete_slots = file_size / slot;
 
   // Recover the tail by walking length words only — O(n) 4-byte reads, no
-  // payload I/O even for multi-gigabyte logs.
-  uint64_t tail = 1;
+  // payload I/O even for multi-gigabyte logs. The walk starts at the
+  // low-water mark: everything below it was truncated (punched slots read
+  // as zero length words and must not terminate recovery at tail 1).
+  uint64_t tail = low_water;
   while (tail <= complete_slots) {
     uint32_t raw = 0;
     if (!ReadLengthWord(file, slot, tail - 1, &raw)) break;
@@ -82,7 +143,7 @@ Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
   // still produced a full-size file, e.g. over pre-allocated space). Verify
   // its checksum and drop it if it fails — it was never acknowledged.
   // Earlier slots are verified lazily on read.
-  if (format_v2 && tail > 1) {
+  if (format_v2 && tail > low_water) {
     char head[8];
     std::string payload;
     const uint64_t last = tail - 2;  // 0-based index of last recovered slot.
@@ -100,12 +161,18 @@ Result<std::unique_ptr<FileLog>> FileLog::Open(const std::string& path,
     }
   }
   return std::unique_ptr<FileLog>(
-      new FileLog(file, options, tail, format_v2));
+      new FileLog(path, file, options, tail, format_v2, low_water));
 }
 
-FileLog::FileLog(std::FILE* file, Options options, uint64_t tail,
-                 bool format_v2)
-    : options_(options), format_v2_(format_v2), file_(file), tail_(tail) {
+FileLog::FileLog(std::string path, std::FILE* file, Options options,
+                 uint64_t tail, bool format_v2, uint64_t low_water)
+    : path_(std::move(path)),
+      options_(options),
+      format_v2_(format_v2),
+      file_(file),
+      tail_(tail),
+      low_water_(low_water) {
+  stats_.low_water = low_water_;
   metrics_ = MetricsRegistry::Global().RegisterProvider(
       "log.file", [this](const MetricsRegistry::Emit& emit) {
         EmitLogStats(stats(), emit);
@@ -162,6 +229,11 @@ Result<std::string> FileLog::Read(uint64_t position) {
     return Status::NotFound("log position " + std::to_string(position) +
                             " past tail " + std::to_string(tail_));
   }
+  if (position < low_water_) {
+    return Status::Truncated("log position " + std::to_string(position) +
+                             " below low-water mark " +
+                             std::to_string(low_water_));
+  }
   char header[8];
   const size_t header_size = HeaderSize();
   if (std::fseek(file_, long((position - 1) * SlotSize()), SEEK_SET) != 0 ||
@@ -207,6 +279,60 @@ uint64_t FileLog::Tail() const {
 void FileLog::RecordRetry() {
   MutexLock lock(mu_);
   stats_.retries++;
+}
+
+Status FileLog::PersistLowWaterLocked(uint64_t low_water) {
+  std::string buf;
+  EncodeSidecar(&buf, format_v2_, low_water);
+  const std::string final_path = SidecarPath(path_);
+  const std::string tmp_path = final_path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot create sidecar " + tmp_path);
+  }
+  const bool wrote = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size() &&
+                     std::fflush(f) == 0 && fdatasync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!wrote || std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot persist low-water sidecar " + final_path);
+  }
+  return Status::OK();
+}
+
+Status FileLog::Truncate(uint64_t low_water_position) {
+  MutexLock lock(mu_);
+  if (low_water_position <= low_water_) return Status::OK();  // Monotone.
+  if (low_water_position >= tail_) {
+    return Status::InvalidArgument(
+        "truncation point " + std::to_string(low_water_position) +
+        " at or past tail " + std::to_string(tail_) +
+        ": the anchoring checkpoint must stay readable");
+  }
+  // Ordering matters for crash safety: persist the mark FIRST, punch holes
+  // SECOND. Crash after the sidecar but before the punch wastes space, never
+  // data; the reverse order would leave recovery walking zeroed slots with
+  // no record that they were discarded on purpose.
+  HYDER_RETURN_IF_ERROR(PersistLowWaterLocked(low_water_position));
+  stats_.truncations++;
+  stats_.truncated_blocks += low_water_position - low_water_;
+  low_water_ = low_water_position;
+  stats_.low_water = low_water_;
+#ifdef __linux__
+  // Physical reclaim is best-effort (the logical contract is already
+  // durable): punch the whole discarded prefix each time — idempotent, and
+  // KEEP_SIZE preserves the slot arithmetic for every surviving position.
+  if (std::fflush(file_) == 0) {
+    (void)fallocate(fileno(file_), FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                    0, static_cast<off_t>((low_water_ - 1) * SlotSize()));
+  }
+#endif
+  return Status::OK();
+}
+
+uint64_t FileLog::LowWaterMark() const {
+  MutexLock lock(mu_);
+  return low_water_;
 }
 
 LogStats FileLog::stats() const {

@@ -33,6 +33,14 @@ namespace hyder {
 /// final append, and a torn final slot was never acknowledged, so it is
 /// dropped (the next append overwrites it).
 ///
+/// Truncation (`Truncate`) reclaims the prefix physically: the low-water
+/// mark is persisted to a tiny CRC'd sidecar (`<path>.lwm`) *before* the
+/// discarded slots are hole-punched (Linux `fallocate`), so a crash between
+/// the two steps loses space, never data — recovery trusts the sidecar and
+/// starts its tail walk at the mark. The sidecar also records the slot
+/// format, because once slot 0 is punched the length-word sniff would read
+/// zeros. Positions below the mark read as `Truncated`, never garbage.
+///
 /// Single-process writer; all servers in the process share one instance
 /// (matching the in-process cluster model). `Sync` controls whether each
 /// append is fdatasync'ed (off by default for benchmarks; the paper treats
@@ -61,24 +69,35 @@ class FileLog : public SharedLog {
   uint64_t Tail() const EXCLUDES(mu_) override;
   size_t block_size() const override { return options_.block_size; }
   void RecordRetry() EXCLUDES(mu_) override;
+  Status Truncate(uint64_t low_water_position) EXCLUDES(mu_) override;
+  uint64_t LowWaterMark() const EXCLUDES(mu_) override;
 
   LogStats stats() const EXCLUDES(mu_) override;
 
   /// False when the file predates the CRC'd slot layout.
   bool crc_protected() const { return format_v2_; }
 
+  /// Sidecar file magic: "LWM" + format version 1.
+  static constexpr uint32_t kLwmMagic = 0x4C574D31u;
+
  private:
-  FileLog(std::FILE* file, Options options, uint64_t tail, bool format_v2);
+  FileLog(std::string path, std::FILE* file, Options options, uint64_t tail,
+          bool format_v2, uint64_t low_water);
+
+  /// Writes `<path>.lwm` (magic, format flag, mark, CRC) via tmp+rename.
+  Status PersistLowWaterLocked(uint64_t low_water) REQUIRES(mu_);
 
   /// v2 slots carry [len][crc]; legacy slots only [len].
   size_t HeaderSize() const { return format_v2_ ? 8 : 4; }
   size_t SlotSize() const { return options_.block_size + HeaderSize(); }
 
+  const std::string path_;
   const Options options_;
   const bool format_v2_;
   mutable Mutex mu_;
   std::FILE* file_ GUARDED_BY(mu_);
   uint64_t tail_ GUARDED_BY(mu_);  // Next position to assign (1-based).
+  uint64_t low_water_ GUARDED_BY(mu_);  // First readable position.
   LogStats stats_ GUARDED_BY(mu_);
   /// "log.file.*" in the global MetricsRegistry (declared last: the
   /// provider reads stats() and must unregister first).

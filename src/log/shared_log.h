@@ -27,11 +27,28 @@ class SharedLog {
   /// acknowledgements) and the failure itself.
   [[nodiscard]] virtual Result<uint64_t> Append(std::string block) = 0;
 
-  /// Reads the block at `position`. Fails with NotFound past the tail.
+  /// Reads the block at `position`. Fails with NotFound past the tail and
+  /// with Truncated below the low-water mark (see `Truncate`).
   [[nodiscard]] virtual Result<std::string> Read(uint64_t position) = 0;
 
   /// The position that the next append will receive.
   virtual uint64_t Tail() const = 0;
+
+  /// Discards every block at positions < `low_water_position` and advances
+  /// the low-water mark. Positions are never reused: appends continue from
+  /// the current tail, and reads below the mark fail with a typed
+  /// `Truncated` status — never garbage, never NotFound. The mark is
+  /// monotone; a call with a position at or below the current mark is a
+  /// no-op (OK). Truncating at or past the tail is rejected with
+  /// InvalidArgument — the caller's anchor checkpoint must itself stay
+  /// readable. Default: NotSupported (read-only decorators, sims).
+  [[nodiscard]] virtual Status Truncate(uint64_t low_water_position) {
+    (void)low_water_position;
+    return Status::NotSupported("log does not support truncation");
+  }
+
+  /// First position still readable. 1 until the first `Truncate`.
+  virtual uint64_t LowWaterMark() const { return 1; }
 
   /// The configured block size in bytes.
   virtual size_t block_size() const = 0;
@@ -58,6 +75,12 @@ struct LogStats {
   uint64_t errors = 0;
   /// Client retries reported through `RecordRetry`.
   uint64_t retries = 0;
+  /// Successful `Truncate` calls that advanced the low-water mark.
+  uint64_t truncations = 0;
+  /// Blocks discarded by truncation, cumulative.
+  uint64_t truncated_blocks = 0;
+  /// Current first readable position (gauge; 1 = nothing truncated).
+  uint64_t low_water = 1;
 };
 
 inline LogStats SharedLog::stats() const { return LogStats{}; }
@@ -65,7 +88,7 @@ inline LogStats SharedLog::stats() const { return LogStats{}; }
 // Field-count guard (see common/metrics.cc): adding a LogStats counter
 // without teaching EmitLogStats about it silently drops it from every
 // metrics snapshot.
-static_assert(sizeof(LogStats) == 5 * sizeof(uint64_t),
+static_assert(sizeof(LogStats) == 8 * sizeof(uint64_t),
               "LogStats field added: update EmitLogStats and this count");
 
 /// Publishes a LogStats snapshot field by field — the registry-provider
@@ -77,6 +100,9 @@ inline void EmitLogStats(const LogStats& s, const MetricEmit& emit) {
   emit("bytes_appended", double(s.bytes_appended));
   emit("errors", double(s.errors));
   emit("retries", double(s.retries));
+  emit("truncations", double(s.truncations));
+  emit("truncated_blocks", double(s.truncated_blocks));
+  emit("low_water", double(s.low_water));
 }
 
 }  // namespace hyder

@@ -33,9 +33,49 @@ Result<std::string> StripedLog::Read(uint64_t position) {
     return Status::NotFound("log position " + std::to_string(position) +
                             " past tail " + std::to_string(tail_));
   }
+  if (position < low_water_) {
+    return Status::Truncated("log position " + std::to_string(position) +
+                             " below low-water mark " +
+                             std::to_string(low_water_));
+  }
   stats_.reads++;
   const StorageUnit& unit = units_[(position - 1) % units_.size()];
   return unit.blocks[(position - 1) / units_.size()];
+}
+
+Status StripedLog::Truncate(uint64_t low_water_position) {
+  MutexLock lock(mu_);
+  if (low_water_position <= low_water_) return Status::OK();  // Monotone.
+  if (low_water_position >= tail_) {
+    return Status::InvalidArgument(
+        "truncation point " + std::to_string(low_water_position) +
+        " at or past tail " + std::to_string(tail_) +
+        ": the anchoring checkpoint must stay readable");
+  }
+  for (uint64_t pos = low_water_; pos < low_water_position; ++pos) {
+    StorageUnit& unit = units_[(pos - 1) % units_.size()];
+    std::string& block = unit.blocks[(pos - 1) / units_.size()];
+    unit.bytes -= block.size();
+    // shrink_to_fit via swap: clear() alone keeps the heap allocation.
+    std::string().swap(block);
+  }
+  stats_.truncations++;
+  stats_.truncated_blocks += low_water_position - low_water_;
+  low_water_ = low_water_position;
+  stats_.low_water = low_water_;
+  return Status::OK();
+}
+
+uint64_t StripedLog::LowWaterMark() const {
+  MutexLock lock(mu_);
+  return low_water_;
+}
+
+uint64_t StripedLog::RetainedBytes() const {
+  MutexLock lock(mu_);
+  uint64_t total = 0;
+  for (const StorageUnit& unit : units_) total += unit.bytes;
+  return total;
 }
 
 uint64_t StripedLog::Tail() const {

@@ -39,6 +39,12 @@ class StripedLog : public SharedLog {
   uint64_t Tail() const EXCLUDES(mu_) override;
   size_t block_size() const override { return options_.block_size; }
   void RecordRetry() EXCLUDES(mu_) override;
+  /// Releases every block below the mark: each discarded slot's string is
+  /// shrunk to capacity 0 (the dense stripe-local index vectors keep their
+  /// entries so position arithmetic is untouched). Reads below the mark
+  /// return `Truncated`.
+  Status Truncate(uint64_t low_water_position) EXCLUDES(mu_) override;
+  uint64_t LowWaterMark() const EXCLUDES(mu_) override;
 
   /// Consistent snapshot taken under the same mutex the counters are
   /// mutated under.
@@ -46,6 +52,10 @@ class StripedLog : public SharedLog {
 
   /// Bytes held by one storage unit (for balance tests).
   uint64_t UnitBytes(int unit) const EXCLUDES(mu_);
+  /// Payload bytes still held across all units — the bounded-log assertion
+  /// in the chaos tests: after truncation this must drop to the live
+  /// suffix, proving the prefix was actually reclaimed.
+  uint64_t RetainedBytes() const EXCLUDES(mu_);
   int storage_units() const { return options_.storage_units; }
 
  private:
@@ -59,6 +69,8 @@ class StripedLog : public SharedLog {
   std::vector<StorageUnit> units_ GUARDED_BY(mu_);
   /// Next position to assign (positions are 1-based).
   uint64_t tail_ GUARDED_BY(mu_) = 1;
+  /// First readable position; everything below was reclaimed.
+  uint64_t low_water_ GUARDED_BY(mu_) = 1;
   LogStats stats_ GUARDED_BY(mu_);
   /// "log.striped.*" in the global MetricsRegistry (declared last: the
   /// provider reads stats() and must unregister first).

@@ -100,6 +100,13 @@ Result<std::vector<MeldDecision>> SequentialPipeline::Process(
 
   // --- Premeld stage (Algorithm 1). ---
   if (config_.premeld_threads > 0 && !intent->known_aborted) {
+    // The probe guards the stage actually running: the threaded engine runs
+    // premeld in its own workers (its embedded engine has t == 0) and fires
+    // this boundary there, so the two engines see one schedule.
+    if (config_.stage_probe) {
+      HYDER_RETURN_IF_ERROR(
+          config_.stage_probe(PipelineStage::kPremeld, intent->seq));
+    }
     const int thread =
         PremeldThreadFor(intent->seq, config_.premeld_threads);
     TraceSpan span(TraceStage::kPremeld, intent->seq);
@@ -121,6 +128,10 @@ Result<std::vector<MeldDecision>> SequentialPipeline::Process(
 
 Result<std::vector<MeldDecision>> SequentialPipeline::AfterPremeld(
     IntentionPtr intent) {
+  if (config_.stage_probe) {
+    HYDER_RETURN_IF_ERROR(
+        config_.stage_probe(PipelineStage::kHandoff, intent->seq));
+  }
   if (!config_.group_meld) return FinalMeld(std::move(intent));
   // --- Group meld stage (§4): pair odd seq with the following even seq. ---
   if (!pending_group_) {
@@ -129,6 +140,10 @@ Result<std::vector<MeldDecision>> SequentialPipeline::AfterPremeld(
   }
   IntentionPtr first = std::move(pending_group_);
   pending_group_ = nullptr;
+  if (config_.stage_probe) {
+    HYDER_RETURN_IF_ERROR(
+        config_.stage_probe(PipelineStage::kGroupMeld, intent->seq));
+  }
   TraceSpan span(TraceStage::kGroupMeld, intent->seq);
   CpuStopwatch cpu;
   MeldWork work;
@@ -194,6 +209,10 @@ void SequentialPipeline::PublishUpTo(uint64_t seq, const Ref& root) {
 
 Result<std::vector<MeldDecision>> SequentialPipeline::FinalMeld(
     IntentionPtr intent) {
+  if (config_.stage_probe) {
+    HYDER_RETURN_IF_ERROR(
+        config_.stage_probe(PipelineStage::kFinalMeld, intent->seq));
+  }
   std::vector<MeldDecision> decisions;
   if (intent->known_aborted) {
     // Premeld already proved the conflict; final meld skips the intention

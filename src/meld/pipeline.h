@@ -23,6 +23,28 @@ namespace hyder {
 /// they must be cloned, never mutated in place.
 constexpr uint64_t kFinalTagBit = 1ull << 59;
 
+/// Pipeline stage boundaries instrumented with chaos probes (see
+/// server/chaos.h). Values are stable: probe schedules hash them.
+enum class PipelineStage {
+  kDecode = 0,     ///< Before intention deserialization (server tail loop).
+  kPremeld = 1,    ///< Before the premeld stage runs an intention.
+  kHandoff = 2,    ///< Premeld -> group/final-meld hand-off boundary.
+  kGroupMeld = 3,  ///< Before a group pair combines.
+  kFinalMeld = 4,  ///< Before final meld applies an intention.
+};
+
+/// Fault probe called at each stage boundary with the intention sequence
+/// about to cross it. Return OK to proceed; stall by sleeping before
+/// returning OK; return non-OK to inject a failure, which surfaces out of
+/// `Poll` and must be treated as a server crash (the pipeline may hold a
+/// partially fed intention — discard the server, do not re-Poll it).
+///
+/// Determinism (§3.4): the probe MUST be a pure function of (stage, seq) —
+/// derive decisions from something like Mix64(seed ^ stage ^ seq), never
+/// from call counts, wall clock or thread identity, so that a schedule
+/// replays identically across runs and engines.
+using StageProbe = std::function<Status(PipelineStage, uint64_t seq)>;
+
 /// Configuration of the meld pipeline (Fig. 2).
 struct PipelineConfig {
   /// Number of premeld threads `t`; 0 disables premeld. Each intention v is
@@ -44,6 +66,9 @@ struct PipelineConfig {
   /// Ablation only (bench/ablation_graft_fastpath): turn off the meld
   /// operator's subtree-graft fast path.
   bool disable_graft_fastpath = false;
+  /// Chaos probe fired at every stage boundary; null (the default) costs
+  /// one branch per boundary. Both engines call it at the same boundaries.
+  StageProbe stage_probe;
 };
 
 /// Commit/abort decision for one transaction, in log order.
@@ -80,6 +105,14 @@ class SequentialPipeline {
 
   /// Flushes a buffered unpaired intention (end of stream).
   Result<std::vector<MeldDecision>> Flush();
+
+  /// True while a group pair's first member is buffered undecided. A
+  /// checkpoint cannot be cut in this window: the captured state seq
+  /// precedes the buffered intention but resume_position lies past its log
+  /// blocks, so a bootstrapping server would never meld it and every meld
+  /// sequence it assigns afterwards would be shifted — breaking §3.4
+  /// determinism.
+  bool has_pending_group() const { return pending_group_ != nullptr; }
 
   StateTable& states() { return states_; }
   const PipelineStats& stats() const { return stats_; }

@@ -70,6 +70,20 @@ Status StateTable::ReplaceInitial(DatabaseState state) {
   return Status::OK();
 }
 
+size_t StateTable::RetireBelow(uint64_t seq) {
+  // Collect the retired states under the lock but destroy them outside it:
+  // dropping a root Ref can cascade-free a large subtree.
+  std::deque<DatabaseState> retired;
+  {
+    MutexLock lock(mu_);
+    while (states_.size() > 1 && states_.front().seq < seq) {
+      retired.push_back(std::move(states_.front()));
+      states_.pop_front();
+    }
+  }
+  return retired.size();
+}
+
 void StateTable::Shutdown() {
   MutexLock lock(mu_);
   shutdown_ = true;

@@ -1,6 +1,7 @@
 #ifndef HYDER2_MELD_STATE_TABLE_H_
 #define HYDER2_MELD_STATE_TABLE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 
@@ -53,6 +54,13 @@ class StateTable {
   /// bootstrap path, where the reconstructed tree becomes available only
   /// after the owning server (and its resolver) exist.
   Status ReplaceInitial(DatabaseState state) EXCLUDES(mu_);
+
+  /// Retires every state with sequence < `seq` (the latest state is always
+  /// kept). Log truncation calls this so states older than the anchoring
+  /// checkpoint drop their root references — the precondition for the
+  /// retired prefix's nodes returning to the arena as free slabs. Returns
+  /// the number of states retired.
+  size_t RetireBelow(uint64_t seq) EXCLUDES(mu_);
 
   /// Wakes all waiters with TimedOut; used at pipeline shutdown.
   void Shutdown() EXCLUDES(mu_);

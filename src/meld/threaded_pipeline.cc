@@ -79,6 +79,10 @@ void ThreadedPipeline::Start() {
 
 Result<IntentionPtr> ThreadedPipeline::DecodeRaw(const RawIntention& raw,
                                                  WorkerStats* stats) {
+  if (config_.stage_probe) {
+    HYDER_RETURN_IF_ERROR(
+        config_.stage_probe(PipelineStage::kDecode, raw.seq));
+  }
   TraceSpan span(TraceStage::kDecode, raw.seq);
   CpuStopwatch cpu;
   std::vector<NodePtr> nodes;
@@ -203,6 +207,15 @@ void ThreadedPipeline::PremeldWorker(int thread_index) {
     if (intent->known_aborted) {
       if (!ring_.Push(seq, std::move(intent))) return;
       continue;
+    }
+    if (config_.stage_probe) {
+      // Same boundary the sequential engine probes before its premeld
+      // stage; the embedded engine (t == 0) does not re-fire it.
+      Status probed = config_.stage_probe(PipelineStage::kPremeld, seq);
+      if (!probed.ok()) {
+        Poison(probed);
+        return;
+      }
     }
     TraceSpan span(TraceStage::kPremeld, seq);
     CpuStopwatch cpu;

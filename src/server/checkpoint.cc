@@ -1,6 +1,7 @@
 #include "server/checkpoint.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -43,8 +44,8 @@ Status SerializeState(NodeResolver* resolver, const NodePtr& n,
 }
 
 Result<Ref> DeserializeState(const char*& p, const char* limit,
-                             uint64_t node_count,
-                             ServerResolver* resolver) {
+                             uint64_t node_count, ServerResolver* resolver,
+                             std::unordered_map<VersionId, NodePtr>* pinned) {
   std::vector<NodePtr> nodes;
   nodes.reserve(node_count);
   for (uint64_t i = 0; i < node_count; ++i) {
@@ -76,6 +77,10 @@ Result<Ref> DeserializeState(const char*& p, const char* limit,
     // Ephemeral identities must stay resolvable for intentions that
     // reference them (§3.4); register into the bootstrapping resolver.
     if (n->vn().IsEphemeral()) resolver->RegisterEphemeral(n);
+    // The checkpoint state doubles as the resolution floor: when the log
+    // prefix below it is truncated, lazy references into that prefix
+    // resolve from this map (ReplacePinnedBase) instead of refetching.
+    if (!n->vn().IsNull()) (*pinned)[n->vn()] = n;
     nodes.push_back(std::move(n));
   }
   if (nodes.empty()) return Ref::Null();
@@ -92,6 +97,14 @@ Result<CheckpointInfo> WriteCheckpoint(HyderServer& server) {
   }
   if (server.next_read_position() < server.log()->Tail()) {
     return Status::Busy("unprocessed log blocks remain; poll first");
+  }
+  if (server.pipeline().has_pending_group()) {
+    // The captured state would predate the buffered intention while
+    // resume_position lies past its blocks: a bootstrapping server would
+    // skip it entirely and assign shifted meld sequences from then on.
+    return Status::Busy(
+        "a group-meld pair member is buffered undecided; submit more work "
+        "to pair it before checkpointing");
   }
   DatabaseState state = server.LatestState();
 
@@ -128,6 +141,21 @@ Result<CheckpointInfo> WriteCheckpoint(HyderServer& server) {
   const std::vector<uint64_t> counters = server.pipeline().EphemeralCounters();
   PutVarint64(&payload, counters.size());
   for (uint64_t c : counters) PutVarint64(&payload, c);
+  // Per-origin txn-id floors. The directory above only names intentions the
+  // checkpoint state still references; ids of fully superseded intentions
+  // and of orphaned partial appends live only in log block headers — which
+  // truncation at this checkpoint may reclaim. The writer is at the tail
+  // (quiescence checks above), so its observed floors cover every header in
+  // the log; a bootstrapping server seeds from them and can never re-issue
+  // a (server id, local seq) pair that still has blocks anywhere.
+  std::map<uint64_t, uint64_t> floors = server.txn_floors();
+  uint64_t& own = floors[uint64_t(server.options().server_id) + 1];
+  own = std::max(own, server.next_local_txn());
+  PutVarint64(&payload, floors.size());
+  for (const auto& [origin, floor] : floors) {
+    PutVarint64(&payload, origin);
+    PutVarint64(&payload, floor);
+  }
 
   // Chop into checkpoint-tagged blocks.
   const size_t capacity = server.log()->block_size() - kBlockHeaderSize;
@@ -170,7 +198,10 @@ Result<std::optional<CheckpointInfo>> FindLatestCheckpoint(
   };
   std::unordered_map<uint64_t, Candidate> partial;
   std::vector<CheckpointInfo> complete;
-  for (uint64_t pos = 1; pos < log.Tail(); ++pos) {
+  // Start at the low-water mark: positions below it are reclaimed, so a
+  // checkpoint older than the truncation point can never be assembled —
+  // the fallback order is structurally incapable of selecting one.
+  for (uint64_t pos = log.LowWaterMark(); pos < log.Tail(); ++pos) {
     Result<std::string> block = RetryTransient(
         retry, [&] { return log.Read(pos); },
         [&log](const Status&) { log.RecordRetry(); });
@@ -205,6 +236,9 @@ Result<std::optional<CheckpointInfo>> FindLatestCheckpoint(
               return a.state_seq > b.state_seq;
             });
   for (CheckpointInfo& best : complete) {
+    // Belt and braces for a truncation racing this scan: a candidate whose
+    // first block slipped below the (monotone) mark is no longer viable.
+    if (best.first_block < log.LowWaterMark()) continue;
     Result<std::string> first = RetryTransient(
         retry, [&] { return log.Read(best.first_block); },
         [&log](const Status&) { log.RecordRetry(); });
@@ -298,8 +332,10 @@ Result<std::unique_ptr<HyderServer>> BootstrapFromCheckpoint(
 
   auto server = std::make_unique<HyderServer>(
       log, options, DatabaseState{seq, Ref::Null()}, resume);
+  std::unordered_map<VersionId, NodePtr> pinned;
   HYDER_ASSIGN_OR_RETURN(
-      Ref root, DeserializeState(p, limit, node_count, &server->resolver()));
+      Ref root,
+      DeserializeState(p, limit, node_count, &server->resolver(), &pinned));
   // Ephemeral allocator counters (absent in older checkpoints, which predate
   // ephemeral-bearing states and thus implicitly carry all-zero counters).
   std::vector<uint64_t> counters;
@@ -317,6 +353,23 @@ Result<std::unique_ptr<HyderServer>> BootstrapFromCheckpoint(
       counters.push_back(c);
     }
   }
+  // Per-origin txn-id floors (absent in older checkpoints; the directory
+  // loop below then provides best-effort coverage).
+  std::map<uint64_t, uint64_t> floors;
+  if (p != limit) {
+    uint64_t floor_count = 0;
+    if ((p = GetVarint64(p, limit, &floor_count)) == nullptr) {
+      return Status::Corruption("truncated checkpoint txn floors");
+    }
+    for (uint64_t i = 0; i < floor_count; ++i) {
+      uint64_t origin = 0, floor = 0;
+      if ((p = GetVarint64(p, limit, &origin)) == nullptr ||
+          (p = GetVarint64(p, limit, &floor)) == nullptr) {
+        return Status::Corruption("truncated checkpoint txn floor entry");
+      }
+      floors[origin] = floor;
+    }
+  }
   if (p != limit) {
     return Status::Corruption("trailing bytes after checkpoint");
   }
@@ -326,7 +379,15 @@ Result<std::unique_ptr<HyderServer>> BootstrapFromCheckpoint(
   // counter past everything it issued in previous incarnations (the log
   // replay from resume_position covers the rest).
   for (const auto& entry : directory) server->ObserveTxnId(entry.txn_id);
+  // ...and the explicit floors cover what the directory cannot: superseded
+  // intentions and orphaned partial appends whose only trace was a block
+  // header in the (possibly truncated) prefix.
+  server->SeedTxnFloors(floors);
   server->resolver().ImportDirectory(directory);
+  // The reconstructed state is this server's resolution floor: directory
+  // refetches that hit a truncated prefix fall back to it (the checkpoint
+  // is, by the truncation protocol, at least as new as any low-water mark).
+  server->resolver().ReplacePinnedBase(seq, std::move(pinned));
   // Install the reconstructed root as the initial state.
   HYDER_RETURN_IF_ERROR(
       server->pipeline().states().ReplaceInitial(DatabaseState{seq, root}));

@@ -79,26 +79,50 @@ NodePtr ServerResolver::TryResolveCached(VersionId vn) {
     return it == stripe.nodes.end() ? nullptr : it->second;
   }
   Shard& shard = ShardFor(vn.intention_seq());
-  CountedLock lock(shard.mu);
-  auto it = shard.intentions.find(vn.intention_seq());
-  if (it == shard.intentions.end()) return nullptr;  // No refetch here.
-  if (vn.node_index() >= it->second.nodes.size()) return nullptr;
-  TouchLocked(shard, vn.intention_seq());
-  return it->second.nodes[vn.node_index()];
+  {
+    CountedLock lock(shard.mu);
+    auto it = shard.intentions.find(vn.intention_seq());
+    if (it != shard.intentions.end()) {
+      if (vn.node_index() >= it->second.nodes.size()) return nullptr;
+      TouchLocked(shard, vn.intention_seq());
+      return it->second.nodes[vn.node_index()];
+    }
+  }
+  // No refetch here; the pinned checkpoint base is still cache-speed.
+  return LookupPinned(vn);
+}
+
+NodePtr ServerResolver::LookupPinned(VersionId vn) const {
+  CountedLock lock(pinned_mu_);
+  auto it = pinned_nodes_.find(vn);
+  return it == pinned_nodes_.end() ? nullptr : it->second;
 }
 
 Result<NodePtr> ServerResolver::ResolveLogged(VersionId vn) {
-  Shard& shard = ShardFor(vn.intention_seq());
-  CountedLock lock(shard.mu);
-  HYDER_ASSIGN_OR_RETURN(const std::vector<NodePtr>* nodes,
-                         MaterializeLocked(shard, vn.intention_seq()));
-  if (vn.node_index() >= nodes->size()) {
-    return Status::Corruption("node index " +
-                              std::to_string(vn.node_index()) +
-                              " out of range in intention " +
-                              std::to_string(vn.intention_seq()));
-  }
-  return (*nodes)[vn.node_index()];
+  Status miss = Status::OK();
+  {
+    Shard& shard = ShardFor(vn.intention_seq());
+    CountedLock lock(shard.mu);
+    auto r = MaterializeLocked(shard, vn.intention_seq());
+    if (r.ok()) {
+      const std::vector<NodePtr>* nodes = r.value();
+      if (vn.node_index() >= nodes->size()) {
+        return Status::Corruption("node index " +
+                                  std::to_string(vn.node_index()) +
+                                  " out of range in intention " +
+                                  std::to_string(vn.intention_seq()));
+      }
+      return (*nodes)[vn.node_index()];
+    }
+    miss = r.status();
+    // Only the two shapes truncation legitimately produces fall through to
+    // the pinned base: the directory entry was retired with the prefix
+    // (NotFound) or the log positions themselves were reclaimed
+    // (Truncated). Anything else — Corruption, DataLoss, I/O — surfaces.
+    if (!miss.IsNotFound() && !miss.IsTruncated()) return miss;
+  }  // Shard lock released: the pinned map has its own, only-alone lock.
+  if (NodePtr pinned = LookupPinned(vn); pinned != nullptr) return pinned;
+  return miss;
 }
 
 Result<const std::vector<NodePtr>*> ServerResolver::MaterializeLocked(
@@ -192,6 +216,29 @@ void ServerResolver::CacheIntention(uint64_t seq,
   EvictLocked(shard);
 }
 
+void ServerResolver::ReplacePinnedBase(
+    uint64_t state_seq, std::unordered_map<VersionId, NodePtr> nodes) {
+  // Swap under the lock, destroy the displaced map outside it: dropping a
+  // pin can release the last reference to millions of nodes.
+  std::unordered_map<VersionId, NodePtr> displaced;
+  {
+    CountedLock lock(pinned_mu_);
+    displaced.swap(pinned_nodes_);
+    pinned_nodes_ = std::move(nodes);
+    pinned_state_seq_ = state_seq;
+  }
+}
+
+uint64_t ServerResolver::pinned_state_seq() const {
+  CountedLock lock(pinned_mu_);
+  return pinned_state_seq_;
+}
+
+size_t ServerResolver::pinned_node_count() const {
+  CountedLock lock(pinned_mu_);
+  return pinned_nodes_.size();
+}
+
 void ServerResolver::RegisterEphemeral(const NodePtr& n) {
   EphemeralStripe& stripe = StripeFor(n->vn());
   CountedLock lock(stripe.mu);
@@ -273,6 +320,8 @@ void ServerResolver::EmitMetrics(const std::string& prefix,
   emit(dot + "cached_intentions", double(cached_intentions()));
   emit(dot + "ephemeral_count", double(ephemeral_count()));
   emit(dot + "refetches", double(refetches()));
+  emit(dot + "pinned_state_seq", double(pinned_state_seq()));
+  emit(dot + "pinned_nodes", double(pinned_node_count()));
 }
 
 }  // namespace hyder

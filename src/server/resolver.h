@@ -83,6 +83,20 @@ class ServerResolver : public NodeResolver {
   /// Registers an ephemeral node (meld allocator registrar hook).
   void RegisterEphemeral(const NodePtr& n);
 
+  /// Installs the checkpoint-anchored resolution floor: the complete
+  /// vn -> node map of checkpoint state S (`state_seq`), replacing any
+  /// previous pin. After the log prefix below S's blocks is truncated, a
+  /// lazy reference created at some c <= S can no longer be refetched from
+  /// the log — but any such node alive in a retained state Q >= S was
+  /// already alive at S (versions are never resurrected), so the pinned map
+  /// answers exactly the lookups truncation made impossible. `Resolve`
+  /// falls back to the pin when the log returns `Truncated` or the
+  /// directory entry is gone; `TryResolveCached` consults it on any miss.
+  void ReplacePinnedBase(uint64_t state_seq,
+                         std::unordered_map<VersionId, NodePtr> nodes);
+  uint64_t pinned_state_seq() const;
+  size_t pinned_node_count() const;
+
   /// Drops ephemeral entries that nothing else references. Safe at any
   /// time; affects only this server's memory, never cross-server state.
   size_t SweepEphemerals();
@@ -140,6 +154,7 @@ class ServerResolver : public NodeResolver {
   EphemeralStripe& StripeFor(VersionId vn) const;
 
   Result<NodePtr> ResolveLogged(VersionId vn);
+  NodePtr LookupPinned(VersionId vn) const EXCLUDES(pinned_mu_);
   Result<const std::vector<NodePtr>*> MaterializeLocked(Shard& shard,
                                                         uint64_t seq)
       REQUIRES(shard.mu);
@@ -152,9 +167,15 @@ class ServerResolver : public NodeResolver {
   /// Lock order: at most one shard or stripe lock is ever held at a time
   /// (the intention shards and the ephemeral stripes are disjoint id
   /// spaces, and no operation spans two sequences' shards while holding
-  /// both).
+  /// both). `pinned_mu_` is likewise only ever taken alone: the pinned
+  /// fallback runs after the shard lock is released.
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<EphemeralStripe>> eph_stripes_;
+  mutable Mutex pinned_mu_;
+  /// Checkpoint state S backing truncated-prefix resolution (see
+  /// ReplacePinnedBase). 0 = nothing pinned.
+  uint64_t pinned_state_seq_ GUARDED_BY(pinned_mu_) = 0;
+  std::unordered_map<VersionId, NodePtr> pinned_nodes_ GUARDED_BY(pinned_mu_);
   /// Atomic (not guarded): incremented under a shard lock but read by the
   /// stats accessor without it.
   std::atomic<uint64_t> refetches_{0};

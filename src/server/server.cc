@@ -1,5 +1,7 @@
 #include "server/server.h"
 
+
+#include <algorithm>
 #include "common/stopwatch.h"
 #include "common/trace.h"
 
@@ -32,6 +34,8 @@ HyderServer::HyderServer(SharedLog* log, ServerOptions options,
         emit("skipped_blocks", double(skipped_blocks_));
         emit("duplicate_blocks", double(duplicate_blocks_));
         emit("next_read_position", double(next_read_pos_));
+        emit("catching_up",
+             serve_state_ == ServeState::kCatchingUp ? 1.0 : 0.0);
       });
 }
 
@@ -58,6 +62,12 @@ Result<Transaction> HyderServer::BeginAt(uint64_t seq,
 }
 
 Result<HyderServer::Submitted> HyderServer::Submit(Transaction&& txn) {
+  if (serve_state_ == ServeState::kCatchingUp) {
+    // Graceful degradation: while replaying toward the cluster tail this
+    // server's snapshots are stale, so it routes new work elsewhere rather
+    // than issuing doomed intentions.
+    return Status::Busy("server is catching up and not accepting work");
+  }
   Submitted out;
   out.txn_id = txn.txn_id();
   if (!txn.has_writes()) {
@@ -127,6 +137,22 @@ Result<std::vector<MeldDecision>> HyderServer::Poll(size_t max_intentions) {
       continue;
     }
     ObserveTxnId(header.txn_id);
+    if (!bootstrap_txn_floors_.empty()) {
+      // A retried-append copy of a pre-checkpoint intention can land above
+      // the checkpoint's resume position. Veterans drop it through their
+      // assembler's seen-state; a bootstrapped server has no such memory,
+      // so it filters by the checkpoint's per-origin floors instead (every
+      // id below the floor was decided — or orphaned and abandoned —
+      // before the checkpoint; per-origin append order guarantees no NEW
+      // id below the floor can first appear above resume).
+      const uint64_t origin = header.txn_id >> 40;
+      auto floor = bootstrap_txn_floors_.find(origin);
+      if (floor != bootstrap_txn_floors_.end() &&
+          (header.txn_id & ((1ull << 40) - 1)) < floor->second) {
+        duplicate_blocks_++;
+        continue;
+      }
+    }
     HYDER_ASSIGN_OR_RETURN(auto fed, assembler_.AddBlock(block));
     if (fed.duplicate) {
       // Retried-append copy; the original already accounted this block.
@@ -148,6 +174,13 @@ Result<std::vector<MeldDecision>> HyderServer::Poll(size_t max_intentions) {
     // All of the intention's blocks are durable and assembled: stamp for
     // the durable->decision histogram (consumed below once meld decides).
     durable_ts_[done->seq] = Stopwatch::NowNanos();
+    if (options_.pipeline.stage_probe) {
+      // Chaos probe at the decode boundary (the other boundaries live
+      // inside the pipeline). A non-OK return is a simulated crash: the
+      // caller must discard this server, not re-Poll it.
+      HYDER_RETURN_IF_ERROR(
+          options_.pipeline.stage_probe(PipelineStage::kDecode, done->seq));
+    }
     std::vector<NodePtr> nodes;
     CpuStopwatch ds_cpu;
     IntentionPtr intent;
@@ -209,11 +242,62 @@ Result<bool> HyderServer::Commit(Transaction&& txn) {
   }
 }
 
+Status HyderServer::PinStateForTruncation(uint64_t state_seq) {
+  HYDER_ASSIGN_OR_RETURN(DatabaseState state,
+                         pipeline_.states().Get(state_seq));
+  // Materialize all of S while the pre-S prefix is still readable. A state
+  // is a tree (no sharing within one version), so the walk is linear; the
+  // dedup guard is defensive only.
+  std::unordered_map<VersionId, NodePtr> pinned;
+  NodePtr root = state.root.node;
+  if (!root && !state.root.vn.IsNull()) {
+    HYDER_ASSIGN_OR_RETURN(root, resolver_.Resolve(state.root.vn));
+  }
+  std::vector<NodePtr> stack;
+  if (root) stack.push_back(std::move(root));
+  while (!stack.empty()) {
+    NodePtr n = std::move(stack.back());
+    stack.pop_back();
+    if (!n->vn().IsNull() && !pinned.emplace(n->vn(), n).second) continue;
+    HYDER_ASSIGN_OR_RETURN(NodePtr left, n->left().Get(&resolver_));
+    if (left) stack.push_back(std::move(left));
+    HYDER_ASSIGN_OR_RETURN(NodePtr right, n->right().Get(&resolver_));
+    if (right) stack.push_back(std::move(right));
+  }
+  resolver_.ReplacePinnedBase(state_seq, std::move(pinned));
+  // States older than the pin would resolve through the truncated prefix;
+  // retire them now (BeginAt below S answers SnapshotTooOld, the same
+  // contract as the retention window).
+  pipeline_.states().RetireBelow(state_seq);
+  return Status::OK();
+}
+
 void HyderServer::ObserveTxnId(uint64_t txn_id) {
   if (txn_id & (1ull << 63)) return;  // Checkpoint marker, not a txn id.
-  if ((txn_id >> 40) != uint64_t(options_.server_id) + 1) return;
+  const uint64_t origin = txn_id >> 40;
   const uint64_t local_seq = txn_id & ((1ull << 40) - 1);
+  // Track every origin, not just our own: a checkpoint written by this
+  // server must carry floors other servers can restart from once the log
+  // prefix holding their ids is truncated (see txn_floors()).
+  uint64_t& floor = txn_floors_[origin];
+  if (local_seq >= floor) floor = local_seq + 1;
+  if (origin != uint64_t(options_.server_id) + 1) return;
   if (local_seq >= next_txn_) next_txn_ = local_seq + 1;
+}
+
+void HyderServer::SeedTxnFloors(const std::map<uint64_t, uint64_t>& floors) {
+  for (const auto& [origin, floor] : floors) {
+    uint64_t& mine = txn_floors_[origin];
+    mine = std::max(mine, floor);
+    // The bootstrap-time snapshot stays frozen: it gates only late copies
+    // of PRE-checkpoint intentions (see Poll); post-bootstrap duplicates
+    // are the assembler's job, exactly as on a veteran.
+    uint64_t& boot = bootstrap_txn_floors_[origin];
+    boot = std::max(boot, floor);
+    if (origin == uint64_t(options_.server_id) + 1 && floor > next_txn_) {
+      next_txn_ = floor;
+    }
+  }
 }
 
 std::optional<bool> HyderServer::Outcome(uint64_t txn_id) const {

@@ -1,6 +1,7 @@
 #ifndef HYDER2_SERVER_SERVER_H_
 #define HYDER2_SERVER_SERVER_H_
 
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -76,6 +77,12 @@ class Transaction {
 /// itself thread-safe; use one instance per thread or external locking.
 class HyderServer {
  public:
+  /// Degraded-mode flag (lagging-server catch-up, DESIGN.md "Log truncation
+  /// & catch-up"): a server that is rebuilding from a checkpoint and
+  /// replaying the tail reports `kCatchingUp` and refuses new transactions
+  /// with `Busy` until it rejoins at the cluster tail.
+  enum class ServeState { kServing, kCatchingUp };
+
   HyderServer(SharedLog* log, ServerOptions options);
 
   /// Bootstrap constructor (see server/checkpoint.h): starts the pipeline
@@ -149,6 +156,40 @@ class HyderServer {
   /// calls it for every directory entry.
   void ObserveTxnId(uint64_t txn_id);
 
+  /// Next-unissued local sequence per origin (`txn_id >> 40`), covering
+  /// every block header this server has read plus everything seeded from a
+  /// checkpoint. A checkpoint writer — at the tail by the quiescence
+  /// checks — exports this map so bootstrapping servers recover their id
+  /// floor even for intentions the checkpoint directory no longer names
+  /// (fully superseded ones, and orphaned partial appends) whose log
+  /// blocks truncation may since have reclaimed. Without it a restarted
+  /// server could re-issue such an id, and the duplicate-append filter
+  /// would weld chunks of two different intentions together.
+  const std::map<uint64_t, uint64_t>& txn_floors() const {
+    return txn_floors_;
+  }
+  /// Raises the per-origin floors (and this server's own sequence counter)
+  /// to at least `floors`. Checkpoint bootstrap only.
+  void SeedTxnFloors(const std::map<uint64_t, uint64_t>& floors);
+  /// This server's own next local sequence (the floor it would need after
+  /// a restart).
+  uint64_t next_local_txn() const { return next_txn_; }
+
+  ServeState serve_state() const { return serve_state_; }
+  /// Transitions the degradation state machine (catch-up driver only).
+  void set_serve_state(ServeState s) { serve_state_ = s; }
+
+  /// Truncation precondition (see server/truncation.h): pins checkpoint
+  /// state `state_seq` as this server's resolution floor and retires every
+  /// older retained state. The pin is a complete vn -> node map of S,
+  /// built by materializing S's tree while the pre-S log prefix is still
+  /// readable; after truncation, lazy references below S resolve from the
+  /// pin instead of the reclaimed log. Fails with SnapshotTooOld when S
+  /// already left the retention window (the caller must pick a newer
+  /// checkpoint) and NotFound when S is not yet published here (the caller
+  /// must poll this server to the tail first).
+  Status PinStateForTruncation(uint64_t state_seq);
+
  private:
   SharedLog* const log_;
   const ServerOptions options_;
@@ -156,7 +197,15 @@ class HyderServer {
   SequentialPipeline pipeline_;
   IntentionAssembler assembler_;
   uint64_t next_txn_ = 1;
+  /// See txn_floors(). Ordered so checkpoint serialization is canonical.
+  std::map<uint64_t, uint64_t> txn_floors_;
+  /// Frozen copy of the floors seeded at checkpoint bootstrap; Poll drops
+  /// blocks below them (late retried-append copies of pre-checkpoint
+  /// intentions a fresh assembler would otherwise re-meld). Empty on
+  /// servers that replayed from the log's start.
+  std::map<uint64_t, uint64_t> bootstrap_txn_floors_;
   uint64_t next_read_pos_;
+  ServeState serve_state_ = ServeState::kServing;
   uint64_t melds_since_sweep_ = 0;
   uint64_t skipped_blocks_ = 0;
   uint64_t duplicate_blocks_ = 0;

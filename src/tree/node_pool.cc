@@ -94,6 +94,18 @@ void DrainNodeArenaThreadCache() {
 #endif
 }
 
+size_t TrimNodeArena() {
+#ifndef HYDER_DISABLE_NODE_POOL
+  // The calling thread's cached slots would pin their slabs; other
+  // threads' caches hold at most kCacheCap slots each, an acceptable
+  // remainder for a best-effort reclaim.
+  Cache().Drain();
+  return Arena().TrimFreeSlabs();
+#else
+  return 0;
+#endif
+}
+
 ArenaStats NodeArenaStats() {
   ArenaStats s;
   s.live = g_live.load(std::memory_order_relaxed);
@@ -104,6 +116,7 @@ ArenaStats NodeArenaStats() {
   SlotArena::Stats a = Arena().stats();
   s.slabs = a.slabs;
   s.slab_bytes = a.slab_bytes;
+  s.slabs_released = a.slabs_released;
   s.carved = a.carved;
   s.free_shared = a.free_slots;
   // Batched refills carve slots ahead of demand, so early on `carved` can

@@ -43,6 +43,13 @@ ArenaStats NodeArenaStats();
 /// main thread before reconciling stats.
 void DrainNodeArenaThreadCache();
 
+/// Drains the calling thread's cache, then returns to the OS every slab
+/// whose slots are all free; reports the number released. Called at
+/// reclaim points — after log truncation retires a state prefix, the
+/// retired nodes come back as whole slabs. Best-effort: slots cached by
+/// *other* threads pin their slabs until those threads drain.
+size_t TrimNodeArena();
+
 /// Payload heap-fallback accounting (called by Node).
 void CountPayloadHeapAlloc();
 void CountPayloadHeapFree();

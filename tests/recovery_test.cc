@@ -25,8 +25,10 @@
 #include "log/fault_log.h"
 #include "log/file_log.h"
 #include "log/striped_log.h"
+#include "server/catchup.h"
 #include "server/checkpoint.h"
 #include "server/cluster.h"
+#include "server/truncation.h"
 
 namespace hyder {
 namespace {
@@ -416,6 +418,161 @@ TEST_F(RecoveryTest, TornTailBlocksSkippedIdenticallyByAllServers) {
   EXPECT_TRUE(*converged) << diff;
   EXPECT_EQ(cluster.server(0).skipped_blocks(), 1u);
   EXPECT_EQ(cluster.server(1).skipped_blocks(), 1u);
+}
+
+TEST_F(RecoveryTest, CrashDuringTruncationRecoversFromPersistedMark) {
+  // A process crash in the truncation round's worst window: the low-water
+  // mark has just been persisted (pins were installed in the servers that
+  // died with the process). Durable state is the truncated FileLog plus its
+  // mark sidecar; recovery must rebuild the whole cluster from that alone —
+  // checkpoint bootstrap on one server, a full catch-up session on the
+  // other — and re-running the interrupted truncation round must be a
+  // harmless no-op.
+  FileLog::Options fo;
+  fo.block_size = kBlockSize;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".lwm").c_str());
+    const std::vector<Op> ops = MakeOps(seed, 18 + int(seed % 5));
+    uint64_t low_water = 0;
+    uint64_t state_seq = 0;
+    {
+      auto file = FileLog::Open(path_, fo);
+      ASSERT_TRUE(file.ok()) << file.status().ToString();
+      HyderServer s0(file->get(), HarnessOptions(0));
+      HyderServer s1(file->get(), HarnessOptions(1));
+      for (const Op& op : ops) {
+        Transaction t = (op.server ? s1 : s0).Begin();
+        ASSERT_TRUE(t.Put(op.key, op.value).ok());
+        ASSERT_TRUE((op.server ? s1 : s0).Submit(std::move(t)).ok());
+        ASSERT_TRUE(s0.Poll().ok());
+        ASSERT_TRUE(s1.Poll().ok());
+      }
+      auto ckpt = WriteCheckpoint(s0);
+      ASSERT_TRUE(ckpt.ok()) << "seed " << seed << ": "
+                             << ckpt.status().ToString();
+      ASSERT_TRUE(s0.Poll().ok());
+      ASSERT_TRUE(s1.Poll().ok());
+      TruncationCoordinator coordinator(file->get());
+      auto truncated = coordinator.TruncateToCheckpoint(*ckpt, {&s0, &s1});
+      ASSERT_TRUE(truncated.ok()) << "seed " << seed << ": "
+                                  << truncated.status().ToString();
+      ASSERT_GT(truncated->blocks_reclaimed, 0u) << "seed " << seed;
+      low_water = (*file)->LowWaterMark();
+      state_seq = ckpt->state_seq;
+    }  // Crash: every in-memory structure (servers, pins, coordinator) dies.
+
+    auto reopened = FileLog::Open(path_, fo);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->LowWaterMark(), low_water) << "seed " << seed;
+    EXPECT_TRUE((*reopened)->Read(low_water - 1).status().IsTruncated());
+
+    // One server bootstraps straight from the anchor, the other runs the
+    // full catch-up state machine; both paths must agree.
+    auto found = FindLatestCheckpoint(**reopened);
+    ASSERT_TRUE(found.ok()) << found.status().ToString();
+    ASSERT_TRUE(found->has_value()) << "seed " << seed;
+    EXPECT_EQ((*found)->state_seq, state_seq) << "seed " << seed;
+    auto s0 = BootstrapFromCheckpoint(reopened->get(), **found,
+                                      HarnessOptions(0));
+    ASSERT_TRUE(s0.ok()) << "seed " << seed << ": " << s0.status().ToString();
+    CatchUpOptions co;
+    co.server = HarnessOptions(1);
+    co.max_fetch_rounds = 100;
+    auto s1 = CatchUpServer(reopened->get(), co);
+    ASSERT_TRUE(s1.ok()) << "seed " << seed << ": " << s1.status().ToString();
+
+    // Re-running the interrupted round (the recovering operator cannot know
+    // how far it got) reclaims nothing further and fails nothing.
+    TruncationCoordinator coordinator(reopened->get());
+    auto rerun = coordinator.TruncateToCheckpoint(
+        **found, {s0->get(), s1->get()});
+    ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+    EXPECT_EQ(rerun->blocks_reclaimed, 0u);
+    EXPECT_EQ((*reopened)->LowWaterMark(), low_water);
+
+    for (int i = 0; i < 6; ++i) {
+      Transaction t = (*s0)->Begin();
+      ASSERT_TRUE(t.Put(Key(50 + i), "post-crash").ok());
+      ASSERT_TRUE((*s0)->Submit(std::move(t)).ok());
+      ASSERT_TRUE((*s0)->Poll().ok());
+      ASSERT_TRUE((*s1)->Poll().ok());
+    }
+    std::string diff;
+    auto equal = PhysicallyEqual(&(*s0)->resolver(),
+                                 (*s0)->LatestState().root,
+                                 &(*s1)->resolver(),
+                                 (*s1)->LatestState().root, &diff);
+    ASSERT_TRUE(equal.ok()) << "seed " << seed;
+    EXPECT_TRUE(*equal) << "seed " << seed << ": " << diff;
+  }
+}
+
+TEST_F(RecoveryTest, CrashDuringCatchUpCompletesOnFreshSession) {
+  // A server crashes partway through its own catch-up (mid-fetch on some
+  // seeds, mid-replay on others). The abandoned half-built replica must not
+  // disturb the cluster, and a fresh session — the next incarnation — must
+  // complete and rejoin byte-identically.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    StripedLogOptions lo;
+    lo.block_size = kBlockSize;
+    StripedLog log(lo);
+    HyderServer veteran(&log, HarnessOptions(0));
+    const std::vector<Op> ops = MakeOps(seed, 20);
+    for (const Op& op : ops) {
+      Transaction t = veteran.Begin();
+      ASSERT_TRUE(t.Put(op.key, op.value).ok());
+      ASSERT_TRUE(veteran.Submit(std::move(t)).ok());
+      ASSERT_TRUE(veteran.Poll().ok());
+    }
+    auto ckpt = WriteCheckpoint(veteran);
+    ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+    ASSERT_TRUE(veteran.Poll().ok());
+    for (int i = 0; i < 10; ++i) {
+      Transaction t = veteran.Begin();
+      ASSERT_TRUE(t.Put(Key(60 + i), "tail").ok());
+      ASSERT_TRUE(veteran.Submit(std::move(t)).ok());
+      ASSERT_TRUE(veteran.Poll().ok());
+    }
+
+    {
+      // First incarnation: step 0..5 times (seed-dependent crash point),
+      // then die. replay_batch=1 keeps the crash inside the replay window
+      // on most seeds.
+      CatchUpOptions co;
+      co.server = HarnessOptions(1);
+      co.replay_batch = 1;
+      CatchUpSession doomed(&log, co);
+      for (uint64_t s = 0; s < seed % 6; ++s) {
+        ASSERT_TRUE(doomed.Step().ok());
+      }
+    }  // Crash: the half-built replica vanishes.
+
+    CatchUpOptions co;
+    co.server = HarnessOptions(1);
+    CatchUpSession session(&log, co);
+    for (int step = 0; !session.done(); ++step) {
+      ASSERT_LT(step, 10000) << "seed " << seed << ": did not converge";
+      ASSERT_TRUE(session.Step().ok());
+    }
+    std::unique_ptr<HyderServer> joined = session.TakeServer();
+    ASSERT_NE(joined, nullptr);
+    ASSERT_EQ(joined->LatestState().seq, veteran.LatestState().seq)
+        << "seed " << seed;
+    std::string diff;
+    auto equal = PhysicallyEqual(&veteran.resolver(),
+                                 veteran.LatestState().root,
+                                 &joined->resolver(),
+                                 joined->LatestState().root, &diff);
+    ASSERT_TRUE(equal.ok()) << "seed " << seed;
+    EXPECT_TRUE(*equal) << "seed " << seed << ": " << diff;
+
+    // The rejoined incarnation serves again.
+    Transaction t = joined->Begin();
+    ASSERT_TRUE(t.Put(99, "served").ok());
+    ASSERT_TRUE(joined->Submit(std::move(t)).ok());
+    ASSERT_TRUE(joined->Poll().ok());
+  }
 }
 
 }  // namespace

@@ -78,7 +78,8 @@ lock_allowlist='src/meld/state_table.h:mu_
 src/meld/state_table.h:published_
 src/meld/threaded_pipeline.h:error_mu_
 src/server/resolver.h:mu
-src/server/resolver.h:mu'
+src/server/resolver.h:mu
+src/server/resolver.h:pinned_mu_'
 lock_actual=$(grep -rnE \
     '^[[:space:]]*(mutable[[:space:]]+)?(Mutex|CondVar)[[:space:]]+[A-Za-z_]+' \
     --include='*.h' --include='*.cc' src/meld src/server \
