@@ -22,6 +22,21 @@ double BenchScale() {
 
 namespace {
 
+int& FanoutSlot() {
+  static int fanout = 0;  // 0 = not yet resolved.
+  return fanout;
+}
+
+int ParseFanout(const char* s, const char* origin) {
+  int v = std::atoi(s);
+  if (v != 2 && (v < 3 || v > 64)) {
+    std::fprintf(stderr, "bench: bad %s fanout %s (want 2 or 3..64)\n",
+                 origin, s);
+    std::exit(2);
+  }
+  return v;
+}
+
 /// State of the JSON emitter. Armed by InitBenchIO (--json / the
 /// HYDER_BENCH_JSON env var); flushed by an atexit hook so every early
 /// `return` in a bench main still produces the file.
@@ -75,6 +90,10 @@ void FlushJson() {
   std::snprintf(scale, sizeof(scale), "%g", BenchScale());
   json += ",\n  \"scale\": ";
   json += scale;
+  char fanout[32];
+  std::snprintf(fanout, sizeof(fanout), "%d", BenchFanout());
+  json += ",\n  \"tree_fanout\": ";
+  json += fanout;
   json += ",\n  \"tables\": [";
   for (size_t t = 0; t < e.tables.size(); ++t) {
     json += t == 0 ? "\n    {\"columns\": [" : ",\n    {\"columns\": [";
@@ -151,6 +170,15 @@ std::vector<std::string> SplitCsv(const std::string& line) {
 
 }  // namespace
 
+int BenchFanout() {
+  int& slot = FanoutSlot();
+  if (slot == 0) {
+    const char* env = std::getenv("HYDER_BENCH_FANOUT");
+    slot = env != nullptr ? ParseFanout(env, "HYDER_BENCH_FANOUT") : 2;
+  }
+  return slot;
+}
+
 void InitBenchIO(int* argc, char** argv) {
   JsonEmitter& e = Emitter();
   Observability& o = Obs();
@@ -165,6 +193,8 @@ void InitBenchIO(int* argc, char** argv) {
       o.trace_path = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
       o.metrics_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--fanout=", 9) == 0) {
+      FanoutSlot() = ParseFanout(argv[i] + 9, "--fanout");
     } else {
       argv[out++] = argv[i];
     }
@@ -276,6 +306,9 @@ ExperimentConfig DefaultWriteOnlyConfig() {
   config.intentions = uint64_t(1500 * BenchScale());
   config.warmup = 400;
   config.pipeline.state_retention = config.inflight + 256;
+  // The --fanout flag / HYDER_BENCH_FANOUT select the tree layout for the
+  // whole run (2 = the paper's binary red-black tree, 3..64 = wide pages).
+  config.pipeline.tree_fanout = BenchFanout();
   config.log.block_size = 8192;
   config.log.storage_units = 6;
   return config;

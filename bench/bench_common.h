@@ -78,6 +78,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config);
 /// HYDER_BENCH_SCALE (default 1.0) multiplies run lengths.
 double BenchScale();
 
+/// The tree fanout the bench run uses (2 = binary baseline, [3, 64] =
+/// wide pages). Set by `--fanout=N` (stripped in InitBenchIO) or the
+/// HYDER_BENCH_FANOUT env var; DefaultWriteOnlyConfig plumbs it into
+/// PipelineConfig::tree_fanout, so every figure bench is A/B-able
+/// against the binary layout without code changes. Recorded in the JSON
+/// header as "tree_fanout".
+int BenchFanout();
+
 /// Machine-readable output. Call first in main(): strips `--json[=path]`
 /// from argv and arms the JSON emitter; the `HYDER_BENCH_JSON=<path>`
 /// environment variable arms it too. When armed, the tables printed via

@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace hyder {
@@ -23,11 +24,15 @@ std::string Key(const std::string& prefix, const char* field) {
 static_assert(sizeof(MeldWork) == 6 * sizeof(uint64_t),
               "MeldWork field added: update ToString/EmitTo/operator+= "
               "and this count");
-static_assert(sizeof(ArenaStats) == 10 * sizeof(uint64_t),
+static_assert(sizeof(ArenaStats) == 12 * sizeof(uint64_t),
               "ArenaStats field added: update ToString/EmitTo and this "
               "count");
-static_assert(sizeof(PipelineStats) ==
-                  13 * sizeof(uint64_t) + 4 * sizeof(MeldWork),
+static_assert(sizeof(ConfigEcho) == 6 * sizeof(int64_t),
+              "ConfigEcho field added: update Observe/ToString/EmitTo and "
+              "this count");
+static_assert(sizeof(PipelineStats) == 13 * sizeof(uint64_t) +
+                                           4 * sizeof(MeldWork) +
+                                           sizeof(ConfigEcho),
               "PipelineStats field added: update ToString/EmitTo/"
               "operator+= and this count");
 
@@ -60,7 +65,7 @@ std::string ArenaStats::ToString() const {
   std::snprintf(buf, sizeof(buf),
                 "live=%llu allocated=%llu recycled=%llu slabs=%llu "
                 "slab_kb=%llu released=%llu carved=%llu free_shared=%llu "
-                "heap_payloads=%llu",
+                "heap_payloads=%llu wide_live=%llu wide_allocated=%llu",
                 static_cast<unsigned long long>(live),
                 static_cast<unsigned long long>(allocated),
                 static_cast<unsigned long long>(recycled),
@@ -70,7 +75,9 @@ std::string ArenaStats::ToString() const {
                 static_cast<unsigned long long>(carved),
                 static_cast<unsigned long long>(free_shared),
                 static_cast<unsigned long long>(payload_heap_allocs -
-                                                payload_heap_frees));
+                                                payload_heap_frees),
+                static_cast<unsigned long long>(wide_live),
+                static_cast<unsigned long long>(wide_allocated));
   return buf;
 }
 
@@ -86,6 +93,42 @@ void ArenaStats::EmitTo(const std::string& prefix,
   emit(Key(prefix, "free_shared"), double(free_shared));
   emit(Key(prefix, "payload_heap_allocs"), double(payload_heap_allocs));
   emit(Key(prefix, "payload_heap_frees"), double(payload_heap_frees));
+  emit(Key(prefix, "wide_live"), double(wide_live));
+  emit(Key(prefix, "wide_allocated"), double(wide_allocated));
+}
+
+void ConfigEcho::Observe(const ConfigEcho& o) {
+  premeld_threads = std::max(premeld_threads, o.premeld_threads);
+  premeld_distance = std::max(premeld_distance, o.premeld_distance);
+  group_meld = std::max(group_meld, o.group_meld);
+  state_retention = std::max(state_retention, o.state_retention);
+  disable_graft_fastpath =
+      std::max(disable_graft_fastpath, o.disable_graft_fastpath);
+  tree_fanout = std::max(tree_fanout, o.tree_fanout);
+}
+
+std::string ConfigEcho::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "pm_threads=%lld pm_distance=%lld group=%lld retention=%lld "
+                "no_graft=%lld fanout=%lld",
+                static_cast<long long>(premeld_threads),
+                static_cast<long long>(premeld_distance),
+                static_cast<long long>(group_meld),
+                static_cast<long long>(state_retention),
+                static_cast<long long>(disable_graft_fastpath),
+                static_cast<long long>(tree_fanout));
+  return buf;
+}
+
+void ConfigEcho::EmitTo(const std::string& prefix,
+                        const MetricEmit& emit) const {
+  emit(Key(prefix, "premeld_threads"), double(premeld_threads));
+  emit(Key(prefix, "premeld_distance"), double(premeld_distance));
+  emit(Key(prefix, "group_meld"), double(group_meld));
+  emit(Key(prefix, "state_retention"), double(state_retention));
+  emit(Key(prefix, "disable_graft_fastpath"), double(disable_graft_fastpath));
+  emit(Key(prefix, "tree_fanout"), double(tree_fanout));
 }
 
 PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
@@ -106,6 +149,7 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
   handoff_blocked_pops += o.handoff_blocked_pops;
   handoff_blocked_push_nanos += o.handoff_blocked_push_nanos;
   handoff_blocked_pop_nanos += o.handoff_blocked_pop_nanos;
+  config_echo.Observe(o.config_echo);
   return *this;
 }
 
@@ -116,7 +160,7 @@ std::string PipelineStats::ToString() const {
       "intentions=%llu committed=%llu aborted=%llu (premeld_aborts=%llu "
       "premeld_skips=%llu singletons=%llu) ds[%s] pm[%s] gm[%s] fm[%s] "
       "final_melds=%llu avg_conflict_zone=%.1f fm_resolver_locks=%llu "
-      "handoff_blocked=%llu/%llu (%.1f/%.1f ms)",
+      "handoff_blocked=%llu/%llu (%.1f/%.1f ms) echo[%s]",
       static_cast<unsigned long long>(intentions),
       static_cast<unsigned long long>(committed),
       static_cast<unsigned long long>(aborted),
@@ -132,7 +176,8 @@ std::string PipelineStats::ToString() const {
       static_cast<unsigned long long>(handoff_blocked_pushes),
       static_cast<unsigned long long>(handoff_blocked_pops),
       double(handoff_blocked_push_nanos) / 1e6,
-      double(handoff_blocked_pop_nanos) / 1e6);
+      double(handoff_blocked_pop_nanos) / 1e6,
+      config_echo.ToString().c_str());
   return buf;
 }
 
@@ -158,6 +203,7 @@ void PipelineStats::EmitTo(const std::string& prefix,
        double(handoff_blocked_push_nanos));
   emit(Key(prefix, "handoff_blocked_pop_nanos"),
        double(handoff_blocked_pop_nanos));
+  config_echo.EmitTo(Key(prefix, "echo"), emit);
 }
 
 }  // namespace hyder

@@ -58,6 +58,31 @@ struct ArenaStats {
   uint64_t free_shared = 0;    ///< Slots in the shared free list.
   uint64_t payload_heap_allocs = 0;  ///< Payloads that overflowed inline.
   uint64_t payload_heap_frees = 0;
+  uint64_t wide_live = 0;       ///< Wide-node extents currently alive.
+  uint64_t wide_allocated = 0;  ///< Total wide-extent allocations ever.
+
+  std::string ToString() const;
+  void EmitTo(const std::string& prefix, const MetricEmit& emit) const;
+};
+
+/// Echo of the PipelineConfig knobs as the stage workers actually received
+/// them, stamped at the point of consumption (premeld worker, group meld,
+/// final meld). -1 means "that stage never ran". The config-plumbing
+/// audit: a knob set in PipelineConfig but reported as -1 (or stale) here
+/// was dropped somewhere between the config and the worker — the silent
+/// failure mode PR 4 hit with `disable_graft_fastpath`.
+struct ConfigEcho {
+  int64_t premeld_threads = -1;
+  int64_t premeld_distance = -1;
+  int64_t group_meld = -1;
+  int64_t state_retention = -1;
+  int64_t disable_graft_fastpath = -1;
+  int64_t tree_fanout = -1;
+
+  /// Merge = field-wise max: stamped values (>= 0) win over never-stamped
+  /// (-1), and every stamper writes the same value because all workers
+  /// share one config.
+  void Observe(const ConfigEcho& o);
 
   std::string ToString() const;
   void EmitTo(const std::string& prefix, const MetricEmit& emit) const;
@@ -98,6 +123,9 @@ struct PipelineStats {
   /// the paper's Fig. 13 analysis: bubbles vs. back-pressure).
   uint64_t handoff_blocked_push_nanos = 0;
   uint64_t handoff_blocked_pop_nanos = 0;
+
+  /// See ConfigEcho: knobs as the stages consumed them.
+  ConfigEcho config_echo;
 
   PipelineStats& operator+=(const PipelineStats& o);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "meld/wide_meld.h"
+
 namespace hyder {
 
 namespace {
@@ -409,6 +411,22 @@ class Melder {
   const Intention& intent_;
 };
 
+/// Layout dispatch: a wide intention or base tree melds through the wide
+/// operator (wide_meld.cc); layout mismatches between the two surface as
+/// Internal errors inside the melders. A delete-only intention against a
+/// lazy base resolves the base root once (memoized by the resolver) to
+/// learn the layout.
+Result<bool> MeldInputIsWide(const MeldContext& ctx, const Intention& intent,
+                             const Ref& base_root) {
+  if (intent.root.node) return intent.root.node->is_wide();
+  if (base_root.node) return base_root.node->is_wide();
+  if (!base_root.vn.IsNull() && ctx.resolver != nullptr) {
+    HYDER_ASSIGN_OR_RETURN(NodePtr b, ctx.resolver->Resolve(base_root.vn));
+    return b && b->is_wide();
+  }
+  return false;
+}
+
 }  // namespace
 
 Result<MeldResult> Meld(const MeldContext& ctx, const Intention& intent,
@@ -419,8 +437,11 @@ Result<MeldResult> Meld(const MeldContext& ctx, const Intention& intent,
   if (ctx.mode == MeldMode::kGroup && ctx.group_base == nullptr) {
     return Status::InvalidArgument("group meld requires the base intention");
   }
+  HYDER_ASSIGN_OR_RETURN(const bool wide, MeldInputIsWide(ctx, intent,
+                                                          base_root));
   Melder melder(ctx, intent);
-  Result<Ref> melded = melder.Run(base_root);
+  Result<Ref> melded =
+      wide ? RunWideMeld(ctx, intent, base_root) : melder.Run(base_root);
   MeldResult result;
   if (melded.ok()) {
     result.root = std::move(*melded);

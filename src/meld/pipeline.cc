@@ -54,6 +54,13 @@ SequentialPipeline::SequentialPipeline(
   // as they would on any server).
   block_prefix_.assign(states_.Latest().seq + 1, 0);
   published_seq_ = states_.Latest().seq;
+  // Config echo (see ConfigEcho): each knob is stamped where it is
+  // consumed. Retention and fanout are consumed right here, at state-table
+  // construction / snapshot layout selection.
+  ConfigEcho echo;
+  echo.state_retention = static_cast<int64_t>(config_.state_retention);
+  echo.tree_fanout = config_.tree_fanout;
+  stats_.config_echo.Observe(echo);
 }
 
 uint64_t SequentialPipeline::BlocksUpTo(uint64_t seq) const {
@@ -99,6 +106,12 @@ Result<std::vector<MeldDecision>> SequentialPipeline::Process(
   stats_.intentions++;
 
   // --- Premeld stage (Algorithm 1). ---
+  {
+    ConfigEcho echo;
+    echo.premeld_threads = config_.premeld_threads;
+    echo.premeld_distance = config_.premeld_distance;
+    stats_.config_echo.Observe(echo);
+  }
   if (config_.premeld_threads > 0 && !intent->known_aborted) {
     // The probe guards the stage actually running: the threaded engine runs
     // premeld in its own workers (its embedded engine has t == 0) and fires
@@ -131,6 +144,11 @@ Result<std::vector<MeldDecision>> SequentialPipeline::AfterPremeld(
   if (config_.stage_probe) {
     HYDER_RETURN_IF_ERROR(
         config_.stage_probe(PipelineStage::kHandoff, intent->seq));
+  }
+  {
+    ConfigEcho echo;
+    echo.group_meld = config_.group_meld ? 1 : 0;
+    stats_.config_echo.Observe(echo);
   }
   if (!config_.group_meld) return FinalMeld(std::move(intent));
   // --- Group meld stage (§4): pair odd seq with the following even seq. ---
@@ -236,6 +254,11 @@ Result<std::vector<MeldDecision>> SequentialPipeline::FinalMeld(
   ctx.mode = MeldMode::kState;
   ctx.output_is_state = true;
   ctx.disable_graft_fastpath = config_.disable_graft_fastpath;
+  {
+    ConfigEcho echo;
+    echo.disable_graft_fastpath = config_.disable_graft_fastpath ? 1 : 0;
+    stats_.config_echo.Observe(echo);
+  }
   CpuStopwatch cpu;
   HYDER_ASSIGN_OR_RETURN(MeldResult melded, Meld(ctx, *intent, latest.root));
   work.cpu_nanos = cpu.ElapsedNanos();

@@ -66,6 +66,11 @@ struct PipelineConfig {
   /// Ablation only (bench/ablation_graft_fastpath): turn off the meld
   /// operator's subtree-graft fast path.
   bool disable_graft_fastpath = false;
+  /// Tree node layout: 2 = binary red-black (the seed baseline), [3, 64] =
+  /// wide pages with that many key slots and per-slot meld metadata. The
+  /// whole cluster must agree — intentions carry their layout on the wire
+  /// and meld refuses mixed trees.
+  int tree_fanout = 2;
   /// Chaos probe fired at every stage boundary; null (the default) costs
   /// one branch per boundary. Both engines call it at the same boundaries.
   StageProbe stage_probe;

@@ -232,6 +232,15 @@ void ThreadedPipeline::PremeldWorker(int thread_index) {
     ws.premeld += work;
     if (out->skipped) ws.skips++;
     if (out->intention->known_aborted) ws.aborts++;
+    {
+      // The knobs this worker just consumed; the embedded engine cannot
+      // stamp them (it runs with premeld_threads == 0).
+      ConfigEcho echo;
+      echo.premeld_threads = config_.premeld_threads;
+      echo.premeld_distance = config_.premeld_distance;
+      echo.disable_graft_fastpath = config_.disable_graft_fastpath ? 1 : 0;
+      ws.echo.Observe(echo);
+    }
     if (!ring_.Push(seq, std::move(out->intention))) return;
   }
 }
@@ -321,6 +330,7 @@ PipelineStats ThreadedPipeline::StatsSnapshot() const {
     out.premeld += ws->premeld;
     out.premeld_skips += ws->skips;
     out.premeld_aborts += ws->aborts;
+    out.config_echo.Observe(ws->echo);
   }
   const SeqRing<IntentionPtr>::Stats ring_stats = ring_.stats();
   out.handoff_blocked_pushes = ring_stats.blocked_pushes;

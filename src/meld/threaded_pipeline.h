@@ -132,6 +132,9 @@ class ThreadedPipeline {
     MeldWork premeld;
     uint64_t skips = 0;
     uint64_t aborts = 0;
+    /// Knob values as this worker consumed them (see ConfigEcho); merged
+    /// into the snapshot's config_echo after Join.
+    ConfigEcho echo;
   };
 
   void PremeldWorker(int thread_index);

@@ -1,0 +1,31 @@
+#ifndef HYDER2_MELD_WIDE_MELD_H_
+#define HYDER2_MELD_WIDE_MELD_H_
+
+// The meld operator for wide (high-fanout) trees. Meld() in meld.cc
+// dispatches here when the intention or base tree uses the wide layout;
+// the contract (modes, conflict classes, determinism §3.4) is identical
+// to the binary melder's.
+//
+// Granularity: structural decisions — the ssv==vn graft fast path and the
+// phantom check for structural-read marks — operate at page granularity
+// (a page's ssv anchors the whole page, exactly as a binary node's ssv
+// anchors its subtree). Content decisions — write-write and read-write
+// checks — operate at slot granularity against the per-slot metadata, so
+// two transactions touching different keys that happen to share a page do
+// NOT conflict: the per-slot false-positive reduction this layout buys.
+
+#include "common/result.h"
+#include "meld/meld.h"
+#include "txn/intention.h"
+
+namespace hyder {
+
+/// Runs one wide-layout meld. Same semantics as Melder::Run: returns the
+/// melded root, Status::Aborted for OCC conflicts, other errors for real
+/// faults. Called from Meld(), which converts aborts into MeldResult.
+Result<Ref> RunWideMeld(const MeldContext& ctx, const Intention& intent,
+                        const Ref& base_root);
+
+}  // namespace hyder
+
+#endif  // HYDER2_MELD_WIDE_MELD_H_

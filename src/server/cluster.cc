@@ -85,6 +85,36 @@ Result<bool> PhysicallyEqual(NodeResolver* ra, const Ref& a, NodeResolver* rb,
     }
     return true;
   }
+  if (na->is_wide() != nb->is_wide()) {
+    *diff = "layout mismatch at " + na->vn().ToString();
+    return false;
+  }
+  if (na->is_wide()) {
+    const WideExt& ea = *na->wide();
+    const WideExt& eb = *nb->wide();
+    if (na->vn() != nb->vn() || ea.count() != eb.count()) {
+      *diff = "page mismatch: vns " + na->vn().ToString() + "/" +
+              nb->vn().ToString();
+      return false;
+    }
+    for (int i = 0; i < ea.count(); ++i) {
+      if (ea.slot(i).key != eb.slot(i).key ||
+          ea.slot(i).payload() != eb.slot(i).payload() ||
+          ea.slot(i).meta.cv != eb.slot(i).meta.cv) {
+        *diff = "slot mismatch: keys " + std::to_string(ea.slot(i).key) +
+                "/" + std::to_string(eb.slot(i).key) + " in page " +
+                na->vn().ToString();
+        return false;
+      }
+    }
+    for (int i = 0; i <= ea.count(); ++i) {
+      HYDER_ASSIGN_OR_RETURN(
+          bool same, PhysicallyEqual(ra, ea.child(i).GetLocal(), rb,
+                                     eb.child(i).GetLocal(), diff));
+      if (!same) return false;
+    }
+    return true;
+  }
   if (na->vn() != nb->vn() || na->key() != nb->key() ||
       na->payload() != nb->payload() || na->color() != nb->color()) {
     *diff = "node mismatch: keys " + std::to_string(na->key()) + "/" +

@@ -46,7 +46,8 @@ Transaction HyderServer::Begin(IsolationLevel isolation) {
       (uint64_t(options_.server_id + 1) << 40) | next_txn_++;
   DatabaseState snapshot = pipeline_.states().Latest();
   IntentionBuilder builder(kWorkspaceTagBit | txn_id, snapshot.seq,
-                           snapshot.root, isolation, &resolver_);
+                           snapshot.root, isolation, &resolver_,
+                           options_.pipeline.tree_fanout);
   return Transaction(txn_id, std::move(builder));
 }
 
@@ -57,7 +58,8 @@ Result<Transaction> HyderServer::BeginAt(uint64_t seq,
   HYDER_ASSIGN_OR_RETURN(DatabaseState snapshot,
                          pipeline_.states().Get(seq));
   IntentionBuilder builder(kWorkspaceTagBit | txn_id, snapshot.seq,
-                           snapshot.root, isolation, &resolver_);
+                           snapshot.root, isolation, &resolver_,
+                           options_.pipeline.tree_fanout);
   return Transaction(txn_id, std::move(builder));
 }
 
@@ -259,10 +261,10 @@ Status HyderServer::PinStateForTruncation(uint64_t state_seq) {
     NodePtr n = std::move(stack.back());
     stack.pop_back();
     if (!n->vn().IsNull() && !pinned.emplace(n->vn(), n).second) continue;
-    HYDER_ASSIGN_OR_RETURN(NodePtr left, n->left().Get(&resolver_));
-    if (left) stack.push_back(std::move(left));
-    HYDER_ASSIGN_OR_RETURN(NodePtr right, n->right().Get(&resolver_));
-    if (right) stack.push_back(std::move(right));
+    for (int i = 0; i < n->child_count(); ++i) {
+      HYDER_ASSIGN_OR_RETURN(NodePtr c, n->child_at(i).Get(&resolver_));
+      if (c) stack.push_back(std::move(c));
+    }
   }
   resolver_.ReplacePinnedBase(state_seq, std::move(pinned));
   // States older than the pin would resolve through the truncated prefix;

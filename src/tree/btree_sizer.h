@@ -43,6 +43,7 @@ class CowBtreeSizer {
 
   int height() const { return height_; }
   uint64_t leaf_count() const { return leaves_; }
+  uint64_t entries_per_leaf() const { return entries_per_leaf_; }
 
  private:
   uint64_t db_size_;
@@ -54,6 +55,23 @@ class CowBtreeSizer {
   std::vector<uint64_t> level_width_;  ///< Nodes per level, root first.
   uint64_t entries_per_leaf_;
 };
+
+/// Wide-node slab-class selection (the runtime counterpart of the sizing
+/// model above, shared with tree/node_pool): requested fanouts round up to
+/// one of these slot capacities, so every wide extent comes from one of
+/// `kWideSlabClassCount` fixed-slot-size arenas regardless of the fanout
+/// mix a process runs with.
+inline constexpr int kWideSlabClassCaps[] = {16, 32, 64};
+inline constexpr int kWideSlabClassCount = 3;
+
+/// The class index for a requested fanout. Fanouts must be in
+/// [3, kWideSlabClassCaps[last]]; 2 is the binary layout, not a wide class.
+int WideSlabClassIndex(int fanout);
+/// The slot capacity of that class (the rounded-up fanout).
+int WideSlabClassCap(int fanout);
+/// Extent bytes of one block in class `class_index` — the arena's slot
+/// size (WideExtentBytes of the class capacity).
+size_t WideSlabClassBytes(int class_index);
 
 }  // namespace hyder
 

@@ -43,6 +43,7 @@ enum NodeFlags : uint8_t {
 enum class Color : uint8_t { kRed = 0, kBlack = 1 };
 
 class Node;
+class WideExt;
 
 /// Increments the reference count. `n` may be null.
 inline void NodeRef(Node* n);
@@ -210,6 +211,131 @@ class ChildSlot {
   VersionId vn_{};
 };
 
+/// Per-slot meld metadata of a wide node: the provenance triple a binary
+/// node carries per node (`ssv` / `base_cv` / `cv`), plus the
+/// Altered/DependsOn flags, moved to slot granularity so premeld and final
+/// meld run their conflict checks per key slot instead of per page. Slot
+/// *identity* is (page vn, slot index); slot *content* identity is `cv`,
+/// always a logged id, exactly as for binary nodes.
+struct WideSlotMeta {
+  VersionId ssv{};
+  VersionId base_cv{};
+  VersionId cv{};
+  uint8_t flags = 0;
+};
+
+/// One key slot of a wide node: key, payload and per-slot meld metadata.
+/// Payload storage mirrors Node's inline/heap scheme (kNodeInlinePayloadCap
+/// bytes inline in the slot, heap fallback beyond).
+class WideSlot {
+ public:
+  WideSlot() = default;
+  ~WideSlot() {
+    if (heap_cap_ != 0) {
+      delete[] pay_.heap;
+      CountPayloadHeapFree();
+    }
+  }
+
+  WideSlot(const WideSlot&) = delete;
+  WideSlot& operator=(const WideSlot&) = delete;
+
+  Key key = 0;
+  WideSlotMeta meta;
+
+  std::string_view payload() const {
+    return size_ <= kNodeInlinePayloadCap
+               ? std::string_view(pay_.inline_buf, size_)
+               : std::string_view(pay_.heap, size_);
+  }
+  void set_payload(std::string_view p);
+
+  bool altered() const { return meta.flags & kFlagAltered; }
+  bool read_dependent() const { return meta.flags & kFlagRead; }
+
+  /// Steals `o`'s payload buffer along with key and metadata (slot shifts
+  /// inside one private page). `o` is left empty.
+  void MoveFrom(WideSlot& o);
+  /// Duplicates key, metadata and payload bytes (page clones and the
+  /// deletion relocation).
+  void CopyFrom(const WideSlot& o);
+  /// Resets to the default-constructed state, freeing any heap payload.
+  void Clear();
+
+ private:
+  union Payload {
+    char inline_buf[kNodeInlinePayloadCap];
+    char* heap;
+  } pay_;
+  uint32_t size_ = 0;
+  uint32_t heap_cap_ = 0;
+};
+
+/// The wide extension of a Node: up to `cap` sorted key slots plus `cap`+1
+/// child edges, allocated as one size-classed extent from the node arena
+/// (see node_pool.h / btree_sizer.h). Child `i` roots the subtree of keys
+/// strictly between slot `i-1` and slot `i` (classic B-tree intervals);
+/// `count` live slots occupy indices [0, count) and children [0, count]
+/// are meaningful. Per-gap read flags record range-scan / miss structural
+/// dependencies at sub-page granularity — the wide-layout analog of
+/// kFlagSubtreeRead on an absent binary subtree.
+class WideExt {
+ public:
+  int cap() const { return cap_; }
+  int count() const { return count_; }
+  void set_count(int c) { count_ = static_cast<uint16_t>(c); }
+
+  WideSlot& slot(int i) { return slots_[i]; }
+  const WideSlot& slot(int i) const { return slots_[i]; }
+  ChildSlot& child(int i) { return children_[i]; }
+  const ChildSlot& child(int i) const { return children_[i]; }
+
+  bool gap_read(int i) const { return gap_read_[i] != 0; }
+  void set_gap_read(int i, bool v) { gap_read_[i] = v ? 1 : 0; }
+  bool any_gap_read() const {
+    for (int i = 0; i <= count_; ++i) {
+      if (gap_read_[i]) return true;
+    }
+    return false;
+  }
+  void clear_gap_reads() {
+    for (int i = 0; i <= count_; ++i) gap_read_[i] = 0;
+  }
+
+  /// Opens slot `pos`, shifting slots [pos, count) and children/gaps
+  /// (pos, count] one step right. Child `pos+1` comes out as a null edge
+  /// with a clear gap flag; the caller fills slot `pos` (and rewires
+  /// children pos / pos+1 when splitting). Requires count < cap.
+  void OpenSlot(int pos);
+  /// Removes slot `pos` together with child `child_pos` (pos or pos+1;
+  /// must be a null edge), closing the arrays. The two gaps flanking the
+  /// removed slot merge; their read flags OR together — a structural
+  /// dependency on either sub-interval becomes one on the merged interval.
+  void CloseSlot(int pos, int child_pos);
+
+ private:
+  friend WideExt* CreateWideExt(int fanout);
+  friend void DestroyWideExt(WideExt* ext);
+
+  uint16_t cap_ = 0;
+  uint16_t count_ = 0;
+  /// Arrays live in the same extent, directly after this header.
+  WideSlot* slots_ = nullptr;       ///< `cap` entries.
+  ChildSlot* children_ = nullptr;   ///< `cap`+1 entries.
+  uint8_t* gap_read_ = nullptr;     ///< `cap`+1 bytes.
+};
+
+/// Allocates and constructs a wide extension with `fanout` key slots from
+/// the size-classed extent arena (btree_sizer picks the class).
+WideExt* CreateWideExt(int fanout);
+/// Destroys slots/children and returns the extent to its arena class.
+void DestroyWideExt(WideExt* ext);
+
+/// Bytes of the one-block extent backing a WideExt of `cap` slots (header
+/// plus the three trailing arrays). btree_sizer rounds capacities up to a
+/// slab class and sizes the class arenas with this.
+size_t WideExtentBytes(int cap);
+
 /// One immutable version of one key's node in the multi-versioned tree.
 ///
 /// Metadata semantics (see DESIGN.md "The meld operator"):
@@ -230,11 +356,18 @@ class Node {
     SetPayload(payload);
   }
 
+  /// Wide-layout node: key slots and per-slot metadata live in `ext`; the
+  /// node-level `key_`/payload/color fields are unused. Node-level `vn`,
+  /// `ssv`, `owner` and flags keep their meaning at page granularity
+  /// (kFlagSubtreeRead = the page's structural-read mark).
+  explicit Node(WideExt* ext) : key_(0), wide_(ext) {}
+
   ~Node() {
     if (heap_cap_ != 0) {
       delete[] pay_.heap;
       CountPayloadHeapFree();
     }
+    if (wide_ != nullptr) DestroyWideExt(wide_);
   }
 
   Node(const Node&) = delete;
@@ -286,6 +419,49 @@ class Node {
   ChildSlot& child(bool right_side) { return right_side ? right_ : left_; }
   const ChildSlot& child(bool right_side) const {
     return right_side ? right_ : left_;
+  }
+
+  bool is_wide() const { return wide_ != nullptr; }
+  WideExt* wide() { return wide_; }
+  const WideExt* wide() const { return wide_; }
+
+  /// Layout-generic child iteration for walkers (destruction, checkpoint,
+  /// registries): binary nodes expose {left, right}, wide nodes expose
+  /// their `count`+1 edges.
+  int child_count() const { return wide_ ? wide_->count() + 1 : 2; }
+  ChildSlot& child_at(int i) {
+    return wide_ ? wide_->child(i) : (i == 0 ? left_ : right_);
+  }
+  const ChildSlot& child_at(int i) const {
+    return wide_ ? wide_->child(i) : (i == 0 ? left_ : right_);
+  }
+
+  /// The page's structural-read mark: the page-level kFlagSubtreeRead or
+  /// any per-gap read flag. Meld's wide phantom check keys off this.
+  bool page_structural_read() const {
+    return subtree_read() || (wide_ != nullptr && wide_->any_gap_read());
+  }
+
+  /// Optimistic read validation (OLC-style seqlock). The version word is
+  /// even when the node is stable and odd while a writer mutates it in
+  /// place. In-place mutation is only legal on unpublished (executor- or
+  /// meld-private) nodes, but a snapshot reader can race the *executor's
+  /// own* later writes inside one transaction when reads are not
+  /// annotated, and validate.cc probes stability; readers take a version
+  /// before reading and re-check it after instead of locking.
+  uint64_t OlcReadBegin() const {
+    uint64_t v = olc_.load(std::memory_order_acquire);
+    while (v & 1) v = olc_.load(std::memory_order_acquire);
+    return v;
+  }
+  bool OlcReadValidate(uint64_t v) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return olc_.load(std::memory_order_relaxed) == v;
+  }
+  void OlcWriteBegin() { olc_.fetch_add(1, std::memory_order_acq_rel); }
+  void OlcWriteEnd() { olc_.fetch_add(1, std::memory_order_release); }
+  uint64_t olc_version() const {
+    return olc_.load(std::memory_order_acquire);
   }
 
   uint32_t RefCount() const { return refs_.load(std::memory_order_acquire); }
@@ -341,8 +517,25 @@ class Node {
   } pay_;
   uint32_t payload_size_ = 0;
   uint32_t heap_cap_ = 0;
+  /// Non-null for wide-layout nodes; owned (freed with the node).
+  WideExt* wide_ = nullptr;
+  /// OLC version word; see OlcReadBegin.
+  mutable std::atomic<uint64_t> olc_{0};
   ChildSlot left_;
   ChildSlot right_;
+};
+
+/// RAII writer bump around in-place mutation of a private node, pairing
+/// OlcWriteBegin/OlcWriteEnd so concurrent optimistic readers retry.
+class OlcWriteGuard {
+ public:
+  explicit OlcWriteGuard(Node* n) : n_(n) { n_->OlcWriteBegin(); }
+  ~OlcWriteGuard() { n_->OlcWriteEnd(); }
+  OlcWriteGuard(const OlcWriteGuard&) = delete;
+  OlcWriteGuard& operator=(const OlcWriteGuard&) = delete;
+
+ private:
+  Node* const n_;
 };
 
 inline void NodeRef(Node* n) {
@@ -360,6 +553,10 @@ uint64_t LiveNodeCount();
 /// Allocates a node from the slab pool, tracked by `LiveNodeCount`. All
 /// node creation in the library goes through this helper.
 NodePtr MakeNode(Key key, std::string_view payload);
+
+/// Allocates an empty wide-layout node with `fanout` key slots (node slot
+/// plus a size-classed extent for the slot/child arrays).
+NodePtr MakeWideNode(int fanout);
 
 }  // namespace hyder
 

@@ -5,6 +5,7 @@
 
 #include "common/arena.h"
 #include "common/registry.h"
+#include "tree/btree_sizer.h"
 #include "tree/node.h"
 
 namespace hyder {
@@ -17,6 +18,8 @@ std::atomic<uint64_t> g_live{0};
 std::atomic<uint64_t> g_allocated{0};
 std::atomic<uint64_t> g_payload_heap_allocs{0};
 std::atomic<uint64_t> g_payload_heap_frees{0};
+std::atomic<uint64_t> g_wide_live{0};
+std::atomic<uint64_t> g_wide_allocated{0};
 
 #ifndef HYDER_DISABLE_NODE_POOL
 
@@ -54,6 +57,27 @@ ThreadCache& Cache() {
   return cache;
 }
 
+#endif  // HYDER_DISABLE_NODE_POOL
+
+#ifndef HYDER_DISABLE_NODE_POOL
+/// Per-class extent arenas for wide nodes. Extents are rarer and larger
+/// than node slots (one per wide node vs. one per key in the binary
+/// layout), so they go straight to the shared arenas — no thread cache.
+/// Also deliberately leaked, for the same static-destruction-order reason
+/// as the node arena.
+SlotArena& WideArena(int class_index) {
+  static SlotArena* arenas[kWideSlabClassCount];
+  static const bool init = [] {
+    for (int i = 0; i < kWideSlabClassCount; ++i) {
+      arenas[i] = new SlotArena(SlotArena::Options{
+          WideSlabClassBytes(i), alignof(std::max_align_t),
+          /*slots_per_slab=*/128});
+    }
+    return true;
+  }();
+  (void)init;
+  return *arenas[class_index];
+}
 #endif  // HYDER_DISABLE_NODE_POOL
 
 }  // namespace
@@ -112,6 +136,8 @@ ArenaStats NodeArenaStats() {
   s.allocated = g_allocated.load(std::memory_order_relaxed);
   s.payload_heap_allocs = g_payload_heap_allocs.load(std::memory_order_relaxed);
   s.payload_heap_frees = g_payload_heap_frees.load(std::memory_order_relaxed);
+  s.wide_live = g_wide_live.load(std::memory_order_relaxed);
+  s.wide_allocated = g_wide_allocated.load(std::memory_order_relaxed);
 #ifndef HYDER_DISABLE_NODE_POOL
   SlotArena::Stats a = Arena().stats();
   s.slabs = a.slabs;
@@ -146,6 +172,29 @@ void CountPayloadHeapAlloc() {
 
 void CountPayloadHeapFree() {
   g_payload_heap_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* AllocateWideExtent(int fanout) {
+  g_wide_allocated.fetch_add(1, std::memory_order_relaxed);
+  g_wide_live.fetch_add(1, std::memory_order_relaxed);
+#ifdef HYDER_DISABLE_NODE_POOL
+  return ::operator new(WideSlabClassBytes(WideSlabClassIndex(fanout)),
+                        std::align_val_t(alignof(std::max_align_t)));
+#else
+  void* block = nullptr;
+  WideArena(WideSlabClassIndex(fanout)).AllocateBatch(&block, 1);
+  return block;
+#endif
+}
+
+void ReleaseWideExtent(void* extent, int fanout) {
+  g_wide_live.fetch_sub(1, std::memory_order_relaxed);
+#ifdef HYDER_DISABLE_NODE_POOL
+  (void)fanout;
+  ::operator delete(extent, std::align_val_t(alignof(std::max_align_t)));
+#else
+  WideArena(WideSlabClassIndex(fanout)).DeallocateBatch(&extent, 1);
+#endif
 }
 
 uint64_t LiveNodeCount() { return g_live.load(std::memory_order_relaxed); }

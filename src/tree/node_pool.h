@@ -54,6 +54,14 @@ size_t TrimNodeArena();
 void CountPayloadHeapAlloc();
 void CountPayloadHeapFree();
 
+/// Wide-node extent allocation: one block per wide node holding its slot,
+/// child and gap-flag arrays. Blocks come from per-class SlotArenas whose
+/// capacities btree_sizer rounds requested fanouts up to (WideSlabClassCap),
+/// so processes mixing fanouts share a handful of arenas instead of one
+/// per fanout. Counted in ArenaStats (`wide_live` / `wide_allocated`).
+void* AllocateWideExtent(int fanout);
+void ReleaseWideExtent(void* extent, int fanout);
+
 }  // namespace hyder
 
 #endif  // HYDER2_TREE_NODE_POOL_H_

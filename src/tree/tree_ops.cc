@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "tree/wide_ops.h"
+
 namespace hyder {
 
 namespace {
@@ -27,6 +29,14 @@ void BumpVisited(const CowContext& ctx) {
 }
 void BumpCreated(const CowContext& ctx) {
   if (ctx.stats != nullptr) ++ctx.stats->nodes_created;
+}
+
+/// Layout dispatch: operations on a non-empty tree follow the root's
+/// actual layout; on an empty tree `ctx.fanout` decides which layout roots
+/// it (> 2 selects the wide layout, see wide_ops.h).
+Result<bool> RootIsWide(const CowContext& ctx, const Ref& root) {
+  HYDER_ASSIGN_OR_RETURN(NodePtr r, ResolveRefValue(root, ctx.resolver));
+  return r ? r->is_wide() : ctx.fanout > 2;
 }
 
 /// Links `n` into the slot the descent would have placed it: the last path
@@ -197,6 +207,7 @@ Result<NodePtr> CloneForWrite(const CowContext& ctx, const NodePtr& n) {
   if (!n) return NodePtr();
   assert(ctx.owner != 0 && "CowContext.owner must be non-zero");
   if (n->owner() == ctx.owner) return n;  // Already private to this context.
+  if (n->is_wide()) return CloneWideForWrite(ctx, n);
   NodePtr m = MakeNode(n->key(), n->payload());
   m->set_color(n->color());
   m->set_owner(ctx.owner);
@@ -233,6 +244,10 @@ Result<NodePtr> ResolveChild(const ChildSlot& slot, NodeResolver* resolver) {
 
 Result<Ref> TreeInsert(const CowContext& ctx, const Ref& root, Key key,
                        std::string_view payload, bool* existed) {
+  {
+    HYDER_ASSIGN_OR_RETURN(bool wide, RootIsWide(ctx, root));
+    if (wide) return WideInsert(ctx, root, key, payload, existed);
+  }
   std::vector<PathEntry> path;
   Ref newroot = Ref::Null();
   HYDER_ASSIGN_OR_RETURN(NodePtr cur, ResolveRefValue(root, ctx.resolver));
@@ -242,6 +257,7 @@ Result<Ref> TreeInsert(const CowContext& ctx, const Ref& root, Key key,
     HYDER_ASSIGN_OR_RETURN(NodePtr c, CloneForWrite(ctx, cur));
     Attach(path, c, &newroot);
     if (key == c->key()) {
+      OlcWriteGuard wg(c.get());
       c->set_payload(std::move(payload));
       c->set_flags(c->flags() | kFlagAltered);
       c->set_cv(VersionId());  // Provisional; becomes the node's own logged
@@ -272,6 +288,13 @@ Result<Ref> TreeInsert(const CowContext& ctx, const Ref& root, Key key,
 Result<Ref> TreeRemove(const CowContext& ctx, const Ref& root, Key key,
                        bool* removed, VersionId* removed_base_cv,
                        VersionId* removed_ssv) {
+  {
+    HYDER_ASSIGN_OR_RETURN(bool wide, RootIsWide(ctx, root));
+    if (wide) {
+      return WideRemove(ctx, root, key, removed, removed_base_cv,
+                        removed_ssv);
+    }
+  }
   // Probe first so a miss leaves the tree untouched (no path copies for a
   // no-op delete).
   {
@@ -335,6 +358,7 @@ Result<Ref> TreeRemove(const CowContext& ctx, const Ref& root, Key key,
     // color and children; the relocated version keeps its provenance so the
     // successor key's conflict history is preserved.
     Node* d = z.get();
+    OlcWriteGuard wg(d);
     d->set_payload(y->payload());
     d->set_ssv(y->ssv());
     d->set_base_cv(y->base_cv());
@@ -383,17 +407,33 @@ Result<Ref> TreeRemove(const CowContext& ctx, const Ref& root, Key key,
 
 Result<Ref> TreeLookup(const CowContext& ctx, const Ref& root, Key key,
                        std::optional<std::string>* payload) {
+  {
+    HYDER_ASSIGN_OR_RETURN(bool wide, RootIsWide(ctx, root));
+    if (wide) return WideLookup(ctx, root, key, payload);
+  }
   *payload = std::nullopt;
   if (!ctx.annotate_reads) {
     HYDER_ASSIGN_OR_RETURN(NodePtr cur, ResolveRefValue(root, ctx.resolver));
     while (cur) {
       BumpVisited(ctx);
-      if (cur->key() == key) {
-        *payload = cur->payload();
+      // Optimistic read validation: take the node's version, read, then
+      // re-check before trusting the values (OLC-style seqlock; see
+      // Node::OlcReadBegin).
+      for (;;) {
+        const uint64_t v = cur->OlcReadBegin();
+        const Key k = cur->key();
+        if (k == key) {
+          std::string val(cur->payload());
+          if (!cur->OlcReadValidate(v)) continue;
+          *payload = std::move(val);
+          return root;
+        }
+        HYDER_ASSIGN_OR_RETURN(NodePtr nxt,
+                               cur->child(key > k).Get(ctx.resolver));
+        if (!cur->OlcReadValidate(v)) continue;
+        cur = std::move(nxt);
         break;
       }
-      HYDER_ASSIGN_OR_RETURN(cur,
-                             cur->child(key > cur->key()).Get(ctx.resolver));
     }
     return root;
   }
@@ -510,6 +550,10 @@ Result<Ref> TreeRangeScan(const CowContext& ctx, const Ref& root, Key lo,
                           Key hi,
                           std::vector<std::pair<Key, std::string>>* out) {
   if (lo > hi) return root;
+  {
+    HYDER_ASSIGN_OR_RETURN(bool wide, RootIsWide(ctx, root));
+    if (wide) return WideRangeScan(ctx, root, lo, hi, out);
+  }
   return ScanRec(ctx, root, lo, hi, std::nullopt, std::nullopt, out);
 }
 

@@ -15,12 +15,19 @@ struct TreeCheck {
   uint64_t node_count = 0;
   uint32_t height = 0;
   int black_height = 0;  ///< -1 when the black-height invariant is violated.
+                         ///< Always 0 for wide-layout trees.
   bool bst_ok = false;
-  bool rb_ok = false;  ///< Red-black invariants (root black, no red-red,
-                       ///< equal black heights).
+  bool rb_ok = false;  ///< Layout invariants. Binary: red-black (root black,
+                       ///< no red-red, equal black heights). Wide: every
+                       ///< reachable page holds 1..cap sorted slots and no
+                       ///< binary node appears below a wide page.
+  bool wide = false;   ///< The root (and hence the tree) uses the wide layout.
+  bool olc_stable = true;  ///< Every node's OLC version word was even (no
+                           ///< writer mid-mutation) when visited.
 };
 
-/// Walks the whole tree checking BST ordering and red-black invariants.
+/// Walks the whole tree checking key ordering and the layout's structural
+/// invariants (red-black for binary trees, page-shape for wide trees).
 /// Resolves lazy edges through `resolver` (may be null for materialized
 /// trees). Intended for tests; cost is O(n).
 Result<TreeCheck> ValidateTree(NodeResolver* resolver, const Ref& root);

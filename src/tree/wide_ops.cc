@@ -1,0 +1,528 @@
+#include "tree/wide_ops.h"
+
+#include <cassert>
+
+namespace hyder {
+
+namespace {
+
+Result<NodePtr> ResolveRefValue(const Ref& r, NodeResolver* resolver) {
+  if (r.node) return r.node;
+  if (r.vn.IsNull()) return NodePtr();
+  if (resolver == nullptr) {
+    return Status::Internal("lazy reference with no resolver");
+  }
+  return resolver->Resolve(r.vn);
+}
+
+void BumpVisited(const CowContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->nodes_visited;
+}
+void BumpCreated(const CowContext& ctx) {
+  if (ctx.stats != nullptr) ++ctx.stats->nodes_created;
+}
+
+bool IsFull(const Node& page) {
+  return page.wide()->count() == page.wide()->cap();
+}
+
+/// Stamps a freshly opened slot as an insert of `key`: null provenance
+/// (the key did not exist in the source state) and a provisional null cv,
+/// replaced by the page's own logged vn at deserialization.
+void FillFreshSlot(WideSlot& s, Key key, std::string_view payload) {
+  s.key = key;
+  s.meta = WideSlotMeta{};
+  s.meta.flags = kFlagAltered;
+  s.set_payload(payload);
+}
+
+/// Marks an existing slot as updated by this transaction.
+void MarkSlotAltered(WideSlot& s, std::string_view payload) {
+  s.set_payload(payload);
+  s.meta.flags |= kFlagAltered;
+  s.meta.cv = VersionId();  // Provisional, like the binary upsert.
+}
+
+/// Splits the full private page at `parent`'s gap `g` (whose child edge
+/// must already point at the private clone `full`): the median slot moves
+/// up into `parent` (which must have room — preemptive splitting
+/// guarantees it), the slots above the median move to a fresh right page,
+/// and `full` keeps the lower half.
+///
+/// Mark folding: the two half-pages cannot keep their structural anchors —
+/// a half covers only part of the base interval its source page covered,
+/// so its `ssv` would let the meld graft or phantom-check against the
+/// wrong interval. Both halves therefore clear their page `ssv` and all
+/// structural-read marks; the marks move onto the parent's two new gaps,
+/// which the parent's own `ssv` anchors soundly (copy-on-write propagates
+/// any base change below the gap up to the parent's source page).
+Status SplitChildAt(const CowContext& ctx, Node* parent, int g,
+                    const NodePtr& full) {
+  WideExt& fe = *full->wide();
+  const int n = fe.count();
+  const int mid = n / 2;
+  const bool child_marks = full->page_structural_read();
+
+  NodePtr right = NewWidePage(ctx, fe.cap());
+  WideExt& re = *right->wide();
+  re.set_count(n - mid - 1);
+  for (int j = mid + 1; j < n; ++j) re.slot(j - mid - 1).MoveFrom(fe.slot(j));
+  for (int j = mid + 1; j <= n; ++j) {
+    re.child(j - mid - 1).Reset(fe.child(j).GetLocal());
+    fe.child(j).Reset(Ref::Null());
+  }
+
+  WideExt& pe = *parent->wide();
+  const bool gap_mark = pe.gap_read(g);
+  pe.OpenSlot(g);
+  pe.slot(g).MoveFrom(fe.slot(mid));
+  fe.set_count(mid);
+
+  pe.child(g).Reset(Ref::To(full));
+  pe.child(g + 1).Reset(Ref::To(right));
+  // The original gap's dependency covered the whole child interval; both
+  // sub-gaps inherit it, plus any marks folded up from the split child.
+  pe.set_gap_read(g, gap_mark || child_marks);
+  pe.set_gap_read(g + 1, gap_mark || child_marks);
+
+  full->set_ssv(VersionId());
+  full->set_flags(full->flags() & ~kFlagSubtreeRead);
+  fe.clear_gap_reads();
+  // `right` is fresh: null ssv and no marks already.
+  return Status::OK();
+}
+
+}  // namespace
+
+NodePtr NewWidePage(const CowContext& ctx, int cap) {
+  NodePtr p = MakeWideNode(cap);
+  p->set_owner(ctx.owner);
+  if (ctx.vn_alloc != nullptr) ctx.vn_alloc->Assign(p);
+  BumpCreated(ctx);
+  return p;
+}
+
+WideFind WideSearchPage(const Node& page, Key key) {
+  const WideExt& e = *page.wide();
+  int i = 0;
+  while (i < e.count() && e.slot(i).key < key) ++i;
+  if (i < e.count() && e.slot(i).key == key) return WideFind{true, i};
+  return WideFind{false, i};
+}
+
+Result<NodePtr> CloneWideForWrite(const CowContext& ctx, const NodePtr& n) {
+  const WideExt& src = *n->wide();
+  NodePtr m = MakeWideNode(src.cap());
+  m->set_owner(ctx.owner);
+  bool preserve = false;
+  if (ctx.preserve_owners != nullptr) {
+    for (uint64_t tag : *ctx.preserve_owners) {
+      if (n->owner() == tag) {
+        preserve = true;
+        break;
+      }
+    }
+  }
+  if (preserve) {
+    m->set_ssv(n->ssv());
+    m->set_flags(n->flags());
+  } else {
+    m->set_ssv(n->vn());
+    m->set_flags(0);
+  }
+  WideExt& dst = *m->wide();
+  dst.set_count(src.count());
+  for (int i = 0; i < src.count(); ++i) {
+    WideSlot& d = dst.slot(i);
+    d.CopyFrom(src.slot(i));
+    if (!preserve) {
+      // Rebase the slot against its source exactly as the binary clone
+      // rebases the node: provenance points at the source version, the
+      // observed content is the source's current content, flags clear.
+      d.meta.ssv = n->vn();
+      d.meta.base_cv = src.slot(i).meta.cv;
+      d.meta.cv = src.slot(i).meta.cv;
+      d.meta.flags = 0;
+    }
+  }
+  for (int i = 0; i <= src.count(); ++i) {
+    dst.child(i).Reset(src.child(i).GetLocal());
+    dst.set_gap_read(i, preserve && src.gap_read(i));
+  }
+  if (ctx.vn_alloc != nullptr) ctx.vn_alloc->Assign(m);
+  BumpCreated(ctx);
+  return m;
+}
+
+Result<Ref> WideInsert(const CowContext& ctx, const Ref& root, Key key,
+                       std::string_view payload, bool* existed) {
+  if (existed != nullptr) *existed = false;
+  assert(ctx.owner != 0 && "CowContext.owner must be non-zero");
+  HYDER_ASSIGN_OR_RETURN(NodePtr r, ResolveRefValue(root, ctx.resolver));
+
+  if (!r) {
+    NodePtr page = NewWidePage(ctx, ctx.fanout);
+    WideExt& e = *page->wide();
+    e.OpenSlot(0);
+    FillFreshSlot(e.slot(0), key, payload);
+    return Ref::To(page);
+  }
+
+  // Probe for the key before touching anything: a pure update never adds a
+  // slot, so it never needs the preemptive splits below. Splitting full
+  // pages on an update path would needlessly diverge the workspace layout
+  // from the snapshot's, pushing every later meld of this intention off the
+  // aligned slot-by-slot path and into the split machinery.
+  bool update = false;
+  {
+    NodePtr probe = r;
+    while (probe) {
+      const WideFind f = WideSearchPage(*probe, key);
+      if (f.found) {
+        update = true;
+        break;
+      }
+      if (probe->wide()->child(f.index).IsNullEdge()) break;
+      HYDER_ASSIGN_OR_RETURN(probe,
+                             probe->wide()->child(f.index).Get(ctx.resolver));
+    }
+  }
+
+  BumpVisited(ctx);
+  HYDER_ASSIGN_OR_RETURN(NodePtr c, CloneForWrite(ctx, r));
+  Ref newroot = Ref::To(c);
+  if (!update && IsFull(*c)) {
+    // Preemptive root split: a fresh zero-slot root takes the clone as its
+    // only child, then splits it, leaving room on the descent below.
+    NodePtr nr = NewWidePage(ctx, c->wide()->cap());
+    nr->wide()->child(0).Reset(Ref::To(c));
+    HYDER_RETURN_IF_ERROR(SplitChildAt(ctx, nr.get(), 0, c));
+    newroot = Ref::To(nr);
+    c = nr;
+  }
+
+  NodePtr cur = c;
+  while (true) {
+    WideExt& e = *cur->wide();
+    const WideFind f = WideSearchPage(*cur, key);
+    if (f.found) {
+      OlcWriteGuard wg(cur.get());
+      MarkSlotAltered(e.slot(f.index), payload);
+      if (existed != nullptr) *existed = true;
+      return newroot;
+    }
+    int g = f.index;
+    if (e.child(g).IsNullEdge()) {
+      OlcWriteGuard wg(cur.get());
+      e.OpenSlot(g);
+      FillFreshSlot(e.slot(g), key, payload);
+      return newroot;
+    }
+    HYDER_ASSIGN_OR_RETURN(NodePtr child, e.child(g).Get(ctx.resolver));
+    BumpVisited(ctx);
+    HYDER_ASSIGN_OR_RETURN(NodePtr cc, CloneForWrite(ctx, child));
+    e.child(g).Reset(Ref::To(cc));
+    if (!update && IsFull(*cc)) {
+      OlcWriteGuard wg(cur.get());
+      HYDER_RETURN_IF_ERROR(SplitChildAt(ctx, cur.get(), g, cc));
+      const Key median = e.slot(g).key;
+      if (key == median) {
+        MarkSlotAltered(e.slot(g), payload);
+        if (existed != nullptr) *existed = true;
+        return newroot;
+      }
+      g = key < median ? g : g + 1;
+      HYDER_ASSIGN_OR_RETURN(cc, e.child(g).Get(ctx.resolver));
+    }
+    cur = std::move(cc);
+  }
+}
+
+Result<Ref> WideRemove(const CowContext& ctx, const Ref& root, Key key,
+                       bool* removed, VersionId* removed_base_cv,
+                       VersionId* removed_ssv) {
+  if (removed != nullptr) *removed = false;
+  assert(ctx.owner != 0 && "CowContext.owner must be non-zero");
+  // Probe first so a miss leaves the tree untouched.
+  {
+    HYDER_ASSIGN_OR_RETURN(NodePtr probe, ResolveRefValue(root, ctx.resolver));
+    bool present = false;
+    while (probe) {
+      BumpVisited(ctx);
+      const WideFind f = WideSearchPage(*probe, key);
+      if (f.found) {
+        present = true;
+        break;
+      }
+      if (probe->wide()->child(f.index).IsNullEdge()) break;
+      HYDER_ASSIGN_OR_RETURN(probe,
+                             probe->wide()->child(f.index).Get(ctx.resolver));
+    }
+    if (!present) return root;
+  }
+  if (removed != nullptr) *removed = true;
+
+  struct PathEntry {
+    NodePtr page;
+    int child;
+  };
+  std::vector<PathEntry> path;
+
+  HYDER_ASSIGN_OR_RETURN(NodePtr r, ResolveRefValue(root, ctx.resolver));
+  HYDER_ASSIGN_OR_RETURN(NodePtr cur, CloneForWrite(ctx, r));
+  Ref newroot = Ref::To(cur);
+  NodePtr tpage;
+  int tidx = 0;
+  while (true) {
+    const WideFind f = WideSearchPage(*cur, key);
+    if (f.found) {
+      tpage = cur;
+      tidx = f.index;
+      break;
+    }
+    HYDER_ASSIGN_OR_RETURN(NodePtr ch,
+                           cur->wide()->child(f.index).Get(ctx.resolver));
+    HYDER_ASSIGN_OR_RETURN(NodePtr cc, CloneForWrite(ctx, ch));
+    cur->wide()->child(f.index).Reset(Ref::To(cc));
+    path.push_back(PathEntry{cur, f.index});
+    cur = std::move(cc);
+  }
+  if (removed_base_cv != nullptr) {
+    *removed_base_cv = tpage->wide()->slot(tidx).meta.base_cv;
+  }
+  if (removed_ssv != nullptr) {
+    *removed_ssv = tpage->wide()->slot(tidx).meta.ssv;
+  }
+
+  // Pull successor (or predecessor) slots down until the doomed slot sits
+  // between two null edges. Each relocation copies the replacement slot's
+  // key, payload and metadata wholesale — the wide analog of the binary
+  // two-children relocation, which preserves the replacement key's
+  // conflict history.
+  while (!(tpage->wide()->child(tidx).IsNullEdge() &&
+           tpage->wide()->child(tidx + 1).IsNullEdge())) {
+    NodePtr q;
+    if (!tpage->wide()->child(tidx + 1).IsNullEdge()) {
+      // Successor: leftmost slot of the right subtree.
+      HYDER_ASSIGN_OR_RETURN(NodePtr ch,
+                             tpage->wide()->child(tidx + 1).Get(ctx.resolver));
+      BumpVisited(ctx);
+      HYDER_ASSIGN_OR_RETURN(q, CloneForWrite(ctx, ch));
+      tpage->wide()->child(tidx + 1).Reset(Ref::To(q));
+      path.push_back(PathEntry{tpage, tidx + 1});
+      while (!q->wide()->child(0).IsNullEdge()) {
+        HYDER_ASSIGN_OR_RETURN(NodePtr nx,
+                               q->wide()->child(0).Get(ctx.resolver));
+        BumpVisited(ctx);
+        HYDER_ASSIGN_OR_RETURN(NodePtr nc, CloneForWrite(ctx, nx));
+        q->wide()->child(0).Reset(Ref::To(nc));
+        path.push_back(PathEntry{q, 0});
+        q = std::move(nc);
+      }
+      OlcWriteGuard wg(tpage.get());
+      tpage->wide()->slot(tidx).CopyFrom(q->wide()->slot(0));
+      tpage = q;
+      tidx = 0;
+    } else {
+      // Predecessor: rightmost slot of the left subtree.
+      HYDER_ASSIGN_OR_RETURN(NodePtr ch,
+                             tpage->wide()->child(tidx).Get(ctx.resolver));
+      BumpVisited(ctx);
+      HYDER_ASSIGN_OR_RETURN(q, CloneForWrite(ctx, ch));
+      tpage->wide()->child(tidx).Reset(Ref::To(q));
+      path.push_back(PathEntry{tpage, tidx});
+      while (!q->wide()->child(q->wide()->count()).IsNullEdge()) {
+        const int last = q->wide()->count();
+        HYDER_ASSIGN_OR_RETURN(NodePtr nx,
+                               q->wide()->child(last).Get(ctx.resolver));
+        BumpVisited(ctx);
+        HYDER_ASSIGN_OR_RETURN(NodePtr nc, CloneForWrite(ctx, nx));
+        q->wide()->child(last).Reset(Ref::To(nc));
+        path.push_back(PathEntry{q, last});
+        q = std::move(nc);
+      }
+      OlcWriteGuard wg(tpage.get());
+      tpage->wide()->slot(tidx).CopyFrom(
+          q->wide()->slot(q->wide()->count() - 1));
+      tpage = q;
+      tidx = q->wide()->count() - 1;
+    }
+  }
+
+  {
+    OlcWriteGuard wg(tpage.get());
+    tpage->wide()->CloseSlot(tidx, tidx);
+  }
+
+  // A page emptied of slots collapses into its single remaining child.
+  // Its structural marks fold into the parent's gap (or, at the root,
+  // into the child's page-level mark) so read dependencies survive.
+  if (tpage->wide()->count() == 0) {
+    Ref child = tpage->wide()->child(0).GetLocal();
+    const bool marks = tpage->page_structural_read();
+    if (path.empty()) {
+      if (marks && !child.IsNull()) {
+        HYDER_ASSIGN_OR_RETURN(NodePtr cn,
+                               ResolveRefValue(child, ctx.resolver));
+        HYDER_ASSIGN_OR_RETURN(NodePtr cc, CloneForWrite(ctx, cn));
+        cc->set_flags(cc->flags() | kFlagSubtreeRead);
+        child = Ref::To(cc);
+      }
+      // An emptied tree with structural marks has nowhere to carry them;
+      // the same corner exists for the binary layout's empty-tree reads.
+      newroot = std::move(child);
+    } else {
+      PathEntry& pe = path.back();
+      OlcWriteGuard wg(pe.page.get());
+      pe.page->wide()->child(pe.child).Reset(std::move(child));
+      if (marks) pe.page->wide()->set_gap_read(pe.child, true);
+    }
+  }
+  return newroot;
+}
+
+Result<Ref> WideLookup(const CowContext& ctx, const Ref& root, Key key,
+                       std::optional<std::string>* payload) {
+  *payload = std::nullopt;
+  HYDER_ASSIGN_OR_RETURN(NodePtr cur, ResolveRefValue(root, ctx.resolver));
+  if (!cur) return root;
+
+  if (!ctx.annotate_reads) {
+    while (cur) {
+      BumpVisited(ctx);
+      // Optimistic page read: take the version, read, re-validate; retry
+      // the page if a writer bumped it in between.
+      for (;;) {
+        const uint64_t v = cur->OlcReadBegin();
+        const WideFind f = WideSearchPage(*cur, key);
+        if (f.found) {
+          std::string val(cur->wide()->slot(f.index).payload());
+          if (!cur->OlcReadValidate(v)) continue;
+          *payload = std::move(val);
+          return root;
+        }
+        Ref edge = cur->wide()->child(f.index).GetLocal();
+        if (!cur->OlcReadValidate(v)) continue;
+        if (edge.IsNull()) return root;
+        HYDER_ASSIGN_OR_RETURN(cur, ResolveRefValue(edge, ctx.resolver));
+        break;
+      }
+    }
+    return root;
+  }
+
+  // Serializable: copy the search path; a hit marks the slot kFlagRead, a
+  // miss marks the fall-off gap so a concurrent insert of `key` is a
+  // phantom at exactly that gap — the sub-page-granularity payoff.
+  HYDER_ASSIGN_OR_RETURN(NodePtr c, CloneForWrite(ctx, cur));
+  Ref newroot = Ref::To(c);
+  while (true) {
+    BumpVisited(ctx);
+    WideExt& e = *c->wide();
+    const WideFind f = WideSearchPage(*c, key);
+    if (f.found) {
+      OlcWriteGuard wg(c.get());
+      e.slot(f.index).meta.flags |= kFlagRead;
+      *payload = std::string(e.slot(f.index).payload());
+      return newroot;
+    }
+    if (e.child(f.index).IsNullEdge()) {
+      OlcWriteGuard wg(c.get());
+      e.set_gap_read(f.index, true);
+      return newroot;
+    }
+    HYDER_ASSIGN_OR_RETURN(NodePtr nxt, e.child(f.index).Get(ctx.resolver));
+    HYDER_ASSIGN_OR_RETURN(NodePtr nc, CloneForWrite(ctx, nxt));
+    e.child(f.index).Reset(Ref::To(nc));
+    c = std::move(nc);
+  }
+}
+
+Status WideCollectAll(NodeResolver* resolver, const NodePtr& n,
+                      std::vector<std::pair<Key, std::string>>* out) {
+  if (!n) return Status::OK();
+  const WideExt& e = *n->wide();
+  for (int i = 0; i <= e.count(); ++i) {
+    HYDER_ASSIGN_OR_RETURN(NodePtr c, e.child(i).Get(resolver));
+    HYDER_RETURN_IF_ERROR(WideCollectAll(resolver, c, out));
+    if (i < e.count()) {
+      out->emplace_back(e.slot(i).key, std::string(e.slot(i).payload()));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Recursive scan worker over one page edge. `lb`/`ub` are the exclusive
+/// key bounds the ancestors imply for this edge's subtree. Returns the
+/// (possibly annotated-copy) replacement edge.
+Result<Ref> ScanRecW(const CowContext& ctx, const Ref& edge, Key lo, Key hi,
+                     std::optional<Key> lb, std::optional<Key> ub,
+                     std::vector<std::pair<Key, std::string>>* out) {
+  if (edge.IsNull()) return edge;
+  HYDER_ASSIGN_OR_RETURN(NodePtr n, ResolveRefValue(edge, ctx.resolver));
+  BumpVisited(ctx);
+
+  if (ctx.annotate_reads) {
+    const bool low_ok = (lo == 0) || (lb.has_value() && *lb >= lo - 1);
+    const bool high_ok = (hi == ~Key{0}) || (ub.has_value() && *ub <= hi + 1);
+    if (low_ok && high_ok) {
+      // Maximal fully-contained subtree: mark only its root page and
+      // collect values from the shared children.
+      HYDER_ASSIGN_OR_RETURN(NodePtr c, CloneForWrite(ctx, n));
+      c->set_flags(c->flags() | kFlagSubtreeRead);
+      WideExt& ce = *c->wide();
+      for (int i = 0; i < ce.count(); ++i) {
+        ce.slot(i).meta.flags |= kFlagRead;
+      }
+      HYDER_RETURN_IF_ERROR(WideCollectAll(ctx.resolver, n, out));
+      return Ref::To(c);
+    }
+  }
+
+  NodePtr c;
+  if (ctx.annotate_reads) {
+    HYDER_ASSIGN_OR_RETURN(c, CloneForWrite(ctx, n));
+  }
+  const WideExt& e = *n->wide();
+  WideExt* ce = c ? c->wide() : nullptr;
+  for (int i = 0; i <= e.count(); ++i) {
+    const std::optional<Key> clb =
+        i == 0 ? lb : std::optional<Key>(e.slot(i - 1).key);
+    const std::optional<Key> cub =
+        i == e.count() ? ub : std::optional<Key>(e.slot(i).key);
+    // Child i covers the open interval (clb, cub); recurse iff it
+    // intersects [lo, hi].
+    const bool intersects = (!cub.has_value() || *cub > lo) &&
+                            (!clb.has_value() || *clb < hi);
+    if (intersects) {
+      if (e.child(i).IsNullEdge()) {
+        // A null gap inside the scanned range: a concurrent insert here
+        // would be a phantom; depend on exactly this gap.
+        if (ce != nullptr) ce->set_gap_read(i, true);
+      } else {
+        HYDER_ASSIGN_OR_RETURN(
+            Ref nc,
+            ScanRecW(ctx, e.child(i).GetLocal(), lo, hi, clb, cub, out));
+        if (ce != nullptr) ce->child(i).Reset(std::move(nc));
+      }
+    }
+    if (i < e.count() && e.slot(i).key >= lo && e.slot(i).key <= hi) {
+      out->emplace_back(e.slot(i).key, std::string(e.slot(i).payload()));
+      if (ce != nullptr) ce->slot(i).meta.flags |= kFlagRead;
+    }
+  }
+  return c ? Ref::To(c) : edge;
+}
+
+}  // namespace
+
+Result<Ref> WideRangeScan(const CowContext& ctx, const Ref& root, Key lo,
+                          Key hi,
+                          std::vector<std::pair<Key, std::string>>* out) {
+  if (lo > hi) return root;
+  return ScanRecW(ctx, root, lo, hi, std::nullopt, std::nullopt, out);
+}
+
+}  // namespace hyder

@@ -1,0 +1,69 @@
+#ifndef HYDER2_TREE_WIDE_OPS_H_
+#define HYDER2_TREE_WIDE_OPS_H_
+
+// Copy-on-write executor operations for the wide (high-fanout) node
+// layout. These are the per-layout implementations behind the public
+// entry points in tree_ops.h, which dispatch on the root's layout (and on
+// CowContext::fanout for empty trees); callers outside the tree/meld
+// layers use TreeInsert & co. and never include this header.
+//
+// Structural discipline (vs. the binary red-black rotations):
+//  * Inserts split any full page top-down before descending into it
+//    (preemptive splitting), so a page always has room when a slot opens.
+//    Split half-pages lose their page-level `ssv` — a half cannot be
+//    grafted over the base interval it only partly covers — and their
+//    structural-read marks fold into the parent's two new gap flags,
+//    whose phantom check the parent's own `ssv` anchors.
+//  * Deletes pull the successor (or predecessor) slot chain down the tree
+//    and never rebalance; a page emptied of slots collapses into its
+//    single remaining child. Lazy deletion is deterministic and melds
+//    rebuild output structure from the base layout anyway.
+//  * Reads validate optimistically against the page's OLC version word
+//    (take a version, read, re-check) instead of locking.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "tree/tree_ops.h"
+
+namespace hyder {
+
+/// Position of `key` within one page: the matching slot index, or the gap
+/// (child index) the search descends into.
+struct WideFind {
+  bool found = false;
+  int index = 0;
+};
+WideFind WideSearchPage(const Node& page, Key key);
+
+/// CloneForWrite for wide pages (same ownership/provenance rules; per-slot
+/// metadata is rebased or preserved slot by slot). Callers go through
+/// CloneForWrite, which dispatches here.
+Result<NodePtr> CloneWideForWrite(const CowContext& ctx, const NodePtr& n);
+
+Result<Ref> WideInsert(const CowContext& ctx, const Ref& root, Key key,
+                       std::string_view payload, bool* existed);
+Result<Ref> WideRemove(const CowContext& ctx, const Ref& root, Key key,
+                       bool* removed, VersionId* removed_base_cv,
+                       VersionId* removed_ssv);
+Result<Ref> WideLookup(const CowContext& ctx, const Ref& root, Key key,
+                       std::optional<std::string>* payload);
+Result<Ref> WideRangeScan(const CowContext& ctx, const Ref& root, Key lo,
+                          Key hi,
+                          std::vector<std::pair<Key, std::string>>* out);
+
+/// In-order collection of an entire (shared) wide subtree.
+Status WideCollectAll(NodeResolver* resolver, const NodePtr& n,
+                      std::vector<std::pair<Key, std::string>>* out);
+
+/// A fresh private page of `cap` slots stamped with the context's owner
+/// (and a deterministic ephemeral id when the context carries an
+/// allocator). Shared with the wide meld.
+NodePtr NewWidePage(const CowContext& ctx, int cap);
+
+}  // namespace hyder
+
+#endif  // HYDER2_TREE_WIDE_OPS_H_

@@ -32,6 +32,31 @@ enum WireFlags : uint8_t {
   kWireRightInternal = 1u << 7,
 };
 
+/// High bit of the isolation byte marks a wide-layout intention. Isolation
+/// levels use the low 7 bits, so binary intentions keep the seed format
+/// byte-for-byte; wide intentions follow the isolation byte with a varint
+/// page capacity and replace the node records with page records.
+constexpr uint8_t kWireWideLayout = 0x80;
+
+/// Per-page flag byte of a wide page record.
+enum WirePageFlags : uint8_t {
+  kWirePageSubtreeRead = 1u << 0,
+};
+
+/// Per-slot flag byte of a wide page record.
+enum WireSlotFlags : uint8_t {
+  kWireSlotAltered = 1u << 0,
+  kWireSlotRead = 1u << 1,
+};
+
+/// Per-child tag byte of a wide page record. A present child's varint
+/// (post-order index when internal, raw vn otherwise) follows the tag.
+enum WireChildTag : uint8_t {
+  kWireChildPresent = 1u << 0,
+  kWireChildInternal = 1u << 1,
+  kWireGapRead = 1u << 2,
+};
+
 struct EdgeEncoding {
   bool present = false;
   bool internal = false;
@@ -103,6 +128,58 @@ Status SerializeNodes(const NodePtr& n, uint64_t workspace_tag,
   return Status::OK();
 }
 
+/// Post-order serialization of the wide pages this transaction created.
+/// Page record: page flags byte, varint page ssv, varint slot count,
+/// `count` slot records {flags, key, ssv, base_cv, payload}, then
+/// `count`+1 child tags each followed by its reference varint when present.
+/// Per-slot `cv` is not written: the decoder reconstitutes it as the page's
+/// vn for altered slots and base_cv otherwise, exactly like binary nodes.
+Status SerializeWidePages(const NodePtr& n, uint64_t workspace_tag,
+                          std::unordered_map<const Node*, uint32_t>& index,
+                          std::string* out) {
+  if (!n || n->owner() != workspace_tag) return Status::OK();
+  if (!n->is_wide()) {
+    return Status::Internal("binary node inside a wide intention");
+  }
+  const WideExt& e = *n->wide();
+  for (int i = 0; i <= e.count(); ++i) {
+    HYDER_RETURN_IF_ERROR(SerializeWidePages(e.child(i).GetLocal().node,
+                                             workspace_tag, index, out));
+  }
+
+  uint8_t pf = 0;
+  if (n->subtree_read()) pf |= kWirePageSubtreeRead;
+  out->push_back(static_cast<char>(pf));
+  PutVarint64(out, n->ssv().raw());
+  PutVarint64(out, static_cast<uint64_t>(e.count()));
+  for (int i = 0; i < e.count(); ++i) {
+    const WideSlot& s = e.slot(i);
+    uint8_t sf = 0;
+    if (s.meta.flags & kFlagAltered) sf |= kWireSlotAltered;
+    if (s.meta.flags & kFlagRead) sf |= kWireSlotRead;
+    out->push_back(static_cast<char>(sf));
+    PutVarint64(out, s.key);
+    PutVarint64(out, s.meta.ssv.raw());
+    PutVarint64(out, s.meta.base_cv.raw());
+    PutVarint64(out, s.payload().size());
+    out->append(s.payload());
+  }
+  for (int i = 0; i <= e.count(); ++i) {
+    HYDER_ASSIGN_OR_RETURN(
+        EdgeEncoding enc, EncodeEdge(e.child(i).GetLocal(), workspace_tag,
+                                     index));
+    uint8_t tag = 0;
+    if (enc.present) tag |= kWireChildPresent;
+    if (enc.internal) tag |= kWireChildInternal;
+    if (e.gap_read(i)) tag |= kWireGapRead;
+    out->push_back(static_cast<char>(tag));
+    if (enc.present) PutVarint64(out, enc.value);
+  }
+
+  index[n.get()] = static_cast<uint32_t>(index.size());
+  return Status::OK();
+}
+
 }  // namespace
 
 void EncodeBlockHeader(const BlockHeader& h, std::string* out) {
@@ -134,9 +211,21 @@ Result<std::vector<std::string>> SerializeIntention(
     return Status::InvalidArgument("block size too small");
   }
   // Header + nodes into one contiguous payload, then chop into blocks.
+  // The root is always a fresh copy when the transaction wrote anything, so
+  // its layout is the layout of every node this intention carries.
+  const NodePtr& root = builder.root().node;
+  const bool wide = root != nullptr && root->is_wide() &&
+                    root->owner() == builder.workspace_tag();
   std::string payload;
   PutVarint64(&payload, builder.snapshot_seq());
-  payload.push_back(static_cast<char>(builder.isolation()));
+  uint8_t iso = static_cast<uint8_t>(builder.isolation());
+  if (iso & kWireWideLayout) {
+    return Status::Internal("isolation level collides with the wide marker");
+  }
+  payload.push_back(static_cast<char>(wide ? (iso | kWireWideLayout) : iso));
+  if (wide) {
+    PutVarint64(&payload, static_cast<uint64_t>(root->wide()->cap()));
+  }
   PutVarint64(&payload, builder.tombstones().size());
   for (const Tombstone& t : builder.tombstones()) {
     PutVarint64(&payload, t.key);
@@ -145,9 +234,13 @@ Result<std::vector<std::string>> SerializeIntention(
   }
   std::string nodes;
   std::unordered_map<const Node*, uint32_t> index;
-  HYDER_RETURN_IF_ERROR(SerializeNodes(builder.root().node,
-                                       builder.workspace_tag(), index,
-                                       &nodes));
+  if (wide) {
+    HYDER_RETURN_IF_ERROR(SerializeWidePages(root, builder.workspace_tag(),
+                                             index, &nodes));
+  } else {
+    HYDER_RETURN_IF_ERROR(SerializeNodes(root, builder.workspace_tag(), index,
+                                         &nodes));
+  }
   PutVarint64(&payload, index.size());
   payload.append(nodes);
 
@@ -196,7 +289,18 @@ Result<IntentionPtr> DeserializeIntention(std::string_view payload,
   }
   intent->snapshot_seq = v;
   if (p >= limit) return Status::Corruption("truncated isolation byte");
-  intent->isolation = static_cast<IsolationLevel>(*p++);
+  const uint8_t iso_byte = static_cast<uint8_t>(*p++);
+  const bool wide = (iso_byte & kWireWideLayout) != 0;
+  intent->isolation = static_cast<IsolationLevel>(iso_byte & ~kWireWideLayout);
+  uint64_t fanout = 0;
+  if (wide) {
+    if ((p = GetVarint64(p, limit, &fanout)) == nullptr) {
+      return Status::Corruption("truncated wide page capacity");
+    }
+    if (fanout < 3 || fanout > 64) {
+      return Status::Corruption("wide page capacity out of range");
+    }
+  }
   uint64_t tomb_count = 0;
   if ((p = GetVarint64(p, limit, &tomb_count)) == nullptr) {
     return Status::Corruption("truncated tombstone count");
@@ -225,7 +329,89 @@ Result<IntentionPtr> DeserializeIntention(std::string_view payload,
 
   std::vector<NodePtr> nodes;
   nodes.reserve(node_count);
-  for (uint64_t i = 0; i < node_count; ++i) {
+  for (uint64_t i = 0; wide && i < node_count; ++i) {
+    if (p >= limit) return Status::Corruption("truncated page record");
+    const uint8_t pf = static_cast<uint8_t>(*p++);
+    uint64_t page_ssv = 0, slot_count = 0;
+    if ((p = GetVarint64(p, limit, &page_ssv)) == nullptr ||
+        (p = GetVarint64(p, limit, &slot_count)) == nullptr) {
+      return Status::Corruption("truncated page fields");
+    }
+    if (slot_count == 0 || slot_count > fanout) {
+      return Status::Corruption("wide page slot count out of range");
+    }
+    NodePtr n = MakeWideNode(static_cast<int>(fanout));
+    WideExt& e = *n->wide();
+    n->set_vn(VersionId::Logged(seq, static_cast<uint32_t>(i)));
+    n->set_owner(seq);
+    n->set_ssv(VersionId::FromRaw(page_ssv));
+    uint8_t nf = (pf & kWirePageSubtreeRead) ? kFlagSubtreeRead : 0;
+    e.set_count(static_cast<int>(slot_count));
+    for (uint64_t s = 0; s < slot_count; ++s) {
+      if (p >= limit) return Status::Corruption("truncated slot record");
+      const uint8_t sf = static_cast<uint8_t>(*p++);
+      uint64_t key = 0, ssv = 0, base_cv = 0, payload_len = 0;
+      if ((p = GetVarint64(p, limit, &key)) == nullptr ||
+          (p = GetVarint64(p, limit, &ssv)) == nullptr ||
+          (p = GetVarint64(p, limit, &base_cv)) == nullptr ||
+          (p = GetVarint64(p, limit, &payload_len)) == nullptr) {
+        return Status::Corruption("truncated slot fields");
+      }
+      if (payload_len > size_t(limit - p)) {
+        return Status::Corruption("truncated slot payload");
+      }
+      WideSlot& sl = e.slot(static_cast<int>(s));
+      sl.key = key;
+      sl.set_payload(std::string_view(p, payload_len));
+      p += payload_len;
+      sl.meta.ssv = VersionId::FromRaw(ssv);
+      sl.meta.base_cv = VersionId::FromRaw(base_cv);
+      uint8_t slf = 0;
+      if (sf & kWireSlotAltered) slf |= kFlagAltered;
+      if (sf & kWireSlotRead) slf |= kFlagRead;
+      sl.meta.flags = slf;
+      // Slot content version mirrors the binary rule: an altered slot's
+      // payload was created by this very page.
+      sl.meta.cv = (slf & kFlagAltered) ? n->vn() : sl.meta.base_cv;
+      if (slf & kFlagAltered) nf |= kFlagSubtreeHasWrites;
+    }
+    for (uint64_t ci = 0; ci <= slot_count; ++ci) {
+      if (p >= limit) return Status::Corruption("truncated child tag");
+      const uint8_t tag = static_cast<uint8_t>(*p++);
+      if (tag & kWireGapRead) e.set_gap_read(static_cast<int>(ci), true);
+      if (!(tag & kWireChildPresent)) continue;
+      uint64_t ev = 0;
+      if ((p = GetVarint64(p, limit, &ev)) == nullptr) {
+        return Status::Corruption("truncated child reference");
+      }
+      ChildSlot& slot = e.child(static_cast<int>(ci));
+      if (tag & kWireChildInternal) {
+        if (ev >= i) {
+          return Status::Corruption("child index violates post-order");
+        }
+        if (nodes[ev]->subtree_has_writes()) nf |= kFlagSubtreeHasWrites;
+        slot.Reset(Ref::To(nodes[ev]));
+      } else {
+        VersionId target = VersionId::FromRaw(ev);
+        if (target.IsNull()) {
+          return Status::Corruption("null external child reference");
+        }
+        // Cache-only pre-materialization; see the binary branch below for
+        // why this cannot affect meld decisions.
+        if (ephemeral_resolver != nullptr) {
+          NodePtr resolved = ephemeral_resolver->TryResolveCached(target);
+          if (resolved != nullptr) {
+            slot.Reset(Ref(std::move(resolved), target));
+            continue;
+          }
+        }
+        slot.Reset(Ref::Lazy(target));
+      }
+    }
+    n->set_flags(nf);
+    nodes.push_back(std::move(n));
+  }
+  for (uint64_t i = 0; !wide && i < node_count; ++i) {
     if (p >= limit) return Status::Corruption("truncated node record");
     const uint8_t flags = static_cast<uint8_t>(*p++);
     uint64_t key = 0, ssv = 0, base_cv = 0, payload_len = 0;

@@ -22,9 +22,12 @@ class IntentionBuilder {
   /// `workspace_tag` must be unique among live transactions on this server
   /// (use kWorkspaceTagBit | counter). `snapshot_seq`/`snapshot_root`
   /// identify the input state; `resolver` materializes lazy edges.
+  /// `fanout` selects the node layout for fresh copies (2 = binary
+  /// red-black, [3, 64] = wide pages); it must match the layout of the
+  /// snapshot tree, i.e. the server-wide `tree_fanout` setting.
   IntentionBuilder(uint64_t workspace_tag, uint64_t snapshot_seq,
                    Ref snapshot_root, IsolationLevel isolation,
-                   NodeResolver* resolver);
+                   NodeResolver* resolver, int fanout = 2);
 
   // Movable (the context points at the member stats block, so moves must
   // re-anchor it); not copyable — a workspace tag must stay unique.
@@ -68,6 +71,7 @@ class IntentionBuilder {
   const std::vector<Tombstone>& tombstones() const { return tombstones_; }
   const TreeOpStats& stats() const { return stats_; }
   uint64_t workspace_tag() const { return ctx_.owner; }
+  int fanout() const { return ctx_.fanout; }
 
  private:
   CowContext ctx_;

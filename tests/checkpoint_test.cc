@@ -172,6 +172,72 @@ TEST(CheckpointTest, CheckpointWithPremeldConfiguration) {
   EXPECT_TRUE(*same) << diff;
 }
 
+TEST(CheckpointTest, WideStateRoundTripsThroughCheckpoint) {
+  // The wide-layout record format (kCheckpointWideBit): a fanout-16 state
+  // checkpoints, bootstraps, and the rookie's root is physically identical —
+  // same page version ids, slot keys/payloads/content versions, structure.
+  ServerOptions options;
+  options.pipeline.tree_fanout = 16;
+  StripedLog log(TestLog());
+  HyderServer veteran(&log, options);
+  Rng rng(10);
+  RunTraffic(veteran, rng, 60, /*space=*/200);
+  auto info = WriteCheckpoint(veteran);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_GT(info->node_count, 0u);
+
+  auto rookie = BootstrapFromCheckpoint(&log, *info, options);
+  ASSERT_TRUE(rookie.ok()) << rookie.status().ToString();
+  EXPECT_EQ((*rookie)->LatestState().seq, veteran.LatestState().seq);
+  std::string diff;
+  auto same = PhysicallyEqual(&veteran.resolver(),
+                              veteran.LatestState().root,
+                              &(*rookie)->resolver(),
+                              (*rookie)->LatestState().root, &diff);
+  ASSERT_TRUE(same.ok()) << same.status().ToString();
+  EXPECT_TRUE(*same) << diff;
+
+  // The bootstrapped tree really came back wide and well-shaped.
+  auto check = ValidateTree(&(*rookie)->resolver(),
+                            (*rookie)->LatestState().root);
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->wide);
+  EXPECT_TRUE(check->rb_ok) << "page-shape invariant after bootstrap";
+  EXPECT_TRUE(check->bst_ok);
+}
+
+TEST(CheckpointTest, WideBootstrappedServerMeldsOnward) {
+  // Post-bootstrap traffic must meld identically on both servers: the
+  // rookie's reconstructed pages carry enough meta (page vn, slot cv) for
+  // every later conflict check to agree with the veteran's.
+  ServerOptions options;
+  options.pipeline.tree_fanout = 16;
+  StripedLog log(TestLog());
+  HyderServer veteran(&log, options);
+  Rng rng(11);
+  RunTraffic(veteran, rng, 40);
+  auto info = WriteCheckpoint(veteran);
+  ASSERT_TRUE(info.ok());
+  auto rookie = BootstrapFromCheckpoint(&log, *info, options);
+  ASSERT_TRUE(rookie.ok()) << rookie.status().ToString();
+
+  RunTraffic(veteran, rng, 40);
+  Transaction t = (*rookie)->Begin();
+  ASSERT_TRUE(t.Put(999, "from the wide rookie").ok());
+  auto committed = (*rookie)->Commit(std::move(t));
+  ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  EXPECT_TRUE(*committed);
+  ASSERT_TRUE(veteran.Poll().ok());
+  ASSERT_EQ((*rookie)->LatestState().seq, veteran.LatestState().seq);
+  std::string diff;
+  auto same = PhysicallyEqual(&veteran.resolver(),
+                              veteran.LatestState().root,
+                              &(*rookie)->resolver(),
+                              (*rookie)->LatestState().root, &diff);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(*same) << diff;
+}
+
 TEST(CheckpointTest, NoCheckpointFound) {
   StripedLog log(TestLog());
   auto found = FindLatestCheckpoint(log);

@@ -36,7 +36,8 @@ struct Workload {
 
 void Build(const PipelineConfig& config, uint64_t seed, Workload* w) {
   IntentionBuilder g(kWorkspaceTagBit | 1, 0, Ref::Null(),
-                     IsolationLevel::kSerializable, nullptr);
+                     IsolationLevel::kSerializable, nullptr,
+                     config.tree_fanout);
   for (Key k = 0; k < 40; ++k) {
     ASSERT_TRUE(g.Put(k, "g" + std::to_string(k)).ok());
   }
@@ -60,14 +61,19 @@ void Build(const PipelineConfig& config, uint64_t seed, Workload* w) {
     auto st = w->server.StateAt(snap);
     ASSERT_TRUE(st.ok());
     IntentionBuilder b(kWorkspaceTagBit | (100 + i), snap, st->root,
-                       IsolationLevel::kSerializable, &w->server.registry());
+                       IsolationLevel::kSerializable, &w->server.registry(),
+                       config.tree_fanout);
     const int ops = 2 + int(rng.Uniform(5));
     for (int o = 0; o < ops; ++o) {
       Key k = rng.Uniform(40);
       if (rng.Bernoulli(0.6)) {
         ASSERT_TRUE(b.Put(k, "v" + std::to_string(rng.Next() % 997)).ok());
-      } else {
+      } else if (rng.Bernoulli(0.5)) {
         ASSERT_TRUE(b.Get(k).ok());
+      } else {
+        // Deletes drive the tombstone path (and, wide, the slot-pull
+        // relocation) through both engines.
+        ASSERT_TRUE(b.Delete(k).ok());
       }
     }
     auto blocks = SerializeIntention(b, 100 + i, kBlockSize);
@@ -90,15 +96,17 @@ void Build(const PipelineConfig& config, uint64_t seed, Workload* w) {
 }
 
 class PipelineEquivalenceTest
-    : public ::testing::TestWithParam<std::tuple<uint64_t, int, bool>> {};
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, bool, int>> {
+};
 
 TEST_P(PipelineEquivalenceTest, RawFedThreadedMatchesSequential) {
-  auto [seed, threads, group] = GetParam();
+  auto [seed, threads, group, fanout] = GetParam();
   PipelineConfig config;
   config.premeld_threads = threads;
   config.premeld_distance = 3;
   config.group_meld = group;
   config.stage_queue_capacity = 8;  // Small: exercise ring back-pressure.
+  config.tree_fanout = fanout;
 
   Workload w(config);
   Build(config, seed, &w);
@@ -166,6 +174,17 @@ TEST_P(PipelineEquivalenceTest, RawFedThreadedMatchesSequential) {
   // Decode really happened (and, with workers, off the feeder thread).
   const PipelineStats stats = pipeline.StatsSnapshot();
   EXPECT_GT(stats.deserialize.nodes_visited, 0u);
+
+  // Config echo: every knob the stages consumed matches what was forwarded
+  // (the plumbing-audit satellite — a knob dropped between the config struct
+  // and a worker shows up as -1 or a stale value here).
+  EXPECT_EQ(stats.config_echo.premeld_threads, threads);
+  EXPECT_EQ(stats.config_echo.premeld_distance, config.premeld_distance);
+  EXPECT_EQ(stats.config_echo.group_meld, group ? 1 : 0);
+  EXPECT_EQ(stats.config_echo.state_retention,
+            int64_t(config.state_retention));
+  EXPECT_EQ(stats.config_echo.disable_graft_fastpath, 0);
+  EXPECT_EQ(stats.config_echo.tree_fanout, fanout);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -173,7 +192,16 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(uint64_t(101), uint64_t(202),
                                          uint64_t(303)),
                        ::testing::Values(1, 2, 5),
-                       ::testing::Bool()));
+                       ::testing::Bool(), ::testing::Values(2)));
+
+// The wide-layout sweep of the same oracle: 3 seeds x fanout {16, 64} x
+// group on/off (fanout 2 — the binary baseline — is the suite above).
+INSTANTIATE_TEST_SUITE_P(
+    WideFanouts, PipelineEquivalenceTest,
+    ::testing::Combine(::testing::Values(uint64_t(101), uint64_t(202),
+                                         uint64_t(303)),
+                       ::testing::Values(5), ::testing::Bool(),
+                       ::testing::Values(16, 64)));
 
 }  // namespace
 }  // namespace hyder

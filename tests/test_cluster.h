@@ -58,8 +58,8 @@ class MapRegistry : public NodeResolver {
       NodePtr n = stack.back();
       stack.pop_back();
       Register(n);
-      for (const ChildSlot* s : {&n->left(), &n->right()}) {
-        Ref e = s->GetLocal();
+      for (int i = 0; i < n->child_count(); ++i) {
+        Ref e = n->child_at(i).GetLocal();
         if (e.node && e.node->owner() == intent->seq) stack.push_back(e.node);
       }
     }
@@ -150,6 +150,36 @@ inline bool StatesPhysicallyEqual(NodeResolver* ra, const Ref& a,
     if (static_cast<bool>(na) != static_cast<bool>(nb)) {
       *diff = "null mismatch";
       return false;
+    }
+    return true;
+  }
+  if (na->is_wide() != nb->is_wide()) {
+    *diff = "layout mismatch at " + na->vn().ToString();
+    return false;
+  }
+  if (na->is_wide()) {
+    const WideExt& ea = *na->wide();
+    const WideExt& eb = *nb->wide();
+    if (na->vn() != nb->vn() || ea.count() != eb.count()) {
+      *diff = "page mismatch: vns " + na->vn().ToString() + "/" +
+              nb->vn().ToString();
+      return false;
+    }
+    for (int i = 0; i < ea.count(); ++i) {
+      if (ea.slot(i).key != eb.slot(i).key ||
+          ea.slot(i).payload() != eb.slot(i).payload() ||
+          ea.slot(i).meta.cv != eb.slot(i).meta.cv) {
+        *diff = "slot mismatch at keys " + std::to_string(ea.slot(i).key) +
+                "/" + std::to_string(eb.slot(i).key) + " in page " +
+                na->vn().ToString();
+        return false;
+      }
+    }
+    for (int i = 0; i <= ea.count(); ++i) {
+      if (!StatesPhysicallyEqual(ra, ea.child(i).GetLocal(), rb,
+                                 eb.child(i).GetLocal(), diff)) {
+        return false;
+      }
     }
     return true;
   }

@@ -1,0 +1,261 @@
+// Unit coverage for the wide (high-fanout) COW page layout: the tree_ops
+// entry points dispatched by CowContext::fanout and the root's layout,
+// per-slot read/alter metadata, page-shape validation, the OLC version
+// word, and the path-copy cost advantage over the binary baseline.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "tree/node.h"
+#include "tree/tree_ops.h"
+#include "tree/validate.h"
+#include "tree/wide_ops.h"
+
+namespace hyder {
+namespace {
+
+CowContext Ctx(uint64_t owner, int fanout, TreeOpStats* stats = nullptr,
+               bool annotate = false) {
+  CowContext ctx;
+  ctx.owner = owner;
+  ctx.fanout = fanout;
+  ctx.annotate_reads = annotate;
+  ctx.stats = stats;
+  return ctx;
+}
+
+Ref Build(uint64_t owner, int fanout, const std::vector<Key>& keys) {
+  Ref root;
+  CowContext ctx = Ctx(owner, fanout);
+  for (Key k : keys) {
+    auto r = TreeInsert(ctx, root, k, "v" + std::to_string(k), nullptr);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    root = *r;
+  }
+  return root;
+}
+
+std::vector<Key> Shuffled(size_t n, uint64_t stride, uint64_t seed) {
+  std::vector<Key> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = Key(i * stride);
+  Rng rng(seed);
+  for (size_t i = n; i > 1; --i) std::swap(keys[i - 1], keys[rng.Uniform(i)]);
+  return keys;
+}
+
+class WideTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WideTreeTest, InsertLookupScanRemove) {
+  const int fanout = GetParam();
+  const std::vector<Key> keys = Shuffled(500, 3, 42);
+  Ref root = Build(1, fanout, keys);
+
+  auto check = ValidateTree(nullptr, root);
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->wide);
+  EXPECT_TRUE(check->bst_ok);
+  EXPECT_TRUE(check->rb_ok) << "page-shape invariant";
+  EXPECT_TRUE(check->olc_stable);
+  EXPECT_EQ(check->black_height, 0);
+  EXPECT_LT(check->node_count, keys.size()) << "many keys per page";
+
+  CowContext ctx = Ctx(1, fanout);
+  std::optional<std::string> payload;
+  ASSERT_TRUE(TreeLookup(ctx, root, 42, &payload).ok());
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "v42");
+  ASSERT_TRUE(TreeLookup(ctx, root, 43, &payload).ok());
+  EXPECT_FALSE(payload.has_value());
+
+  std::vector<std::pair<Key, std::string>> got;
+  ASSERT_TRUE(TreeRangeScan(ctx, root, 30, 90, &got).ok());
+  ASSERT_EQ(got.size(), 21u);  // 30, 33, ..., 90.
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, 30 + 3 * Key(i));
+    EXPECT_EQ(got[i].second, "v" + std::to_string(got[i].first));
+  }
+
+  // Remove every other insertion-order key; shape stays valid and the
+  // survivors stay reachable.
+  for (size_t i = 0; i < keys.size(); i += 2) {
+    bool removed = false;
+    auto r = TreeRemove(ctx, root, keys[i], &removed, nullptr);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(removed) << keys[i];
+    root = *r;
+  }
+  check = ValidateTree(nullptr, root);
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_TRUE(check->wide);
+  EXPECT_TRUE(check->bst_ok);
+  EXPECT_TRUE(check->rb_ok);
+  std::vector<std::pair<Key, std::string>> rest;
+  ASSERT_TRUE(TreeRangeScan(ctx, root, 0, 1500, &rest).ok());
+  EXPECT_EQ(rest.size(), keys.size() / 2);
+  for (size_t i = 1; i < keys.size(); i += 2) {
+    ASSERT_TRUE(TreeLookup(ctx, root, keys[i], &payload).ok());
+    EXPECT_TRUE(payload.has_value()) << keys[i];
+  }
+}
+
+TEST_P(WideTreeTest, CowPreservesOldVersionAndMarksAlteredSlot) {
+  const int fanout = GetParam();
+  std::vector<Key> keys;
+  for (Key k = 0; k < 100; ++k) keys.push_back(k);
+  Ref v1 = Build(1, fanout, keys);
+
+  CowContext ctx2 = Ctx(2, fanout);
+  auto v2 = TreeInsert(ctx2, v1, 50, "new", nullptr);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  std::optional<std::string> old_p, new_p;
+  ASSERT_TRUE(TreeLookup(ctx2, v1, 50, &old_p).ok());
+  ASSERT_TRUE(TreeLookup(ctx2, *v2, 50, &new_p).ok());
+  EXPECT_EQ(*old_p, "v50");
+  EXPECT_EQ(*new_p, "new");
+
+  // The copied path is privately owned and exactly the written slot is
+  // Altered; its siblings keep base provenance — slot-granularity conflict
+  // metadata, the point of the layout.
+  NodePtr n = v2->node;
+  ASSERT_TRUE(n && n->is_wide());
+  while (true) {
+    EXPECT_EQ(n->owner(), 2u) << "path copy must be privately owned";
+    const WideFind f = WideSearchPage(*n, 50);
+    if (f.found) {
+      EXPECT_TRUE(n->wide()->slot(f.index).altered());
+      for (int i = 0; i < n->wide()->count(); ++i) {
+        if (i != f.index) EXPECT_FALSE(n->wide()->slot(i).altered()) << i;
+      }
+      break;
+    }
+    auto c = n->wide()->child(f.index).Get(nullptr);
+    ASSERT_TRUE(c.ok());
+    n = *c;
+    ASSERT_TRUE(n && n->is_wide());
+  }
+}
+
+TEST_P(WideTreeTest, AnnotatedReadsMarkSlotAndFallOffGap) {
+  const int fanout = GetParam();
+  std::vector<Key> keys;
+  for (Key k = 0; k < 200; ++k) keys.push_back(k * 2);
+  Ref base = Build(1, fanout, keys);
+
+  // A hit marks exactly the target slot kFlagRead on a private path copy.
+  CowContext ctx = Ctx(7, fanout, nullptr, /*annotate=*/true);
+  std::optional<std::string> p;
+  auto hit = TreeLookup(ctx, base, 100, &p);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(p.has_value());
+  NodePtr n = hit->node;
+  ASSERT_TRUE(n && n->is_wide() && n->owner() == 7u);
+  while (true) {
+    const WideFind f = WideSearchPage(*n, 100);
+    if (f.found) {
+      EXPECT_TRUE(n->wide()->slot(f.index).meta.flags & kFlagRead);
+      break;
+    }
+    auto c = n->wide()->child(f.index).Get(nullptr);
+    ASSERT_TRUE(c.ok());
+    n = *c;
+    ASSERT_TRUE(n && n->is_wide());
+  }
+
+  // A miss beyond the max key marks the rightmost page's last gap — the
+  // phantom dependency covers one gap, not the whole page.
+  auto miss = TreeLookup(ctx, base, 10'000, &p);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(p.has_value());
+  n = miss->node;
+  ASSERT_TRUE(n && n->is_wide());
+  while (!n->wide()->child(n->wide()->count()).IsNullEdge()) {
+    auto c = n->wide()->child(n->wide()->count()).Get(nullptr);
+    ASSERT_TRUE(c.ok());
+    n = *c;
+    ASSERT_TRUE(n && n->is_wide());
+  }
+  EXPECT_TRUE(n->wide()->gap_read(n->wide()->count()));
+  EXPECT_TRUE(n->page_structural_read());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, WideTreeTest, ::testing::Values(16, 64));
+
+TEST(WideTreeLayoutTest, MixedLayoutsRejectedByValidate) {
+  NodePtr page = MakeWideNode(16);
+  page->wide()->set_count(1);
+  page->wide()->slot(0).key = 10;
+  page->wide()->slot(0).set_payload("x");
+  NodePtr bin = MakeNode(5, "b");
+  page->wide()->child(0).Reset(Ref::To(bin));
+  EXPECT_FALSE(ValidateTree(nullptr, Ref::To(page)).ok())
+      << "binary node below a wide page must be rejected";
+
+  NodePtr broot = MakeNode(20, "r");
+  NodePtr page2 = MakeWideNode(16);
+  page2->wide()->set_count(1);
+  page2->wide()->slot(0).key = 5;
+  page2->wide()->slot(0).set_payload("y");
+  broot->left().Reset(Ref::To(page2));
+  EXPECT_FALSE(ValidateTree(nullptr, Ref::To(broot)).ok())
+      << "wide page below a binary node must be rejected";
+}
+
+TEST(WideTreeLayoutTest, ValidateReportsOlcInstability) {
+  Ref root = Build(1, 16, {1, 2, 3, 4, 5, 6, 7, 8});
+  auto stable = ValidateTree(nullptr, root);
+  ASSERT_TRUE(stable.ok());
+  EXPECT_TRUE(stable->olc_stable);
+
+  // An in-flight writer (odd OLC word) is visible to the validator.
+  root.node->OlcWriteBegin();
+  auto unstable = ValidateTree(nullptr, root);
+  ASSERT_TRUE(unstable.ok());
+  EXPECT_FALSE(unstable->olc_stable);
+  root.node->OlcWriteEnd();
+
+  auto again = ValidateTree(nullptr, root);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->olc_stable);
+}
+
+TEST(WideTreeLayoutTest, OptimisticReadRetriesAcrossWriterBump) {
+  // The seqlock protocol itself: a read that straddles a writer bump
+  // invalidates; a clean read validates.
+  NodePtr page = MakeWideNode(16);
+  const uint64_t v = page->OlcReadBegin();
+  EXPECT_EQ(v & 1, 0u) << "read never begins inside a writer section";
+  EXPECT_TRUE(page->OlcReadValidate(v));
+  {
+    OlcWriteGuard wg(page.get());
+    EXPECT_FALSE(page->OlcReadValidate(v)) << "mid-write reads must retry";
+  }
+  EXPECT_FALSE(page->OlcReadValidate(v)) << "version advanced by the writer";
+  const uint64_t v2 = page->OlcReadBegin();
+  EXPECT_TRUE(page->OlcReadValidate(v2));
+}
+
+TEST(WideTreeLayoutTest, WidePathCopyCreatesFewerNodesThanBinary) {
+  // The ablation claim at unit scale: one upsert into an established tree
+  // copies the root path, and a fanout-16 path is much shorter than the
+  // red-black one over the same keys.
+  const std::vector<Key> keys = Shuffled(1000, 1, 7);
+  Ref wide = Build(1, 16, keys);
+  Ref binary = Build(1, 2, keys);
+
+  TreeOpStats ws, bs;
+  CowContext wc = Ctx(9, 16, &ws);
+  CowContext bc = Ctx(9, 2, &bs);
+  ASSERT_TRUE(TreeInsert(wc, wide, 500, "x", nullptr).ok());
+  ASSERT_TRUE(TreeInsert(bc, binary, 500, "x", nullptr).ok());
+  EXPECT_GT(ws.nodes_created, 0u);
+  EXPECT_LT(ws.nodes_created, bs.nodes_created)
+      << "wide path copies must touch fewer nodes than binary";
+}
+
+}  // namespace
+}  // namespace hyder

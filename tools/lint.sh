@@ -101,6 +101,32 @@ done < <(grep -rnE \
     '\bfprintf[[:space:]]*\(|std::cerr|std::cout|(^|[^a-zA-Z_:.>])printf[[:space:]]*\(' \
     --include='*.cc' --include='*.h' src)
 
+# --- 7. Red-black accessors stay inside the binary baseline -----------------
+# The wide layout has no colors or rotations; per-slot meld metadata and the
+# page-shape discipline replace them (DESIGN.md, "Node layout & optimistic
+# read validation"). Only the files implementing or serializing the binary
+# red-black baseline may touch color()/set_color/NodeColor — a new use
+# anywhere else means binary-only logic is leaking into layout-generic code
+# (it would break the moment the tree runs with tree_fanout > 2).
+color_allowlist='src/tree/node.h
+src/tree/tree_ops.cc
+src/tree/validate.cc
+src/meld/meld.cc
+src/txn/codec.cc
+src/server/checkpoint.cc
+src/server/cluster.cc
+tests/tree_test.cc
+tests/test_cluster.h
+tests/txn_test.cc'
+while IFS= read -r hit; do
+  [ -n "$hit" ] || continue
+  file=${hit%%:*}
+  if ! printf '%s\n' "$color_allowlist" | grep -qxF "$file"; then
+    say "red-black accessor outside the binary baseline (see check 7): $hit"
+  fi
+done < <(grep -rnE '\bcolor\(\)|\bset_color\b|\bNodeColor\b' \
+    --include='*.cc' --include='*.h' src tests bench examples 2>/dev/null)
+
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAILED" >&2
   exit 1
