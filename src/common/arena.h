@@ -160,7 +160,9 @@ class SlotArena {
     bump_left_ = opt_.slots_per_slab;
   }
 
+  // hyder-check: allow(guard-completeness): set at construction, read-only
   Options opt_;
+  // hyder-check: allow(guard-completeness): set at construction, read-only
   size_t stride_ = 0;
   mutable Mutex mu_;
   std::vector<void*> slabs_ GUARDED_BY(mu_);

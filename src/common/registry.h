@@ -43,11 +43,13 @@
 
 namespace hyder {
 
-/// Monotonic counter. Relaxed increments: a stats value with no ordering
-/// dependencies.
+/// Monotonic counter.
 class Counter {
  public:
+  // relaxed: a stats value with no ordering dependencies; dump readers
+  // tolerate an in-flight increment.
   void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  // relaxed: see Increment.
   uint64_t value() const { return v_.load(std::memory_order_relaxed); }
 
  private:

@@ -174,6 +174,10 @@ class SeqRing {
     return slot.full.load() == want;
   }
 
+  /// Lock-free slot array (sized once at construction): each Slot hands
+  /// off via its own `full` atomic; wait_mu_ only guards the wakeup
+  /// condvars, never the slots.
+  // hyder-check: allow(guard-completeness): per-slot atomic hand-off
   std::vector<Slot> slots_;
   /// Consumer cursor: the next sequence PopNext returns. Written only by
   /// the consumer; read by producers for back-pressure.

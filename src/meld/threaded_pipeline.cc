@@ -250,6 +250,10 @@ void ThreadedPipeline::MeldWorker() {
     // Snapshot-consistency contract (see StatsSnapshot): bump intentions
     // before melding, the decision counters after, so a concurrent reader
     // never sees committed + aborted > intentions.
+    // relaxed: the counter itself carries no payload; the <= invariant
+    // only needs this store to precede the release stores of the decision
+    // counters, which program order on this single worker already gives
+    // the snapshot's paired acquire loads.
     meld_intentions_.fetch_add(1, std::memory_order_relaxed);
     auto decisions = engine_.Process(std::move(*item));
     if (!decisions.ok()) {
@@ -308,6 +312,8 @@ PipelineStats ThreadedPipeline::StatsSnapshot() const {
     PipelineStats out;
     out.committed = meld_committed_.load(std::memory_order_acquire);
     out.aborted = meld_aborted_.load(std::memory_order_acquire);
+    // relaxed: intentions only needs monotonicity here; the acquire loads
+    // above pair with the worker's release stores for the <= invariant.
     out.intentions = meld_intentions_.load(std::memory_order_relaxed);
     const SeqRing<IntentionPtr>::Stats ring_stats = ring_.stats();
     out.handoff_blocked_pushes = ring_stats.blocked_pushes;

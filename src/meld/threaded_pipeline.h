@@ -153,15 +153,24 @@ class ThreadedPipeline {
   /// gm + fm stages, with premeld handled by this class's workers. Confined
   /// to the meld worker thread while it runs (plus the internally locked
   /// StateTable); the caller may touch it again only after Join.
+  // hyder-check: allow(guard-completeness): meld-thread confined, see above
   SequentialPipeline engine_;
   NodeResolver* const resolver_;
+  // hyder-check: allow(guard-completeness): set before Start, read-only after
   DecisionCallback on_decision_;
+  // hyder-check: allow(guard-completeness): set before Start, read-only after
   DecodeSink on_decode_;
 
+  /// Per-premeld-worker resources: slot t is touched only by worker t
+  /// (the vectors themselves are sized in the constructor and never
+  /// resized while threads run).
+  // hyder-check: allow(guard-completeness): per-worker slot confinement
   std::vector<std::unique_ptr<EphemeralAllocator>> pm_allocs_;
   std::vector<std::unique_ptr<BoundedQueue<StageItem>>> pm_queues_;
+  // hyder-check: allow(guard-completeness): per-worker slot confinement
   std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
   /// Decode counters for the t == 0 inline path (feeder thread only).
+  // hyder-check: allow(guard-completeness): feeder-thread confined
   WorkerStats feeder_stats_;
   /// Premeld → final-meld hand-off; slot occupancy doubles as the sequence
   /// reorder buffer (see common/seq_ring.h).
@@ -172,6 +181,7 @@ class ThreadedPipeline {
   /// sequence. Sized past the pipeline's in-flight bound (premeld queues +
   /// workers + hand-off ring + the meld thread's pending group member), so
   /// a slot's stamp is consumed before the next lap overwrites it.
+  // hyder-check: allow(guard-completeness): fixed-size array of atomics
   std::vector<std::atomic<uint64_t>> feed_ts_;
   /// Global-registry instruments (process lifetime; see common/registry.h).
   LatencyHistogram* const durable_to_decision_us_;
@@ -191,13 +201,17 @@ class ThreadedPipeline {
   Status first_error_ GUARDED_BY(error_mu_);
   std::atomic<bool> poisoned_{false};
 
+  /// Written only by Start and Join (single-caller contract below).
+  // hyder-check: allow(guard-completeness): single-caller confined
   std::vector<std::thread> threads_;
   /// Set by Close (any thread) and read by Feed/FeedRaw; atomic so a
   /// shutdown racing the feeder is benign.
   std::atomic<bool> closed_{false};
   /// Single-caller state: Feed/FeedRaw/Start/Join must be called from one
   /// thread at a time (the log-poll thread); never touched by workers.
+  // hyder-check: allow(guard-completeness): single-caller confined
   uint64_t fed_seq_;
+  // hyder-check: allow(guard-completeness): single-caller confined
   bool started_ = false;
 
   /// Publishes "pipeline.*" fields (via StatsSnapshot, which is mid-run

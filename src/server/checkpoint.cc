@@ -117,7 +117,13 @@ Result<Ref> DeserializeState(const char*& p, const char* limit,
         sl.key = key;
         sl.set_payload(std::string_view(p, len));
         p += len;
+        // A checkpointed state carries committed content only: provenance
+        // (ssv) and the Altered/DependsOn flags are transaction-relative
+        // and deliberately reset together with cv so the slot's meld
+        // triple is coherent for the next intention melded on top.
         sl.meta.cv = VersionId::FromRaw(cv);
+        sl.meta.ssv = VersionId();
+        sl.meta.flags = 0;
       }
       for (uint64_t ci = 0; ci <= slot_count; ++ci) {
         if (p >= limit) {

@@ -68,7 +68,7 @@ class ServerResolver : public NodeResolver {
 
   /// Cache-only lookup (no log refetch): serves decode-time
   /// pre-materialization of external references. Null on any miss.
-  NodePtr TryResolveCached(VersionId vn) override;
+  [[nodiscard]] NodePtr TryResolveCached(VersionId vn) override;
 
   /// Records that intention `seq` lives in the given log block positions
   /// (called by the log reader as intentions complete).
@@ -140,6 +140,7 @@ class ServerResolver : public NodeResolver {
     std::unordered_map<uint64_t, DirectoryEntry> directory GUARDED_BY(mu);
     /// This shard's slice of intention_cache_capacity (set once at
     /// construction, read-only afterwards).
+    // hyder-check: allow(guard-completeness): set at construction, read-only
     size_t capacity = 0;
   };
   /// One lock stripe of the ephemeral registry.
@@ -169,7 +170,11 @@ class ServerResolver : public NodeResolver {
   /// spaces, and no operation spans two sequences' shards while holding
   /// both). `pinned_mu_` is likewise only ever taken alone: the pinned
   /// fallback runs after the shard lock is released.
+  /// Both vectors are sized at construction and never resized; each
+  /// element synchronizes through its own embedded mutex.
+  // hyder-check: allow(guard-completeness): fixed topology, per-element mu
   std::vector<std::unique_ptr<Shard>> shards_;
+  // hyder-check: allow(guard-completeness): fixed topology, per-element mu
   std::vector<std::unique_ptr<EphemeralStripe>> eph_stripes_;
   mutable Mutex pinned_mu_;
   /// Checkpoint state S backing truncated-prefix resolution (see

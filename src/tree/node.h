@@ -163,7 +163,9 @@ class NodeResolver {
   /// external references on the decode thread, sparing the meld thread the
   /// resolver lock on first touch (the reference's identity is its version
   /// id either way, so pre-resolution cannot affect meld decisions).
-  virtual NodePtr TryResolveCached(VersionId vn) { return nullptr; }
+  [[nodiscard]] virtual NodePtr TryResolveCached(VersionId vn) {
+    return nullptr;
+  }
 };
 
 /// A child slot inside a node. Holds a strong reference when materialized.
@@ -175,6 +177,8 @@ class NodeResolver {
 class ChildSlot {
  public:
   ChildSlot() = default;
+  // relaxed: the destructor runs with exclusive access; any concurrent
+  // lazy->materialized CAS happened-before the last reference was dropped.
   ~ChildSlot() { NodeUnref(node_.load(std::memory_order_relaxed)); }
 
   ChildSlot(const ChildSlot&) = delete;
@@ -449,13 +453,15 @@ class Node {
   /// own* later writes inside one transaction when reads are not
   /// annotated, and validate.cc probes stability; readers take a version
   /// before reading and re-check it after instead of locking.
-  uint64_t OlcReadBegin() const {
+  [[nodiscard]] uint64_t OlcReadBegin() const {
     uint64_t v = olc_.load(std::memory_order_acquire);
     while (v & 1) v = olc_.load(std::memory_order_acquire);
     return v;
   }
-  bool OlcReadValidate(uint64_t v) const {
+  [[nodiscard]] bool OlcReadValidate(uint64_t v) const {
     std::atomic_thread_fence(std::memory_order_acquire);
+    // relaxed: the fence above orders the preceding data reads against
+    // this re-check; the load itself needs no edge of its own.
     return olc_.load(std::memory_order_relaxed) == v;
   }
   void OlcWriteBegin() { olc_.fetch_add(1, std::memory_order_acq_rel); }
@@ -539,6 +545,9 @@ class OlcWriteGuard {
 };
 
 inline void NodeRef(Node* n) {
+  // relaxed: a new reference is always created from an existing one, so
+  // the count can only be raced upward; NodeUnref's release/acquire pair
+  // orders destruction.
   if (n != nullptr) n->refs_.fetch_add(1, std::memory_order_relaxed);
 }
 

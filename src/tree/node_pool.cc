@@ -83,6 +83,7 @@ SlotArena& WideArena(int class_index) {
 }  // namespace
 
 void* AllocateNodeSlot() {
+  // relaxed: monotonic arena stats counter; no ordering dependency.
   g_allocated.fetch_add(1, std::memory_order_relaxed);
   g_live.fetch_add(1, std::memory_order_relaxed);
 #ifdef HYDER_DISABLE_NODE_POOL
@@ -97,6 +98,7 @@ void* AllocateNodeSlot() {
 }
 
 void ReleaseNodeSlot(void* slot) {
+  // relaxed: monotonic arena stats counter; no ordering dependency.
   g_live.fetch_sub(1, std::memory_order_relaxed);
 #ifdef HYDER_DISABLE_NODE_POOL
   ::operator delete(slot, std::align_val_t(alignof(Node)));
@@ -132,6 +134,8 @@ size_t TrimNodeArena() {
 
 ArenaStats NodeArenaStats() {
   ArenaStats s;
+  // relaxed: stats snapshot; each counter is independently monotonic and
+  // the snapshot makes no cross-counter consistency promise.
   s.live = g_live.load(std::memory_order_relaxed);
   s.allocated = g_allocated.load(std::memory_order_relaxed);
   s.payload_heap_allocs = g_payload_heap_allocs.load(std::memory_order_relaxed);
@@ -167,14 +171,17 @@ namespace {
 }  // namespace
 
 void CountPayloadHeapAlloc() {
+  // relaxed: monotonic arena stats counter; no ordering dependency.
   g_payload_heap_allocs.fetch_add(1, std::memory_order_relaxed);
 }
 
 void CountPayloadHeapFree() {
+  // relaxed: monotonic arena stats counter; no ordering dependency.
   g_payload_heap_frees.fetch_add(1, std::memory_order_relaxed);
 }
 
 void* AllocateWideExtent(int fanout) {
+  // relaxed: monotonic arena stats counter; no ordering dependency.
   g_wide_allocated.fetch_add(1, std::memory_order_relaxed);
   g_wide_live.fetch_add(1, std::memory_order_relaxed);
 #ifdef HYDER_DISABLE_NODE_POOL
@@ -188,6 +195,7 @@ void* AllocateWideExtent(int fanout) {
 }
 
 void ReleaseWideExtent(void* extent, int fanout) {
+  // relaxed: monotonic arena stats counter; no ordering dependency.
   g_wide_live.fetch_sub(1, std::memory_order_relaxed);
 #ifdef HYDER_DISABLE_NODE_POOL
   (void)fanout;
@@ -197,6 +205,7 @@ void ReleaseWideExtent(void* extent, int fanout) {
 #endif
 }
 
+// relaxed: monotonic-pair counter read for leak tests at quiesce points.
 uint64_t LiveNodeCount() { return g_live.load(std::memory_order_relaxed); }
 
 }  // namespace hyder

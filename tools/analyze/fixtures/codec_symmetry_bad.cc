@@ -1,0 +1,32 @@
+// hyder-check fixture: seeded codec-symmetry violations. Analyzed by
+// selftest.py; never compiled.
+#include <cstdint>
+
+enum WireFlags : uint32_t {
+  kWireHasPayload = 1,
+  kWireWriteOnly = 2,
+  kWireReadOnly = 4,
+};
+
+struct Sink {
+  void PutU32(uint32_t v);
+};
+struct Source {
+  uint32_t TakeU32();
+  bool Check(uint32_t f);
+};
+
+// The serializer emits kWireWriteOnly, but no deserialize-side function
+// ever examines it: silent format drift.
+void SerializeRecord(Sink& out, bool has_payload) {
+  uint32_t flags = has_payload ? kWireHasPayload : 0;
+  flags |= kWireWriteOnly;  // expect: codec-symmetry
+  out.PutU32(flags);
+}
+
+// The decoder checks kWireReadOnly, which no serializer ever produces.
+bool DecodeRecord(Source& in) {
+  const uint32_t flags = in.TakeU32();
+  if (flags & kWireReadOnly) return false;  // expect: codec-symmetry
+  return (flags & kWireHasPayload) != 0;
+}

@@ -1,0 +1,31 @@
+// hyder-check fixture: every wire constant referenced on both sides —
+// codec-symmetry must stay quiet. Analyzed by selftest.py; never compiled.
+#include <cstdint>
+
+enum WireFlags : uint32_t {
+  kWireHasPayload = 1,
+  kWireDeleted = 2,
+};
+
+// Referenced outside any serialize/deserialize-classified function:
+// neutral, never counted as a side.
+constexpr uint32_t kWireAllFlags = kWireHasPayload | kWireDeleted;
+
+struct Sink {
+  void PutU32(uint32_t v);
+};
+struct Source {
+  uint32_t TakeU32();
+};
+
+void SerializeRecord(Sink& out, bool has_payload, bool deleted) {
+  uint32_t flags = has_payload ? kWireHasPayload : 0;
+  if (deleted) flags |= kWireDeleted;
+  out.PutU32(flags);
+}
+
+bool DecodeRecord(Source& in, bool* deleted) {
+  const uint32_t flags = in.TakeU32();
+  *deleted = (flags & kWireDeleted) != 0;
+  return (flags & kWireHasPayload) != 0;
+}

@@ -1,0 +1,26 @@
+// hyder-check fixture: node mutation under an OlcWriteGuard in a lexically
+// enclosing scope, which cow-discipline must accept even outside the
+// allowlisted files. Analyzed by selftest.py; never compiled.
+#include <string>
+
+struct Node {
+  void set_payload(const std::string& p);
+};
+struct OlcWriteGuard {
+  explicit OlcWriteGuard(Node* n);
+  ~OlcWriteGuard();
+};
+
+// Guard declared in the same block.
+void PatchUnderGuard(Node* n) {
+  OlcWriteGuard guard(n);
+  n->set_payload("x");
+}
+
+// Guard declared in an enclosing block still covers nested scopes.
+void PatchUnderOuterGuard(Node* n, bool flag) {
+  OlcWriteGuard guard(n);
+  if (flag) {
+    n->set_payload("y");
+  }
+}

@@ -1,0 +1,20 @@
+// hyder-check fixture: seeded guard-completeness violations. Analyzed by
+// selftest.py; never compiled (Mutex/GUARDED_BY spellings are all the
+// rule keys on).
+#include <cstdint>
+#include <map>
+
+struct Mutex {};
+#define GUARDED_BY(x)
+
+// One annotated member, two silently opted out of -Wthread-safety.
+class IntentionCache {
+ public:
+  int Get(int key);
+
+ private:
+  mutable Mutex mu_;
+  std::map<int, int> entries_ GUARDED_BY(mu_);
+  uint64_t hits_ = 0;  // expect: guard-completeness
+  uint64_t misses_ = 0;  // expect: guard-completeness
+};

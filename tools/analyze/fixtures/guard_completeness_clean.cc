@@ -1,0 +1,30 @@
+// hyder-check fixture: a Mutex-holding class where every member is
+// annotated, exempt by kind, or explicitly justified — guard-completeness
+// must stay quiet. Analyzed by selftest.py; never compiled.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+struct Mutex {};
+#define GUARDED_BY(x)
+
+class IntentionCache {
+ public:
+  int Get(int key);
+
+ private:
+  mutable Mutex mu_;
+  std::map<int, int> entries_ GUARDED_BY(mu_);
+  std::atomic<uint64_t> hits_{0};
+  const std::string name_;
+  static constexpr int kShards = 8;
+  // hyder-check: allow(guard-completeness): set at construction, read-only
+  uint64_t capacity_ = 0;
+};
+
+// No Mutex member: the rule does not apply at all.
+class PlainStruct {
+ private:
+  uint64_t anything_goes_ = 0;
+};

@@ -1,0 +1,41 @@
+// hyder-check fixture: seeded olc-pairing violations. Analyzed by
+// selftest.py with the text frontend; never compiled. Each `// expect:`
+// marker names the rule expected to fire on that line.
+#include <cstdint>
+
+struct Node {
+  uint64_t OlcReadBegin() const;
+  bool OlcReadValidate(uint64_t v) const;
+  int value() const;
+};
+
+// An optimistic read with no validation at all: the returned value may be
+// torn by a concurrent in-place writer.
+int ReadNeverValidates(const Node* n) {
+  const uint64_t v = n->OlcReadBegin();  // expect: olc-pairing
+  (void)v;
+  return n->value();
+}
+
+// The early-out between begin and validate leaves that path unvalidated.
+int ReadEarlyReturn(const Node* n) {
+  const uint64_t v = n->OlcReadBegin();
+  const int x = n->value();
+  if (x < 0) return x;  // expect: olc-pairing
+  if (!n->OlcReadValidate(v)) return -1;
+  return x;
+}
+
+// The validation result is discarded — exactly the bit that makes the
+// read safe.
+int ReadDiscardsValidate(const Node* n) {
+  const uint64_t v = n->OlcReadBegin();
+  const int x = n->value();
+  n->OlcReadValidate(v);  // expect: olc-pairing
+  return x;
+}
+
+// A discarded begin cannot be validated at all.
+void DiscardedBegin(const Node* n) {
+  n->OlcReadBegin();  // expect: olc-pairing
+}

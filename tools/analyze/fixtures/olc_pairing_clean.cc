@@ -1,0 +1,26 @@
+// hyder-check fixture: the codebase's OLC retry idiom, which olc-pairing
+// must accept unchanged. Analyzed by selftest.py; never compiled.
+#include <cstdint>
+
+struct Node {
+  uint64_t OlcReadBegin() const;
+  bool OlcReadValidate(uint64_t v) const;
+  int value() const;
+};
+
+// The canonical retry loop: begin, read, validate-or-retry, and only then
+// act on the snapshot.
+int ReadWithRetry(const Node* n) {
+  for (;;) {
+    const uint64_t v = n->OlcReadBegin();
+    const int x = n->value();
+    if (!n->OlcReadValidate(v)) continue;
+    return x;
+  }
+}
+
+// Returning the validation verdict itself consumes it.
+bool ProbeStable(const Node* n) {
+  const uint64_t v = n->OlcReadBegin();
+  return n->OlcReadValidate(v);
+}

@@ -1,0 +1,18 @@
+// hyder-check fixture: seeded ordering-rationale violations. Analyzed by
+// selftest.py; never compiled.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<uint64_t> g_counter{0};
+
+// No written argument for why this value participates in no
+// happens-before edge.
+uint64_t Peek() {
+  return g_counter.load(std::memory_order_relaxed);  // expect: ordering-rationale
+}
+
+// A comment that does not carry the `relaxed:` sentence does not count.
+void Bump() {
+  // fast path, no lock needed
+  g_counter.fetch_add(1, std::memory_order_relaxed);  // expect: ordering-rationale
+}

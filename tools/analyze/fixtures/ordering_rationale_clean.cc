@@ -1,0 +1,30 @@
+// hyder-check fixture: every relaxed access carries its rationale in one
+// of the accepted positions — ordering-rationale must stay quiet.
+// Analyzed by selftest.py; never compiled.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<uint64_t> g_counter{0};
+std::atomic<uint64_t> g_other{0};
+
+// Preceding-line form.
+uint64_t Peek() {
+  // relaxed: stats snapshot; nothing orders against this value.
+  return g_counter.load(std::memory_order_relaxed);
+}
+
+// Same-line form (and capital R is accepted).
+void Bump() {
+  g_counter.fetch_add(1, std::memory_order_relaxed);  // Relaxed: monotonic stat.
+}
+
+// A multi-line comment block immediately above counts even when the
+// rationale sentence starts a few lines up.
+uint64_t PeekBlock() {
+  // relaxed: both counters are independently monotonic statistics;
+  // the dump tolerates an in-flight increment between the two loads,
+  // so no pairing is required.
+  const uint64_t a = g_counter.load(std::memory_order_relaxed);
+  const uint64_t b = g_other.load(std::memory_order_relaxed);
+  return a + b;
+}

@@ -1,0 +1,28 @@
+// hyder-check fixture: seeded slot-meta-sync violations. Analyzed by
+// selftest.py; never compiled.
+#include <cstdint>
+
+struct VersionId {
+  explicit VersionId(uint64_t raw = 0);
+};
+struct WideSlotMeta {
+  VersionId ssv;
+  VersionId base_cv;
+  VersionId cv;
+  uint32_t flags = 0;
+};
+struct WideSlot {
+  WideSlotMeta meta;
+};
+
+// cv rewritten alone: the slot now pairs a new committed version with the
+// previous transaction's provenance — meld reads them as one record.
+void StaleProvenance(WideSlot& sl) {
+  sl.meta.cv = VersionId(7);  // expect: slot-meta-sync
+}
+
+// A companion update on a *different* object does not make this coherent.
+void WrongObjectCompanion(WideSlot& a, WideSlot& b) {
+  a.meta.cv = VersionId(7);  // expect: slot-meta-sync
+  b.meta.ssv = VersionId(3);
+}

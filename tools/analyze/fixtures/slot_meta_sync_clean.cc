@@ -1,0 +1,34 @@
+// hyder-check fixture: coherent WideSlotMeta updates that slot-meta-sync
+// must accept. Analyzed by selftest.py; never compiled.
+#include <cstdint>
+
+struct VersionId {
+  explicit VersionId(uint64_t raw = 0);
+};
+struct WideSlotMeta {
+  VersionId ssv;
+  VersionId base_cv;
+  VersionId cv;
+  uint32_t flags = 0;
+};
+struct WideSlot {
+  WideSlotMeta meta;
+};
+
+// cv together with ssv, same object, same block (order is style).
+void CommitSlot(WideSlot& sl) {
+  sl.meta.cv = VersionId(7);
+  sl.meta.ssv = VersionId(3);
+}
+
+// flags counts as the companion too.
+void CommitSlotFlags(WideSlot& sl) {
+  sl.meta.flags = 0;
+  sl.meta.cv = VersionId(7);
+}
+
+// A whole-meta assignment rewrites the record atomically.
+void ResetSlot(WideSlot& sl) {
+  sl.meta.cv = VersionId(7);
+  sl.meta = WideSlotMeta{};
+}

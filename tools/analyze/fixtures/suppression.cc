@@ -1,0 +1,30 @@
+// hyder-check fixture: every violation below carries a suppression in one
+// of the documented forms, so the driver must report zero findings for
+// this file. selftest.py runs the full driver on it (suppressions are a
+// driver feature, not a rule feature); never compiled.
+//
+// File-wide form:
+// hyder-check: allow-file(olc-pairing): fixture exercises other rules
+#include <atomic>
+#include <cstdint>
+
+std::atomic<uint64_t> g_counter{0};
+
+struct Node {
+  uint64_t OlcReadBegin() const;
+  bool OlcReadValidate(uint64_t v) const;
+};
+
+// Covered by the allow-file(olc-pairing) above.
+void DiscardedBeginFileWide(const Node* n) {
+  n->OlcReadBegin();
+}
+
+uint64_t PrecedingLineForm() {
+  // hyder-check: allow(ordering-rationale): fixture — preceding-line form
+  return g_counter.load(std::memory_order_relaxed);
+}
+
+uint64_t SameLineForm() {
+  return g_counter.load(std::memory_order_relaxed);  // hyder-check: allow(ordering-rationale): same-line form
+}

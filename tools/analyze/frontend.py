@@ -1,0 +1,167 @@
+"""Frontends for hyder-check.
+
+Two ways to recover the structural model (structure.SourceFile):
+
+ * **text** — the built-in structural parser (lexer.py + structure.py).
+   Self-contained, no dependencies; this is the reference frontend and the
+   one exercised by the self-tests.
+ * **clang** — libclang (the `clang.cindex` Python bindings) over the
+   compile database. When importable and a libclang shared library is
+   found, function and class extents come from the real AST and member
+   const/atomic-ness from real types; the token stream and comments still
+   come from the built-in lexer (libclang drops comment positions in
+   macro-heavy code). Falls back to text per-file on parse failure.
+
+`auto` prefers clang when it is genuinely available and silently uses text
+otherwise — the container this repo builds in has no libclang, so text is
+the mode CI and ctest actually exercise.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+from typing import Dict, List, Optional
+
+import structure
+from structure import ClassInfo, Function, Member, SourceFile
+
+_CLANG_INDEX = None
+_CLANG_TRIED = False
+
+
+def clang_available() -> bool:
+    global _CLANG_INDEX, _CLANG_TRIED
+    if _CLANG_TRIED:
+        return _CLANG_INDEX is not None
+    _CLANG_TRIED = True
+    try:
+        from clang import cindex  # type: ignore
+        lib = os.environ.get("HYDER_CHECK_LIBCLANG")
+        if lib:
+            cindex.Config.set_library_file(lib)
+        _CLANG_INDEX = cindex.Index.create()
+    except Exception:
+        _CLANG_INDEX = None
+    return _CLANG_INDEX is not None
+
+
+def resolve_frontend(requested: str) -> str:
+    if requested == "auto":
+        return "clang" if clang_available() else "text"
+    if requested == "clang" and not clang_available():
+        raise RuntimeError(
+            "frontend 'clang' requested but the clang.cindex bindings or "
+            "libclang shared library are unavailable; install libclang or "
+            "use --frontend=text (set HYDER_CHECK_LIBCLANG to point at the "
+            "shared library explicitly)")
+    return requested
+
+
+def build(path: str, rel_path: str, mode: str,
+          compile_args: Optional[List[str]] = None) -> SourceFile:
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    sf = structure.build_source_file(path, rel_path, text)
+    if mode == "clang":
+        try:
+            _enrich_with_clang(sf, compile_args or [])
+        except Exception:
+            pass  # Text-mode structure already in place.
+    return sf
+
+
+def _enrich_with_clang(sf: SourceFile, compile_args: List[str]) -> None:
+    """Replaces function/class discovery with exact AST extents."""
+    from clang import cindex  # type: ignore
+    tu = _CLANG_INDEX.parse(
+        sf.path, args=compile_args,
+        options=cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0)
+    if tu is None:
+        return
+    for d in tu.diagnostics:
+        if d.severity >= cindex.Diagnostic.Fatal:
+            return  # Keep the text-mode model.
+    offsets = [t.offset for t in sf.tokens]
+
+    def tok_at(offset: int, lo: bool) -> int:
+        i = bisect.bisect_left(offsets, offset)
+        if not lo and (i >= len(offsets) or offsets[i] != offset):
+            i -= 1
+        return max(0, min(i, len(offsets) - 1))
+
+    functions: List[Function] = []
+    classes: List[ClassInfo] = []
+    fn_kinds = {
+        cindex.CursorKind.FUNCTION_DECL, cindex.CursorKind.CXX_METHOD,
+        cindex.CursorKind.CONSTRUCTOR, cindex.CursorKind.DESTRUCTOR,
+        cindex.CursorKind.FUNCTION_TEMPLATE,
+    }
+    cls_kinds = {cindex.CursorKind.CLASS_DECL, cindex.CursorKind.STRUCT_DECL,
+                 cindex.CursorKind.CLASS_TEMPLATE}
+
+    def visit(cur) -> None:
+        for c in cur.get_children():
+            loc_file = c.location.file
+            if loc_file is None or \
+                    os.path.realpath(loc_file.name) != \
+                    os.path.realpath(sf.path):
+                continue
+            if c.kind in fn_kinds and c.is_definition():
+                body = None
+                for ch in c.get_children():
+                    if ch.kind == cindex.CursorKind.COMPOUND_STMT:
+                        body = ch
+                if body is not None:
+                    bs = tok_at(body.extent.start.offset, True)
+                    be = tok_at(body.extent.end.offset - 1, False)
+                    functions.append(
+                        Function(c.spelling, c.location.line, bs, be))
+            if c.kind in cls_kinds and c.is_definition():
+                members: List[Member] = []
+                for ch in c.get_children():
+                    if ch.kind != cindex.CursorKind.FIELD_DECL:
+                        continue
+                    ty = ch.type
+                    spelling = ty.spelling
+                    members.append(Member(
+                        name=ch.spelling, line=ch.location.line,
+                        type_tokens=spelling.split(),
+                        annotations=_field_annotations(ch),
+                        is_const=ty.is_const_qualified(),
+                        is_static=False,
+                        is_atomic=spelling.startswith("std::atomic") or
+                        spelling.startswith("const std::atomic"),
+                        is_reference="&" in spelling))
+                ext = c.extent
+                classes.append(ClassInfo(
+                    c.spelling, c.location.line,
+                    tok_at(ext.start.offset, True),
+                    tok_at(ext.end.offset - 1, False), members))
+            visit(c)
+
+    visit(tu.cursor)
+    if functions:
+        sf.functions = functions
+    if classes:
+        sf.classes = classes
+
+
+def _field_annotations(cursor) -> set:
+    anns = set()
+    try:
+        for ch in cursor.get_children():
+            txt = ch.spelling or ""
+            if "guarded" in txt.lower():
+                anns.add("GUARDED_BY")
+    except Exception:
+        pass
+    # libclang exposes attributes inconsistently across versions; fall back
+    # to scanning the declaration's own tokens.
+    try:
+        for t in cursor.get_tokens():
+            if t.spelling in ("GUARDED_BY", "PT_GUARDED_BY"):
+                anns.add(t.spelling)
+    except Exception:
+        pass
+    return anns

@@ -1,0 +1,185 @@
+"""C++ lexer for hyder-check.
+
+Produces a token stream with precise line/column/offset information and a
+separate comment list (comments carry the suppression and rationale
+annotations the rules consume, so they are first-class here, not noise).
+
+This is not a conforming C++ lexer; it is a structural lexer good enough to
+recover call expressions, declarations and brace structure from a codebase
+that compiles. Preprocessor directives are consumed as opaque lines (their
+trailing comments are still collected). Raw strings, line continuations and
+the usual comment/string forms are handled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import List
+
+# Longest-match-first punctuation. Only operators the rules care to
+# distinguish need to be multi-character; the rest may split harmlessly.
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", ".*", "#", "{", "}", "(", ")", "[", "]", ";", ",", ".", "<", ">",
+    "=", "+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "?", ":",
+]
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"(?:0[xX][0-9a-fA-F']+|[0-9][0-9a-fA-F'.eEpPxXuUlLfb]*)")
+
+
+@dataclasses.dataclass
+class Token:
+    kind: str  # "id" | "num" | "str" | "chr" | "punct"
+    text: str
+    line: int  # 1-based
+    col: int   # 1-based
+    offset: int
+
+
+@dataclasses.dataclass
+class Comment:
+    text: str  # includes the // or /* */ delimiters
+    line: int  # line the comment starts on
+    end_line: int
+    col: int
+    offset: int
+
+
+@dataclasses.dataclass
+class LexResult:
+    tokens: List[Token]
+    comments: List[Comment]
+
+
+def lex(text: str) -> LexResult:
+    tokens: List[Token] = []
+    comments: List[Comment] = []
+    i = 0
+    n = len(text)
+    line = 1
+    line_start = 0
+
+    def col(pos: int) -> int:
+        return pos - line_start + 1
+
+    def count_newlines(s: str) -> int:
+        return s.count("\n")
+
+    at_line_start = True  # only whitespace seen since the last newline
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "\\" and i + 1 < n and text[i + 1] == "\n":
+            line += 1
+            i += 2
+            line_start = i
+            continue
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            comments.append(Comment(text[i:j], line, line, col(i), i))
+            i = j
+            at_line_start = False
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            body = text[i:j]
+            comments.append(
+                Comment(body, line, line + count_newlines(body), col(i), i))
+            nl = body.rfind("\n")
+            if nl != -1:
+                line += count_newlines(body)
+                line_start = i + nl + 1
+            i = j
+            at_line_start = False
+            continue
+        # Preprocessor directive: consume the logical line (honouring
+        # backslash continuations), but re-scan it for trailing comments.
+        if c == "#" and at_line_start:
+            start = i
+            while i < n:
+                j = text.find("\n", i)
+                if j == -1:
+                    i = n
+                    break
+                # Check for a // comment inside the directive line.
+                seg = text[i:j]
+                cpos = seg.find("//")
+                if cpos != -1:
+                    comments.append(
+                        Comment(seg[cpos:], line, line, col(i + cpos),
+                                i + cpos))
+                if text[j - 1] == "\\" if j > start else False:
+                    line += 1
+                    i = j + 1
+                    line_start = i
+                    continue
+                i = j
+                break
+            at_line_start = False
+            continue
+        at_line_start = False
+        # Raw strings: R"delim( ... )delim"
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            m = re.match(r'R"([^()\\ \t\n]*)\(', text[i:])
+            if m:
+                closer = ")" + m.group(1) + '"'
+                j = text.find(closer, i + m.end())
+                j = n if j == -1 else j + len(closer)
+                body = text[i:j]
+                tokens.append(Token("str", body, line, col(i), i))
+                nl = body.rfind("\n")
+                if nl != -1:
+                    line += count_newlines(body)
+                    line_start = i + nl + 1
+                i = j
+                continue
+        # Strings and chars.
+        if c == '"' or c == "'":
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == c or text[j] == "\n":
+                    break
+                j += 1
+            j = min(j + 1, n)
+            tokens.append(
+                Token("str" if c == '"' else "chr", text[i:j], line, col(i),
+                      i))
+            i = j
+            continue
+        m = _ID_RE.match(text, i)
+        if m:
+            tokens.append(Token("id", m.group(), line, col(i), i))
+            i = m.end()
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            m = _NUM_RE.match(text, i)
+            if m:
+                tokens.append(Token("num", m.group(), line, col(i), i))
+                i = m.end()
+                continue
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line, col(i), i))
+                i += len(p)
+                break
+        else:
+            i += 1  # Unknown byte: skip.
+    return LexResult(tokens, comments)

@@ -1,0 +1,96 @@
+"""codec-symmetry: wire/checkpoint constants are used on both sides.
+
+The intention wire format and the checkpoint format are hand-rolled
+(src/txn/codec.cc, src/server/checkpoint.cc): a flag bit set by the
+serializer and never examined by the deserializer — or vice versa — is a
+silent format drift that round-trip tests only catch for the field values
+the test happens to exercise.
+
+The check is cross-file: every `kWire*` / `kCheckpoint*` constant
+referenced inside a serialize-side function must also be referenced inside
+a deserialize-side function somewhere in the analyzed set, and vice versa.
+Sides are classified by function name (`Serialize|Encode|Write|Append|Put|
+Emit|Save` vs `Deserialize|Decode|Read|Parse|Load|Scan|Find|Recover`);
+a name matching both vocabularies counts for both, references outside any
+classified function are neutral, and a constant's *definition* (enum or
+constexpr initialization) never counts as a use.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from rules import Finding, Rule
+from structure import SourceFile
+
+_CONST_RE = re.compile(r"^(kWire|kCheckpoint)[A-Za-z0-9_]*$")
+_SER_RE = re.compile(r"(Serialize|Encode|Write|Append|Put|Emit|Save)")
+_DESER_RE = re.compile(
+    r"(Deserialize|Decode|Read|Parse|Load|Scan|Find|Recover)")
+
+
+class CodecSymmetryRule(Rule):
+    id = "codec-symmetry"
+    description = ("kWire*/kCheckpoint* constants must be referenced on "
+                   "both the serialize and deserialize side")
+
+    def __init__(self) -> None:
+        # const name -> set of sides seen; and the first reference site per
+        # side for diagnostics.
+        self._sides: Dict[str, Set[str]] = {}
+        self._first_ref: Dict[Tuple[str, str], Tuple[str, int]] = {}
+
+    def check(self, sf: SourceFile) -> List[Finding]:
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or not _CONST_RE.match(t.text):
+                continue
+            if self._is_definition(sf, i):
+                continue
+            fn = sf.enclosing_function(i)
+            if fn is None:
+                continue
+            sides = []
+            if _SER_RE.search(fn.name):
+                sides.append("serialize")
+            if _DESER_RE.search(fn.name):
+                sides.append("deserialize")
+            for side in sides:
+                self._sides.setdefault(t.text, set()).add(side)
+                self._first_ref.setdefault(
+                    (t.text, side), (sf.rel_path, t.line))
+        return []
+
+    def finalize(self) -> List[Finding]:
+        out: List[Finding] = []
+        for name in sorted(self._sides):
+            sides = self._sides[name]
+            if "serialize" in sides and "deserialize" not in sides:
+                path, line = self._first_ref[(name, "serialize")]
+                out.append(Finding(
+                    self.id, path, line,
+                    f"'{name}' is written by the serialize side but never "
+                    "examined by any deserialize-side function"))
+            elif "deserialize" in sides and "serialize" not in sides:
+                path, line = self._first_ref[(name, "deserialize")]
+                out.append(Finding(
+                    self.id, path, line,
+                    f"'{name}' is examined by the deserialize side but "
+                    "never produced by any serialize-side function"))
+        return out
+
+    def _is_definition(self, sf: SourceFile, idx: int) -> bool:
+        """kFoo = <expr> at enum or namespace scope, or `constexpr T kFoo`."""
+        toks = sf.tokens
+        nxt = toks[idx + 1] if idx + 1 < len(toks) else None
+        if nxt is not None and nxt.kind == "punct" and nxt.text == "=":
+            # Assignment to a constant is ill-formed C++, so `kFoo =` can
+            # only be a definition/initialization.
+            return True
+        # `kFoo,` or `kFoo }` inside an enum body (implicit value).
+        if nxt is not None and nxt.text in (",", "}"):
+            prev = toks[idx - 1] if idx > 0 else None
+            if prev is not None and prev.text in (",", "{"):
+                return True
+        return False

@@ -1,0 +1,118 @@
+"""olc-pairing: every OlcReadBegin is matched by a consumed OlcReadValidate.
+
+The OLC seqlock protocol (src/tree/node.h, DESIGN.md "Node layout &
+optimistic read validation") is only sound when every optimistic read
+section is closed by a validation whose result the reader acts on:
+
+ * a function that takes a read version with `OlcReadBegin()` and never
+   calls `OlcReadValidate()` returns data that may have been torn by a
+   concurrent in-place writer;
+ * a `return` between the begin and the first validation leaves that path
+   unvalidated (early-outs inside the retry loop are the classic miss);
+ * a validation used as a bare expression statement discards exactly the
+   bit that makes the read safe;
+ * a discarded `OlcReadBegin()` cannot be validated at all (and spins on
+   the write bit for nothing).
+
+A full path-sensitive argument needs the CFG; this check is deliberately
+lexical and conservative in what it accepts: begin-then-validate within the
+same function, with no `return` token between a begin and the first
+subsequent validation. The codebase's retry idiom —
+
+    const uint64_t v = n->OlcReadBegin();
+    ... reads ...
+    if (!n->OlcReadValidate(v)) continue;
+
+passes; hoisting a `return` into the read section is flagged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from rules import Finding, Rule
+from structure import SourceFile, call_sites, chain_start
+
+_BEGIN = "OlcReadBegin"
+_VALIDATE = "OlcReadValidate"
+
+
+class OlcPairingRule(Rule):
+    id = "olc-pairing"
+    description = ("OlcReadBegin must be paired with a consumed "
+                   "OlcReadValidate on every return path")
+
+    def check(self, sf: SourceFile) -> List[Finding]:
+        out: List[Finding] = []
+        begins = [i for i, _ in call_sites(sf, {_BEGIN})]
+        validates = [i for i, _ in call_sites(sf, {_VALIDATE})]
+
+        for idx in begins + validates:
+            if self._is_discarded(sf, idx):
+                name = sf.tokens[idx].text
+                out.append(Finding(
+                    self.id, sf.rel_path, sf.tokens[idx].line,
+                    f"result of {name}() is discarded; the version word "
+                    "must be kept and validated"))
+
+        for fn in sf.functions:
+            fn_begins = [i for i in begins if fn.body_start < i < fn.body_end
+                         and sf.enclosing_function(i) is fn]
+            if not fn_begins:
+                continue
+            fn_validates = [i for i in validates
+                            if fn.body_start < i < fn.body_end]
+            if not fn_validates:
+                out.append(Finding(
+                    self.id, sf.rel_path, sf.tokens[fn_begins[0]].line,
+                    f"function '{fn.name}' calls OlcReadBegin() but never "
+                    "OlcReadValidate(); the optimistic read is unvalidated"))
+                continue
+            # No `return` may sit between a begin and the next validation.
+            returns = [i for i in range(fn.body_start + 1, fn.body_end)
+                       if sf.tokens[i].kind == "id" and
+                       sf.tokens[i].text == "return" and
+                       sf.enclosing_function(i) is fn]
+            for b in fn_begins:
+                nxt = [v for v in fn_validates if v > b]
+                bound = nxt[0] if nxt else fn.body_end
+                for r in returns:
+                    if b < r < bound and \
+                            not self._returns_validation(sf, r, fn_validates):
+                        out.append(Finding(
+                            self.id, sf.rel_path, sf.tokens[r].line,
+                            f"return path in '{fn.name}' leaves the "
+                            "optimistic read begun on line "
+                            f"{sf.tokens[b].line} unvalidated"))
+        return out
+
+    def _returns_validation(self, sf: SourceFile, ret_idx: int,
+                            validates: List[int]) -> bool:
+        """True for `return ...OlcReadValidate(...)...;` — the returned
+        expression consumes the validation, so this path is validated."""
+        i = ret_idx + 1
+        while i < len(sf.tokens):
+            t = sf.tokens[i]
+            if t.kind == "punct" and t.text == ";":
+                return False
+            if i in validates:
+                return True
+            if t.kind == "punct" and t.text == "{":
+                # A lambda body is its own path; don't credit its contents.
+                i = sf.match.get(i, i) + 1
+                continue
+            i += 1
+        return False
+
+    def _is_discarded(self, sf: SourceFile, name_idx: int) -> bool:
+        """True when the call is a bare expression statement."""
+        start = chain_start(sf, name_idx)
+        prev = sf.tokens[start - 1] if start > 0 else None
+        if prev is not None and not (
+                prev.kind == "punct" and prev.text in (";", "{", "}")):
+            return False
+        close = sf.match.get(name_idx + 1)
+        if close is None:
+            return False
+        nxt = sf.tokens[close + 1] if close + 1 < len(sf.tokens) else None
+        return nxt is not None and nxt.kind == "punct" and nxt.text == ";"

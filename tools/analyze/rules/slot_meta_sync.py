@@ -1,0 +1,90 @@
+"""slot-meta-sync: `WideSlotMeta::cv` updates keep ssv/flags coherent.
+
+A wide slot's provenance triple (`ssv`, `base_cv`, `cv`) plus its
+Altered/DependsOn `flags` are one logical record: meld's per-slot conflict
+checks read them together, so a `cv` written without re-deriving `ssv` or
+`flags` in the same step is how a slot silently carries a stale provenance
+into a conflict decision (wrong commit/abort, not a crash).
+
+The check: every assignment to `<obj>.meta.cv` must be accompanied, in the
+same statement block, by an assignment to `<obj>.meta.ssv` or
+`<obj>.meta.flags` on the *same object expression*, or by a whole-meta
+assignment (`<obj>.meta = ...`), which rewrites the record atomically.
+Blocks are the innermost brace scope; "before or after" within the block
+both count (field order is style, coherence is the invariant).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from rules import Finding, Rule
+from structure import SourceFile, chain_start
+
+_ASSIGN_OPS = {"=", "|=", "&=", "^="}
+
+
+class SlotMetaSyncRule(Rule):
+    id = "slot-meta-sync"
+    description = ("an assignment to WideSlotMeta::cv needs an ssv/flags "
+                   "update in the same block")
+
+    def check(self, sf: SourceFile) -> List[Finding]:
+        out: List[Finding] = []
+        for meta_idx, field, base in self._meta_writes(sf):
+            if field != "cv":
+                continue
+            if self._block_has_companion(sf, meta_idx, base):
+                continue
+            out.append(Finding(
+                self.id, sf.rel_path, sf.tokens[meta_idx].line,
+                f"'{base}.meta.cv' is assigned without an ssv/flags update "
+                "(or whole-meta assignment) in the same block; the slot's "
+                "provenance triple goes incoherent"))
+        return out
+
+    def _meta_writes(self, sf: SourceFile):
+        """Yields (meta_tok_idx, field, base_text) for `X.meta.F op=`."""
+        toks = sf.tokens
+        for i in range(1, len(toks) - 3):
+            if not (toks[i].kind == "id" and toks[i].text == "meta"):
+                continue
+            if toks[i - 1].text not in (".", "->"):
+                continue
+            if toks[i + 1].text != "." or toks[i + 2].kind != "id":
+                continue
+            if toks[i + 3].kind != "punct" or \
+                    toks[i + 3].text not in _ASSIGN_OPS:
+                continue
+            base = self._base_text(sf, i)
+            yield i, toks[i + 2].text, base
+
+    def _whole_meta_writes(self, sf: SourceFile):
+        """Yields (meta_tok_idx, base_text) for `X.meta = ...`."""
+        toks = sf.tokens
+        for i in range(1, len(toks) - 1):
+            if not (toks[i].kind == "id" and toks[i].text == "meta"):
+                continue
+            if toks[i - 1].text not in (".", "->"):
+                continue
+            if toks[i + 1].kind == "punct" and toks[i + 1].text == "=":
+                yield i, self._base_text(sf, i)
+
+    def _base_text(self, sf: SourceFile, meta_idx: int) -> str:
+        start = chain_start(sf, meta_idx)
+        return "".join(t.text for t in sf.tokens[start:meta_idx - 1]) \
+            .removesuffix(".").removesuffix("->")
+
+    def _block_has_companion(self, sf: SourceFile, cv_idx: int,
+                             base: str) -> bool:
+        block = sf.open_of.get(cv_idx)
+        if block is None:
+            return False
+        end = sf.match.get(block, len(sf.tokens))
+        for i, field, b in self._meta_writes(sf):
+            if block < i < end and field in ("ssv", "flags") and b == base:
+                return True
+        for i, b in self._whole_meta_writes(sf):
+            if block < i < end and b == base and i != cv_idx:
+                return True
+        return False

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""hyder-check self-test: the fixture corpus pins every rule's behavior.
+
+Three layers:
+
+ 1. Per-rule fixtures: for each rule, `fixtures/<rule>_bad.cc` carries
+    seeded violations marked `// expect: <rule-id>` on the offending line,
+    and `fixtures/<rule>_clean.cc` carries the idioms the rule must accept.
+    The test asserts the *exact* (rule, line) set — a rule that stops
+    firing, fires on the wrong line, or over-fires fails the test.
+
+ 2. Suppression mechanism: `fixtures/suppression.cc` holds violations in
+    every documented suppression form; the full driver must report zero.
+
+ 3. Baseline mechanism: --write-baseline over a bad fixture must make the
+    next run clean, --no-baseline must bring the findings back, and an
+    edited line must fall out of the baseline.
+
+Run directly (`python3 tools/analyze/selftest.py`) or via
+`ctest -L analysis`. Exit 0 on success, 1 on any failure.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import re
+import sys
+import tempfile
+from contextlib import redirect_stderr, redirect_stdout
+from typing import List, Set, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import frontend  # noqa: E402
+import hyder_check  # noqa: E402
+from rules import Finding, all_rules  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+_EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z\-]+)")
+
+_failures: List[str] = []
+
+
+def fail(msg: str) -> None:
+    _failures.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def ok(msg: str) -> None:
+    print(f"  ok: {msg}")
+
+
+def expected_lines(path: str, rule_id: str) -> Set[int]:
+    out: Set[int] = set()
+    with open(path, "r", encoding="utf-8") as f:
+        for i, line in enumerate(f, start=1):
+            m = _EXPECT_RE.search(line)
+            if m and m.group(1) == rule_id:
+                out.add(i)
+    return out
+
+
+def run_rule(rule_id: str, path: str) -> Set[int]:
+    """Findings for one rule on one fixture, with driver-level suppression
+    filtering applied (the clean fixtures document the suppression escape,
+    so they must go through the same filter the driver uses)."""
+    rule = next(r for r in all_rules() if r.id == rule_id)
+    sf = frontend.build(path, os.path.basename(path), "text", None)
+    by_line, file_wide = hyder_check.collect_suppressions(sf)
+    findings: List[Finding] = list(rule.check(sf)) + list(rule.finalize())
+    return {f.line for f in findings
+            if f.rule not in file_wide and
+            f.rule not in by_line.get(f.line, ())}
+
+
+def test_rule_fixtures() -> None:
+    for rule in all_rules():
+        stem = rule.id.replace("-", "_")
+        bad = os.path.join(FIXTURES, f"{stem}_bad.cc")
+        clean = os.path.join(FIXTURES, f"{stem}_clean.cc")
+        for path in (bad, clean):
+            if not os.path.exists(path):
+                fail(f"{rule.id}: missing fixture {os.path.basename(path)}")
+                return
+
+        want = expected_lines(bad, rule.id)
+        if not want:
+            fail(f"{rule.id}: {os.path.basename(bad)} has no "
+                 "'// expect:' markers")
+        got = run_rule(rule.id, bad)
+        if got != want:
+            fail(f"{rule.id}: bad fixture mismatch — expected lines "
+                 f"{sorted(want)}, got {sorted(got)}")
+        else:
+            ok(f"{rule.id}: fires on exactly lines {sorted(want)}")
+
+        got_clean = run_rule(rule.id, clean)
+        if got_clean:
+            fail(f"{rule.id}: clean fixture raised findings on lines "
+                 f"{sorted(got_clean)}")
+        else:
+            ok(f"{rule.id}: quiet on the clean fixture")
+
+
+def run_driver(argv: List[str]) -> Tuple[int, str]:
+    out = io.StringIO()
+    with redirect_stdout(out), redirect_stderr(out):
+        code = hyder_check.main(argv)
+    return code, out.getvalue()
+
+
+def test_suppression_mechanism() -> None:
+    path = os.path.join(FIXTURES, "suppression.cc")
+    code, output = run_driver([path, "-q"])
+    if code != 0:
+        fail(f"suppression.cc: driver exited {code}, expected 0; "
+             f"output:\n{output}")
+    else:
+        ok("suppression fixture: all documented forms silence the driver")
+    # The same file with suppressions ignored must fail: proves the
+    # fixture actually seeds violations and the comments do the work.
+    sf = frontend.build(path, os.path.basename(path), "text", None)
+    raw = [f for r in all_rules()
+           for f in list(r.check(sf)) + list(r.finalize())]
+    if not raw:
+        fail("suppression.cc seeds no violations; the suppression test "
+             "is vacuous")
+    else:
+        ok(f"suppression fixture seeds {len(raw)} raw violation(s)")
+
+
+def test_baseline_mechanism() -> None:
+    bad = os.path.join(FIXTURES, "ordering_rationale_bad.cc")
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = os.path.join(tmp, "baseline.json")
+        code, output = run_driver([bad, "--baseline", baseline, "-q"])
+        if code != 1:
+            fail(f"baseline: run without baseline exited {code}, "
+                 f"expected 1; output:\n{output}")
+        code, output = run_driver(
+            [bad, "--baseline", baseline, "--write-baseline", "-q"])
+        if code != 0:
+            fail(f"baseline: --write-baseline exited {code}; "
+                 f"output:\n{output}")
+        code, output = run_driver([bad, "--baseline", baseline, "-q"])
+        if code != 0:
+            fail(f"baseline: baselined run exited {code}, expected 0; "
+                 f"output:\n{output}")
+        else:
+            ok("baseline: accepted findings are carried")
+        code, _ = run_driver(
+            [bad, "--baseline", baseline, "--no-baseline", "-q"])
+        if code != 1:
+            fail(f"baseline: --no-baseline exited {code}, expected 1")
+        else:
+            ok("baseline: --no-baseline brings findings back")
+        # Content-keyed matching: change the offending line's content and
+        # the baseline entry must stop matching.
+        with open(baseline, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        for e in doc["entries"]:
+            e["content"] = e["content"] + " /* edited */"
+        with open(baseline, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        code, _ = run_driver([bad, "--baseline", baseline, "-q"])
+        if code != 1:
+            fail(f"baseline: stale-content entries still matched "
+                 f"(exit {code}, expected 1)")
+        else:
+            ok("baseline: entries are content-keyed, edits invalidate them")
+
+
+def test_driver_cli() -> None:
+    code, _ = run_driver(["--list-rules"])
+    if code != 0:
+        fail(f"--list-rules exited {code}")
+    code, _ = run_driver(["--rules", "no-such-rule",
+                          os.path.join(FIXTURES, "suppression.cc")])
+    if code != 2:
+        fail(f"unknown --rules exited {code}, expected 2")
+    else:
+        ok("driver CLI: list-rules and unknown-rule handling")
+
+
+def main() -> int:
+    print(f"hyder-check selftest (fixtures: {FIXTURES})")
+    test_rule_fixtures()
+    test_suppression_mechanism()
+    test_baseline_mechanism()
+    test_driver_cli()
+    if _failures:
+        print(f"\n{len(_failures)} failure(s)")
+        return 1
+    print("\nall selftests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
