@@ -1,0 +1,164 @@
+// Varint decode microbenchmark (google-benchmark): the scalar loop vs the
+// unrolled quad decoder vs the SIMD quad decoder, at batch sizes 1, 4 and
+// 16 varints per timed unit. Inputs follow the wire's value distribution —
+// intention records are dominated by 1–2 byte varints (tree indices, key
+// deltas, short payload lengths) with an occasional long ssv/cv — which is
+// exactly the regime the SIMD continuation-mask path targets.
+//
+// Run with --json=PATH for machine-readable output; the committed
+// results/BENCH_micro_varint.json holds a run from the evaluation host.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/varint.h"
+
+namespace hyder {
+namespace {
+
+using QuadFn = const char* (*)(const char*, const char*, uint64_t[4]);
+
+/// Wire-realistic value stream: ~70% one-byte, ~25% two-byte, remainder up
+/// to full 64-bit (version words, large cvs).
+std::string BuildStream(size_t count, Rng* rng) {
+  std::string buf;
+  buf.reserve(count * 2);
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t roll = rng->Uniform(100);
+    uint64_t v;
+    if (roll < 70) {
+      v = rng->Uniform(0x80);
+    } else if (roll < 95) {
+      v = 0x80 + rng->Uniform(0x4000 - 0x80);
+    } else {
+      v = rng->Next();
+    }
+    PutVarint64(&buf, v);
+  }
+  return buf;
+}
+
+constexpr size_t kVarints = 1 << 16;  // Per pass; multiple of 16.
+
+/// Batch size 1: the plain scalar decoder, one varint per call — the
+/// baseline every v2 decode site started from.
+void BM_VarintDecode_Scalar1(benchmark::State& state) {
+  Rng rng(29);
+  const std::string buf = BuildStream(kVarints, &rng);
+  const char* limit = buf.data() + buf.size();
+  for (auto _ : state) {
+    const char* p = buf.data();
+    uint64_t v = 0, sum = 0;
+    while (p < limit) {
+      p = GetVarint64(p, limit, &v);
+      if (p == nullptr) break;
+      sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * kVarints);
+}
+BENCHMARK(BM_VarintDecode_Scalar1);
+
+/// Batch size 4 (one quad call) and 16 (four chained quad calls) through a
+/// selectable implementation.
+template <QuadFn kFn, int kBatch>
+void QuadLoop(benchmark::State& state) {
+  static_assert(kBatch % 4 == 0);
+  Rng rng(31);
+  const std::string buf = BuildStream(kVarints, &rng);
+  const char* limit = buf.data() + buf.size();
+  for (auto _ : state) {
+    const char* p = buf.data();
+    uint64_t out[4], sum = 0;
+    while (p != nullptr && p < limit) {
+      for (int q = 0; q < kBatch / 4 && p != nullptr && p < limit; ++q) {
+        p = kFn(p, limit, out);
+        if (p != nullptr) sum += out[0] + out[1] + out[2] + out[3];
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * kVarints);
+}
+
+void BM_VarintDecode_Scalar4(benchmark::State& s) {
+  QuadLoop<&GetVarint64x4Scalar, 4>(s);
+}
+void BM_VarintDecode_Scalar16(benchmark::State& s) {
+  QuadLoop<&GetVarint64x4Scalar, 16>(s);
+}
+void BM_VarintDecode_Unrolled4(benchmark::State& s) {
+  QuadLoop<&GetVarint64x4Unrolled, 4>(s);
+}
+void BM_VarintDecode_Unrolled16(benchmark::State& s) {
+  QuadLoop<&GetVarint64x4Unrolled, 16>(s);
+}
+void BM_VarintDecode_Simd4(benchmark::State& s) {
+  QuadLoop<&GetVarint64x4Simd, 4>(s);
+}
+void BM_VarintDecode_Simd16(benchmark::State& s) {
+  QuadLoop<&GetVarint64x4Simd, 16>(s);
+}
+BENCHMARK(BM_VarintDecode_Scalar4);
+BENCHMARK(BM_VarintDecode_Scalar16);
+BENCHMARK(BM_VarintDecode_Unrolled4);
+BENCHMARK(BM_VarintDecode_Unrolled16);
+BENCHMARK(BM_VarintDecode_Simd4);
+BENCHMARK(BM_VarintDecode_Simd16);
+
+/// The runtime-dispatched entry point the decoders actually call (honours
+/// HYDER_VARINT_IMPL), for an end-to-end sanity row.
+void BM_VarintDecode_Dispatched4(benchmark::State& s) {
+  QuadLoop<&GetVarint64x4, 4>(s);
+}
+BENCHMARK(BM_VarintDecode_Dispatched4);
+
+/// Mirrors runs into the JSON emitter (see micro_benchmarks.cc).
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::ostringstream counters;
+      bool first = true;
+      for (const auto& [name, counter] : run.counters) {
+        counters << (first ? "" : ";") << name << "=" << counter.value;
+        first = false;
+      }
+      bench::RecordRow({run.benchmark_name(),
+                        std::to_string(run.iterations),
+                        std::to_string(run.GetAdjustedRealTime()),
+                        std::to_string(run.GetAdjustedCPUTime()),
+                        benchmark::GetTimeUnitString(run.time_unit),
+                        counters.str()});
+    }
+  }
+};
+
+}  // namespace
+}  // namespace hyder
+
+int main(int argc, char** argv) {
+  hyder::bench::InitBenchIO(&argc, argv);
+  hyder::bench::PrintHeader(
+      "micro_varint", "batched varint decode (DESIGN.md, wire v3)",
+      std::string("scalar vs unrolled vs SIMD quad decode at batch 1/4/16; "
+                  "dispatched impl: ") +
+          hyder::VarintImplName());
+  hyder::bench::RecordColumns({"name", "iterations", "real_time", "cpu_time",
+                               "time_unit", "counters"});
+  benchmark::Initialize(&argc, &argv[0]);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  hyder::RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,6 +14,7 @@
 // results/BENCH_pipeline_throughput.json holds pre- and post-change runs
 // from the same machine.
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "meld/threaded_pipeline.h"
 #include "server/resolver.h"
 #include "txn/codec.h"
+#include "txn/flat_view.h"
 
 namespace hyder {
 namespace bench {
@@ -36,10 +38,11 @@ namespace {
 /// ephemeral version ids are a function of (t, d, group) (§3.4), and the
 /// logged intentions' snapshot references name them.
 uint64_t GenerateLog(StripedLog* log, uint64_t txns,
-                     const PipelineConfig& config) {
+                     const PipelineConfig& config, WireFormat wire) {
   ServerOptions opts;
   opts.max_inflight = 1 << 20;
   opts.pipeline = config;
+  opts.wire_format = wire;
   HyderServer server(log, opts);
   Rng rng(42);
   uint64_t submitted = 0;
@@ -128,7 +131,10 @@ RunResult RunSequential(StripedLog* log,
     auto intent = DeserializeIntention(li.payload, li.seq, li.block_count,
                                        &resolver, li.txn_id, &nodes);
     HYDER_BENCH_CHECK_OK(intent);
-    resolver.CacheIntention(li.seq, std::move(nodes));
+    resolver.CacheIntention(li.seq, std::move(nodes),
+                            (*intent)->flats.empty()
+                                ? nullptr
+                                : (*intent)->flats.front().second);
     HYDER_BENCH_CHECK_OK(pipeline.Process(std::move(*intent)));
   }
   HYDER_BENCH_CHECK_OK(pipeline.Flush());
@@ -149,9 +155,12 @@ RunResult RunThreaded(StripedLog* log,
       config, DatabaseState{0, Ref::Null()}, &resolver,
       [&resolver](const NodePtr& n) { resolver.RegisterEphemeral(n); },
       /*on_decision=*/nullptr,
-      [&resolver](uint64_t seq, const IntentionPtr&,
+      [&resolver](uint64_t seq, const IntentionPtr& intent,
                   std::vector<NodePtr>&& nodes) {
-        resolver.CacheIntention(seq, std::move(nodes));
+        resolver.CacheIntention(seq, std::move(nodes),
+                                intent->flats.empty()
+                                    ? nullptr
+                                    : intent->flats.front().second);
       });
   pipeline.Start();
   Stopwatch wall;
@@ -186,9 +195,40 @@ void Report(const std::string& engine, int threads, size_t intentions,
            (unsigned long long)r.stats.handoff_blocked_pops);
 }
 
+/// Times DeserializeIntention alone for every intention in `stream`, in
+/// log order with the resolver cache warm (the decode stage's real
+/// operating point). Returns per-intention latencies in microseconds.
+std::vector<double> DecodeLatencies(StripedLog* log,
+                                    const std::vector<LogIntention>& stream) {
+  ServerResolver resolver(log, ResolverOptions{});
+  std::vector<double> us;
+  us.reserve(stream.size());
+  for (const LogIntention& li : stream) {
+    resolver.RecordIntentionBlocks(li.seq, li.positions, li.txn_id);
+    std::vector<NodePtr> nodes;
+    Stopwatch sw;
+    auto intent = DeserializeIntention(li.payload, li.seq, li.block_count,
+                                       &resolver, li.txn_id, &nodes);
+    us.push_back(double(sw.ElapsedNanos()) / 1e3);
+    HYDER_BENCH_CHECK_OK(intent);
+    resolver.CacheIntention(li.seq, std::move(nodes),
+                            (*intent)->flats.empty()
+                                ? nullptr
+                                : (*intent)->flats.front().second);
+  }
+  return us;
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0;
+  size_t idx = size_t(p * double(sorted->size() - 1));
+  return (*sorted)[idx];
+}
+
 void Run() {
   PrintHeader("pipeline_throughput", "meld hot path (DESIGN.md)",
-              "threaded >= sequential; fm lock rate drops with t > 0");
+              "threaded >= sequential; fm lock rate drops with t > 0; "
+              "v3 decode p50/p99 below v2");
   const uint64_t txns = uint64_t(3000 * BenchScale());
   PrintColumns(
       "engine,threads,intentions,wall_ms,intentions_per_sec,"
@@ -196,8 +236,10 @@ void Run() {
   for (int t : {0, 2, 5}) {
     // One log per t: the replay engines must match the generation config
     // (see GenerateLog), so sequential-vs-threaded is compared per t.
+    // The emitted wire format is the run's --wire-format selection.
     StripedLog log(StripedLogOptions{});
-    const uint64_t appended = GenerateLog(&log, txns, MeldConfig(t));
+    const uint64_t appended =
+        GenerateLog(&log, txns, MeldConfig(t), BenchWire());
     std::vector<LogIntention> stream = ReadBack(&log);
     if (stream.size() != appended) {
       std::fprintf(stderr, "read-back lost intentions: %zu of %llu\n",
@@ -206,6 +248,33 @@ void Run() {
     }
     Report("sequential", t, stream.size(), RunSequential(&log, stream, t));
     Report("threaded", t, stream.size(), RunThreaded(&log, stream, t));
+  }
+
+  // Decode-stage latency, v2 vs v3 on the same logical workload: the flat
+  // format's lazy materialization should show up directly as lower decode
+  // p50/p99 (nodes materialize later, in premeld/meld, and for premeld-
+  // killed intentions mostly never).
+  PrintColumns(
+      "wire,intentions,decode_p50_us,decode_p90_us,decode_p99_us,"
+      "decode_max_us,decode_total_ms");
+  for (WireFormat wire : {WireFormat::kV2, WireFormat::kV3}) {
+    StripedLog log(StripedLogOptions{});
+    const uint64_t appended = GenerateLog(&log, txns, MeldConfig(5), wire);
+    std::vector<LogIntention> stream = ReadBack(&log);
+    if (stream.size() != appended) {
+      std::fprintf(stderr, "read-back lost intentions: %zu of %llu\n",
+                   stream.size(), (unsigned long long)appended);
+      std::abort();
+    }
+    std::vector<double> us = DecodeLatencies(&log, stream);
+    double total = 0;
+    for (double v : us) total += v;
+    std::sort(us.begin(), us.end());
+    PrintRow("%s,%zu,%.3f,%.3f,%.3f,%.3f,%.2f\n",
+             wire == WireFormat::kV2 ? "v2" : "v3", stream.size(),
+             Percentile(&us, 0.50), Percentile(&us, 0.90),
+             Percentile(&us, 0.99), us.empty() ? 0 : us.back(),
+             total / 1e3);
   }
 }
 

@@ -30,7 +30,7 @@ static_assert(sizeof(ArenaStats) == 12 * sizeof(uint64_t),
 static_assert(sizeof(ConfigEcho) == 6 * sizeof(int64_t),
               "ConfigEcho field added: update Observe/ToString/EmitTo and "
               "this count");
-static_assert(sizeof(PipelineStats) == 13 * sizeof(uint64_t) +
+static_assert(sizeof(PipelineStats) == 15 * sizeof(uint64_t) +
                                            4 * sizeof(MeldWork) +
                                            sizeof(ConfigEcho),
               "PipelineStats field added: update ToString/EmitTo/"
@@ -137,6 +137,8 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
   aborted += o.aborted;
   premeld_aborts += o.premeld_aborts;
   premeld_skips += o.premeld_skips;
+  premeld_killed_nodes += o.premeld_killed_nodes;
+  premeld_killed_nodes_materialized += o.premeld_killed_nodes_materialized;
   group_singletons += o.group_singletons;
   deserialize += o.deserialize;
   premeld += o.premeld;
@@ -158,7 +160,8 @@ std::string PipelineStats::ToString() const {
   std::snprintf(
       buf, sizeof(buf),
       "intentions=%llu committed=%llu aborted=%llu (premeld_aborts=%llu "
-      "premeld_skips=%llu singletons=%llu) ds[%s] pm[%s] gm[%s] fm[%s] "
+      "premeld_skips=%llu singletons=%llu) "
+      "pm_killed_nodes=%llu/%llu ds[%s] pm[%s] gm[%s] fm[%s] "
       "final_melds=%llu avg_conflict_zone=%.1f fm_resolver_locks=%llu "
       "handoff_blocked=%llu/%llu (%.1f/%.1f ms) echo[%s]",
       static_cast<unsigned long long>(intentions),
@@ -167,6 +170,8 @@ std::string PipelineStats::ToString() const {
       static_cast<unsigned long long>(premeld_aborts),
       static_cast<unsigned long long>(premeld_skips),
       static_cast<unsigned long long>(group_singletons),
+      static_cast<unsigned long long>(premeld_killed_nodes_materialized),
+      static_cast<unsigned long long>(premeld_killed_nodes),
       deserialize.ToString().c_str(), premeld.ToString().c_str(),
       group_meld.ToString().c_str(), final_meld.ToString().c_str(),
       static_cast<unsigned long long>(final_melds),
@@ -188,6 +193,9 @@ void PipelineStats::EmitTo(const std::string& prefix,
   emit(Key(prefix, "aborted"), double(aborted));
   emit(Key(prefix, "premeld_aborts"), double(premeld_aborts));
   emit(Key(prefix, "premeld_skips"), double(premeld_skips));
+  emit(Key(prefix, "premeld_killed_nodes"), double(premeld_killed_nodes));
+  emit(Key(prefix, "premeld_killed_nodes_materialized"),
+       double(premeld_killed_nodes_materialized));
   emit(Key(prefix, "group_singletons"), double(group_singletons));
   deserialize.EmitTo(Key(prefix, "ds"), emit);
   premeld.EmitTo(Key(prefix, "pm"), emit);

@@ -95,6 +95,14 @@ struct PipelineStats {
   uint64_t aborted = 0;         ///< Aborted (incl. premeld early aborts).
   uint64_t premeld_aborts = 0;  ///< Aborts detected during premeld.
   uint64_t premeld_skips = 0;   ///< Premelds skipped (target <= snapshot).
+
+  /// Node-pool churn audit for premeld kills: wire node count of intentions
+  /// premeld aborted, and how many of those nodes actually reached the
+  /// pool. With the flat (v3) wire format nodes materialize lazily, so
+  /// `materialized` stays far below `killed_nodes` — the allocations the
+  /// zero-copy layout saves on dead intentions; with v2 the two match.
+  uint64_t premeld_killed_nodes = 0;
+  uint64_t premeld_killed_nodes_materialized = 0;
   uint64_t group_singletons = 0;  ///< Group intentions that degenerated to one.
 
   MeldWork deserialize;  ///< ds stage work (cpu_nanos only).

@@ -1,0 +1,145 @@
+#include "common/varint.h"
+
+#include <cstdlib>
+
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC))
+#include <emmintrin.h>
+#define HYDER_VARINT_SSE2 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define HYDER_VARINT_NEON 1
+#endif
+
+namespace hyder {
+
+namespace {
+
+/// Decodes one varint with the 1- and 2-byte cases — the bulk of intention
+/// traffic — peeled out branch-light; longer or truncated encodings fall
+/// back to the generic loop.
+inline const char* GetVarint64Short(const char* p, const char* limit,
+                                    uint64_t* value) {
+  if (p < limit) {
+    const uint8_t b0 = static_cast<uint8_t>(p[0]);
+    if (b0 < 0x80) {
+      *value = b0;
+      return p + 1;
+    }
+    if (limit - p >= 2) {
+      const uint8_t b1 = static_cast<uint8_t>(p[1]);
+      if (b1 < 0x80) {
+        *value = (b0 & 0x7fu) | (uint64_t(b1) << 7);
+        return p + 2;
+      }
+    }
+  }
+  return GetVarint64(p, limit, value);
+}
+
+}  // namespace
+
+const char* GetVarint64x4Scalar(const char* p, const char* limit,
+                                uint64_t out[4]) {
+  if ((p = GetVarint64(p, limit, &out[0])) == nullptr) return nullptr;
+  if ((p = GetVarint64(p, limit, &out[1])) == nullptr) return nullptr;
+  if ((p = GetVarint64(p, limit, &out[2])) == nullptr) return nullptr;
+  return GetVarint64(p, limit, &out[3]);
+}
+
+const char* GetVarint64x4Unrolled(const char* p, const char* limit,
+                                  uint64_t out[4]) {
+  if ((p = GetVarint64Short(p, limit, &out[0])) == nullptr) return nullptr;
+  if ((p = GetVarint64Short(p, limit, &out[1])) == nullptr) return nullptr;
+  if ((p = GetVarint64Short(p, limit, &out[2])) == nullptr) return nullptr;
+  return GetVarint64Short(p, limit, &out[3]);
+}
+
+const char* GetVarint64x4Simd(const char* p, const char* limit,
+                              uint64_t out[4]) {
+#if defined(HYDER_VARINT_SSE2) || defined(HYDER_VARINT_NEON)
+  // One 16-byte load yields the continuation bit of every candidate byte.
+  // When all four varints are 1–2 bytes they span at most 8 bytes, so the
+  // mask alone drives the decode — no per-byte branches. Anything longer
+  // (or a tail shorter than 16 bytes) takes the unrolled path.
+  if (limit - p < 16) return GetVarint64x4Unrolled(p, limit, out);
+#if defined(HYDER_VARINT_SSE2)
+  const __m128i chunk =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(chunk));
+#else
+  const uint8x16_t chunk = vld1q_u8(reinterpret_cast<const uint8_t*>(p));
+  const uint8x16_t high = vcgeq_u8(chunk, vdupq_n_u8(0x80));
+  // Narrow each byte's comparison result to a nibble: bit 4*i of the
+  // scalarized u64 holds byte i's continuation bit (i < 16).
+  const uint8x8_t nibbles =
+      vshrn_n_u16(vreinterpretq_u16_u8(high), 4);
+  const uint64_t nib64 = vget_lane_u64(vreinterpret_u64_u8(nibbles), 0);
+  unsigned mask = 0;
+  for (int i = 0; i < 16; ++i) {
+    mask |= ((nib64 >> (4 * i)) & 1u) << i;
+  }
+#endif
+  size_t off = 0;
+  for (int i = 0; i < 4; ++i) {
+    if ((mask >> off) & 1u) {
+      if ((mask >> (off + 1)) & 1u) {
+        // 3+ byte varint: rare (values >= 16384). Decode this and the
+        // remaining fields generically.
+        const char* q = p + off;
+        for (int j = i; j < 4; ++j) {
+          if ((q = GetVarint64(q, limit, &out[j])) == nullptr) return nullptr;
+        }
+        return q;
+      }
+      out[i] = (static_cast<uint8_t>(p[off]) & 0x7fu) |
+               (uint64_t(static_cast<uint8_t>(p[off + 1])) << 7);
+      off += 2;
+    } else {
+      out[i] = static_cast<uint8_t>(p[off]);
+      off += 1;
+    }
+  }
+  return p + off;
+#else
+  return GetVarint64x4Unrolled(p, limit, out);
+#endif
+}
+
+namespace {
+
+using VarintX4Fn = const char* (*)(const char*, const char*, uint64_t[4]);
+
+struct VarintDispatch {
+  VarintX4Fn fn;
+  const char* name;
+};
+
+VarintDispatch PickVarintImpl() {
+  const char* env = std::getenv("HYDER_VARINT_IMPL");
+  if (env != nullptr) {
+    const std::string choice(env);
+    if (choice == "scalar") return {&GetVarint64x4Scalar, "scalar"};
+    if (choice == "unrolled") return {&GetVarint64x4Unrolled, "unrolled"};
+    if (choice == "simd") return {&GetVarint64x4Simd, "simd"};
+  }
+#if defined(HYDER_VARINT_SSE2) || defined(HYDER_VARINT_NEON)
+  return {&GetVarint64x4Simd, "simd"};
+#else
+  return {&GetVarint64x4Unrolled, "unrolled"};
+#endif
+}
+
+const VarintDispatch& Dispatch() {
+  static const VarintDispatch d = PickVarintImpl();
+  return d;
+}
+
+}  // namespace
+
+const char* GetVarint64x4(const char* p, const char* limit, uint64_t out[4]) {
+  return Dispatch().fn(p, limit, out);
+}
+
+const char* VarintImplName() { return Dispatch().name; }
+
+}  // namespace hyder

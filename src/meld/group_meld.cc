@@ -69,6 +69,11 @@ Result<GroupOutcome> RunGroupMeld(const IntentionPtr& first,
   group->members = first->members;
   group->members.insert(group->members.end(), second->members.begin(),
                         second->members.end());
+  // Both members' flat views ride along: the group root may still hold lazy
+  // edges into either member's node region.
+  group->flats = first->flats;
+  group->flats.insert(group->flats.end(), second->flats.begin(),
+                      second->flats.end());
   out.intention = std::move(group);
   return out;
 }

@@ -31,6 +31,17 @@ class Melder {
     return n != nullptr &&
            (n->owner() == ctx_.out_tag || intent_.Inside(*n));
   }
+
+  /// Wire-v3 intentions arrive with lazy intra-member edges (flat_view.h):
+  /// materialize them canonically through the intention's flat views before
+  /// the Inside test, so the walk sees exactly the tree a v2 decode would
+  /// have built — and only the nodes the walk actually reaches get built.
+  /// Edges into anything outside the member set stay lazy; Inside() treats
+  /// them as "base wins", matching v2 semantics.
+  void NormalizeIntentEdge(Ref* e) const {
+    if (intent_.flats.empty() || e->node || !e->vn.IsLogged()) return;
+    if (NodePtr n = intent_.ResolveFlat(e->vn)) e->node = std::move(n);
+  }
   bool BaseInside(const Node* n) const {
     return ctx_.group_base != nullptr && n != nullptr &&
            ctx_.group_base->Inside(*n);
@@ -181,7 +192,8 @@ class Melder {
     return BuildBalanced(kept, 0, kept.size(), Height(kept.size()));
   }
 
-  Status CollectSurvivors(const Ref& edge, std::vector<NodePtr>* kept) {
+  Status CollectSurvivors(Ref edge, std::vector<NodePtr>* kept) {
+    NormalizeIntentEdge(&edge);
     const Node* n = edge.node.get();
     if (!Inside(n)) return Status::OK();  // Outside/lazy: deleted region.
     Visit();
@@ -244,8 +256,9 @@ class Melder {
   /// Splits the in-intention subtree at `edge` around key `k`. Outside
   /// references contribute nothing: their meld value is "the base wins",
   /// which is what an empty piece produces as well.
-  Result<SplitOut> Split(const Ref& edge, Key k) {
+  Result<SplitOut> Split(Ref edge, Key k) {
     SplitOut out;
+    NormalizeIntentEdge(&edge);
     const Node* n = edge.node.get();
     if (!Inside(n)) return out;
     Visit();
@@ -293,7 +306,8 @@ class Melder {
   }
 
   /// The merge recursion. `i_edge` and `l_edge` span the same key interval.
-  Result<Ref> Rec(const Ref& i_edge, const Ref& l_edge) {
+  Result<Ref> Rec(Ref i_edge, const Ref& l_edge) {
+    NormalizeIntentEdge(&i_edge);
     const Node* i = i_edge.node.get();
     if (!Inside(i)) {
       // Null, lazy, or a snapshot pointer: the intention asserts nothing in

@@ -134,6 +134,8 @@ Result<std::vector<MeldDecision>> SequentialPipeline::Process(
     stats_.premeld += work;
     if (out.skipped) stats_.premeld_skips++;
     if (out.intention->known_aborted) stats_.premeld_aborts++;
+    stats_.premeld_killed_nodes += out.killed_nodes;
+    stats_.premeld_killed_nodes_materialized += out.killed_nodes_materialized;
     intent = out.intention;
   }
   return AfterPremeld(std::move(intent));

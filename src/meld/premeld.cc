@@ -1,6 +1,22 @@
 #include "meld/premeld.h"
 
+#include "txn/flat_view.h"
+
 namespace hyder {
+
+namespace {
+
+/// Nodes of `intent` that exist in the pool. Flat intentions materialize
+/// lazily, so the count is whatever the views have produced so far; eager
+/// (v2) intentions materialized everything at decode.
+uint64_t MaterializedNodes(const Intention& intent) {
+  if (intent.flats.empty()) return intent.node_count;
+  uint64_t n = 0;
+  for (const auto& [seq, view] : intent.flats) n += view->materialized();
+  return n;
+}
+
+}  // namespace
 
 Result<PremeldOutcome> RunPremeld(const IntentionPtr& intent,
                                   StateTable& states, int threads,
@@ -30,6 +46,8 @@ Result<PremeldOutcome> RunPremeld(const IntentionPtr& intent,
   if (melded.conflict) {
     auto aborted = std::make_shared<Intention>(*intent);
     aborted->known_aborted = true;
+    out.killed_nodes = intent->node_count;
+    out.killed_nodes_materialized = MaterializedNodes(*intent);
     out.intention = std::move(aborted);
     return out;
   }
@@ -51,6 +69,9 @@ Result<PremeldOutcome> RunPremeld(const IntentionPtr& intent,
   substitute->node_count = intent->node_count;
   substitute->members = intent->members;
   substitute->block_count = intent->block_count;
+  // Flat views ride along so final meld can still materialize lazy member
+  // edges that premeld never touched.
+  substitute->flats = intent->flats;
   out.intention = std::move(substitute);
   return out;
 }

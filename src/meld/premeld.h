@@ -18,6 +18,13 @@ struct PremeldOutcome {
   /// True when the target state preceded the transaction's snapshot and the
   /// trial meld was pointless (Algorithm 1, line 3).
   bool skipped = false;
+  /// When premeld found the conflict (the intention dies here): the wire
+  /// node count of the killed intention, and how many of those nodes were
+  /// actually materialized into the pool. With the flat (v3) format the
+  /// second number is typically far below the first — the churn the
+  /// zero-copy layout avoids; with v2 the two are equal by construction.
+  uint64_t killed_nodes = 0;
+  uint64_t killed_nodes_materialized = 0;
 };
 
 /// Algorithm 1 (PREMELD): trial-melds `intent` against the state produced

@@ -232,6 +232,8 @@ void ThreadedPipeline::PremeldWorker(int thread_index) {
     ws.premeld += work;
     if (out->skipped) ws.skips++;
     if (out->intention->known_aborted) ws.aborts++;
+    ws.killed_nodes += out->killed_nodes;
+    ws.killed_nodes_materialized += out->killed_nodes_materialized;
     {
       // The knobs this worker just consumed; the embedded engine cannot
       // stamp them (it runs with premeld_threads == 0).
@@ -336,6 +338,8 @@ PipelineStats ThreadedPipeline::StatsSnapshot() const {
     out.premeld += ws->premeld;
     out.premeld_skips += ws->skips;
     out.premeld_aborts += ws->aborts;
+    out.premeld_killed_nodes += ws->killed_nodes;
+    out.premeld_killed_nodes_materialized += ws->killed_nodes_materialized;
     out.config_echo.Observe(ws->echo);
   }
   const SeqRing<IntentionPtr>::Stats ring_stats = ring_.stats();

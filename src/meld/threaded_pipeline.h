@@ -132,6 +132,8 @@ class ThreadedPipeline {
     MeldWork premeld;
     uint64_t skips = 0;
     uint64_t aborts = 0;
+    uint64_t killed_nodes = 0;
+    uint64_t killed_nodes_materialized = 0;
     /// Knob values as this worker consumed them (see ConfigEcho); merged
     /// into the snapshot's config_echo after Join.
     ConfigEcho echo;

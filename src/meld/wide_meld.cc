@@ -47,6 +47,14 @@ class WideMelder {
     return n != nullptr &&
            (n->owner() == ctx_.out_tag || intent_.Inside(*n));
   }
+
+  /// Wire-v3 member edges arrive lazy; materialize them canonically
+  /// through the intention's flat views before the Inside test (see the
+  /// binary Melder's NormalizeIntentEdge).
+  void NormalizeIntentEdge(Ref* e) const {
+    if (intent_.flats.empty() || e->node || !e->vn.IsLogged()) return;
+    if (NodePtr n = intent_.ResolveFlat(e->vn)) e->node = std::move(n);
+  }
   bool BaseInside(const Node* n) const {
     return ctx_.group_base != nullptr && n != nullptr &&
            ctx_.group_base->Inside(*n);
@@ -172,8 +180,9 @@ class WideMelder {
   /// Splits the in-intention subtree at `edge` around key `k`, the wide
   /// analog of the binary Split. Outside references contribute nothing:
   /// their meld value is "the base wins".
-  Result<SplitOut> SplitOne(const Ref& edge, Key k) {
+  Result<SplitOut> SplitOne(Ref edge, Key k) {
     SplitOut out;
+    NormalizeIntentEdge(&edge);
     const Node* n = edge.node.get();
     if (!Inside(n)) return out;
     Visit();
@@ -220,7 +229,8 @@ class WideMelder {
     return BuildWideBalanced(kept, 0, kept.size(), cap, height);
   }
 
-  Status CollectSurvivors(const Ref& edge, std::vector<SlotData>* kept) {
+  Status CollectSurvivors(Ref edge, std::vector<SlotData>* kept) {
+    NormalizeIntentEdge(&edge);
     const Node* n = edge.node.get();
     if (!Inside(n)) return Status::OK();  // Outside/lazy: deleted region.
     Visit();
@@ -440,7 +450,8 @@ class WideMelder {
 
   // --- The merge recursion -------------------------------------------
 
-  Result<Ref> Rec(const Ref& i_edge, const Ref& l_edge) {
+  Result<Ref> Rec(Ref i_edge, const Ref& l_edge) {
+    NormalizeIntentEdge(&i_edge);
     const Node* i = i_edge.node.get();
     if (!Inside(i)) {
       // Null, lazy, or a snapshot pointer: the intention asserts nothing

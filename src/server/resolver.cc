@@ -4,6 +4,7 @@
 
 #include "common/lock_counter.h"
 #include "txn/codec.h"
+#include "txn/flat_view.h"
 
 namespace hyder {
 
@@ -83,13 +84,26 @@ NodePtr ServerResolver::TryResolveCached(VersionId vn) {
     CountedLock lock(shard.mu);
     auto it = shard.intentions.find(vn.intention_seq());
     if (it != shard.intentions.end()) {
-      if (vn.node_index() >= it->second.nodes.size()) return nullptr;
+      NodePtr n = CachedNode(it->second, vn.node_index());
+      if (n == nullptr) return nullptr;
       TouchLocked(shard, vn.intention_seq());
-      return it->second.nodes[vn.node_index()];
+      return n;
     }
   }
   // No refetch here; the pinned checkpoint base is still cache-speed.
   return LookupPinned(vn);
+}
+
+NodePtr ServerResolver::CachedNode(const CachedIntention& entry,
+                                   uint32_t index) const {
+  if (entry.flat != nullptr) {
+    // NodeAt takes no locks and never calls back into this resolver, so
+    // the lazy materialization is safe under the caller's shard lock.
+    if (index >= entry.flat->node_count()) return nullptr;
+    return entry.flat->NodeAt(index);
+  }
+  if (index >= entry.nodes.size()) return nullptr;
+  return entry.nodes[index];
 }
 
 NodePtr ServerResolver::LookupPinned(VersionId vn) const {
@@ -99,50 +113,77 @@ NodePtr ServerResolver::LookupPinned(VersionId vn) const {
 }
 
 Result<NodePtr> ServerResolver::ResolveLogged(VersionId vn) {
+  const uint64_t seq = vn.intention_seq();
+  Shard& shard = ShardFor(seq);
+  const auto out_of_range = [&vn] {
+    return Status::Corruption("node index " +
+                              std::to_string(vn.node_index()) +
+                              " out of range in intention " +
+                              std::to_string(vn.intention_seq()));
+  };
   Status miss = Status::OK();
+  DirectoryEntry dir;
+  bool have_dir = false;
   {
-    Shard& shard = ShardFor(vn.intention_seq());
     CountedLock lock(shard.mu);
-    auto r = MaterializeLocked(shard, vn.intention_seq());
-    if (r.ok()) {
-      const std::vector<NodePtr>* nodes = r.value();
-      if (vn.node_index() >= nodes->size()) {
-        return Status::Corruption("node index " +
-                                  std::to_string(vn.node_index()) +
-                                  " out of range in intention " +
-                                  std::to_string(vn.intention_seq()));
-      }
-      return (*nodes)[vn.node_index()];
+    auto it = shard.intentions.find(seq);
+    if (it != shard.intentions.end()) {
+      TouchLocked(shard, seq);
+      NodePtr n = CachedNode(it->second, vn.node_index());
+      if (n == nullptr) return out_of_range();
+      return n;
     }
-    miss = r.status();
-    // Only the two shapes truncation legitimately produces fall through to
-    // the pinned base: the directory entry was retired with the prefix
-    // (NotFound) or the log positions themselves were reclaimed
-    // (Truncated). Anything else — Corruption, DataLoss, I/O — surfaces.
-    if (!miss.IsNotFound() && !miss.IsTruncated()) return miss;
-  }  // Shard lock released: the pinned map has its own, only-alone lock.
+    auto d = shard.directory.find(seq);
+    if (d == shard.directory.end()) {
+      miss = Status::NotFound("no directory entry for intention " +
+                              std::to_string(seq));
+    } else {
+      // Copy the entry so the fetch + decode can run without the lock.
+      dir = d->second;
+      have_dir = true;
+    }
+  }
+  if (have_dir) {
+    auto decoded = RefetchIntention(seq, dir);
+    if (decoded.ok()) {
+      CountedLock lock(shard.mu);
+      auto [it, inserted] = shard.intentions.try_emplace(seq);
+      if (inserted) {
+        it->second.nodes = std::move(decoded->nodes);
+        it->second.flat = std::move(decoded->flat);
+        shard.lru.push_front(seq);
+        it->second.lru_pos = shard.lru.begin();
+        // Eviction never removes the most recently used entry, so `it`
+        // survives (erase invalidates only the erased iterators).
+        EvictLocked(shard);
+      } else {
+        // A concurrent resolve refetched the same sequence while the lock
+        // was down; first insert wins and this decode is discarded.
+        TouchLocked(shard, seq);
+      }
+      NodePtr n = CachedNode(it->second, vn.node_index());
+      if (n == nullptr) return out_of_range();
+      return n;
+    }
+    miss = decoded.status();
+  }
+  // Only the two shapes truncation legitimately produces fall through to
+  // the pinned base: the directory entry was retired with the prefix
+  // (NotFound) or the log positions themselves were reclaimed
+  // (Truncated). Anything else — Corruption, DataLoss, I/O — surfaces.
+  if (!miss.IsNotFound() && !miss.IsTruncated()) return miss;
   if (NodePtr pinned = LookupPinned(vn); pinned != nullptr) return pinned;
   return miss;
 }
 
-Result<const std::vector<NodePtr>*> ServerResolver::MaterializeLocked(
-    Shard& shard, uint64_t seq) {
-  auto it = shard.intentions.find(seq);
-  if (it != shard.intentions.end()) {
-    TouchLocked(shard, seq);
-    return &it->second.nodes;
-  }
+Result<ServerResolver::DecodedIntention> ServerResolver::RefetchIntention(
+    uint64_t seq, const DirectoryEntry& dir) {
   // Refetch from the log: the paper's "random access to the log" path
   // (§1) taken when data is not in this server's partial cached copy.
-  auto dir = shard.directory.find(seq);
-  if (dir == shard.directory.end()) {
-    return Status::NotFound("no directory entry for intention " +
-                            std::to_string(seq));
-  }
-  // Relaxed: stats only; the cache mutation itself is ordered by shard.mu.
+  // Relaxed: stats only; cache mutations are ordered by the shard lock.
   refetches_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<std::string> chunks(dir->second.positions.size());
-  for (uint64_t pos : dir->second.positions) {
+  std::vector<std::string> chunks(dir.positions.size());
+  for (uint64_t pos : dir.positions) {
     // Transient read errors retry; DataLoss and the like surface — the
     // refetch has no other copy to fall back on.
     HYDER_ASSIGN_OR_RETURN(
@@ -158,26 +199,19 @@ Result<const std::vector<NodePtr>*> ServerResolver::MaterializeLocked(
   }
   std::string payload;
   for (std::string& c : chunks) payload.append(c);
-  // Decode with no resolver: we hold shard.mu, and a resolver-assisted
-  // decode would opportunistically TryResolveCached external references,
-  // re-entering this shard's lock whenever a referenced sequence maps here.
-  // The refetched intention's references simply stay lazy and memoize on
-  // first dereference, exactly as refs always have on the refetch path.
-  std::vector<NodePtr> nodes;
+  // No shard lock is held here, so the decode gets this resolver and
+  // pre-materializes external references cache-only (TryResolveCached may
+  // take any shard's lock, including the caller's). A flat (v3) payload
+  // materializes nothing beyond the root: the cache holds the view, and
+  // nodes appear only if something actually dereferences them.
+  DecodedIntention out;
   HYDER_ASSIGN_OR_RETURN(
       IntentionPtr intent,
       DeserializeIntention(payload, seq,
-                           static_cast<uint32_t>(chunks.size()), nullptr,
-                           dir->second.txn_id, &nodes));
-  (void)intent;
-  CachedIntention entry;
-  entry.nodes = std::move(nodes);
-  shard.lru.push_front(seq);
-  entry.lru_pos = shard.lru.begin();
-  shard.intentions.emplace(seq, std::move(entry));
-  EvictLocked(shard);
-  // Re-find: eviction never removes the most recently used entry.
-  return &shard.intentions.at(seq).nodes;
+                           static_cast<uint32_t>(chunks.size()), this,
+                           dir.txn_id, &out.nodes));
+  if (!intent->flats.empty()) out.flat = intent->flats.front().second;
+  return out;
 }
 
 void ServerResolver::TouchLocked(Shard& shard, uint64_t seq) {
@@ -203,13 +237,14 @@ void ServerResolver::RecordIntentionBlocks(uint64_t seq,
   shard.directory[seq] = DirectoryEntry{std::move(positions), txn_id};
 }
 
-void ServerResolver::CacheIntention(uint64_t seq,
-                                    std::vector<NodePtr> nodes) {
+void ServerResolver::CacheIntention(uint64_t seq, std::vector<NodePtr> nodes,
+                                    std::shared_ptr<FlatIntentionView> flat) {
   Shard& shard = ShardFor(seq);
   CountedLock lock(shard.mu);
   if (shard.intentions.count(seq) != 0) return;
   CachedIntention entry;
   entry.nodes = std::move(nodes);
+  entry.flat = std::move(flat);
   shard.lru.push_front(seq);
   entry.lru_pos = shard.lru.begin();
   shard.intentions.emplace(seq, std::move(entry));

@@ -86,7 +86,8 @@ Result<HyderServer::Submitted> HyderServer::Submit(Transaction&& txn) {
   TraceInstant(TraceStage::kSubmit, txn.txn_id());
   HYDER_ASSIGN_OR_RETURN(
       std::vector<std::string> blocks,
-      SerializeIntention(txn.builder_, txn.txn_id(), log_->block_size()));
+      SerializeIntention(txn.builder_, txn.txn_id(), log_->block_size(),
+                         options_.wire_format));
   Stopwatch append_watch;
   {
     TraceSpan append_span(TraceStage::kAppend, txn.txn_id());
@@ -196,7 +197,12 @@ Result<std::vector<MeldDecision>> HyderServer::Poll(size_t max_intentions) {
           ds_cpu.ElapsedNanos();
       pipeline_.mutable_stats()->deserialize.nodes_visited +=
           intent->node_count;
-      resolver_.CacheIntention(done->seq, std::move(nodes));
+      // A flat (v3) intention decodes to a view instead of a node array:
+      // cache the view, and cached lookups materialize nodes on demand.
+      resolver_.CacheIntention(done->seq, std::move(nodes),
+                               intent->flats.empty()
+                                   ? nullptr
+                                   : intent->flats.front().second);
     }
 
     HYDER_ASSIGN_OR_RETURN(std::vector<MeldDecision> decisions,

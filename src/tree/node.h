@@ -195,6 +195,23 @@ class ChildSlot {
   /// `resolver` and memoizes on first use.
   Result<NodePtr> Get(NodeResolver* resolver) const;
 
+  /// Publishes `n` as the materialized target of a still-lazy edge — the
+  /// same CAS `Get` performs after resolving, split out so decode can
+  /// pre-materialize edges it already has nodes for without a resolver
+  /// round trip. Legal on published nodes. The caller guarantees `n` is
+  /// the node this slot's vn identifies; a lost race is a no-op (some
+  /// other thread installed the canonical node first).
+  void Memoize(const NodePtr& n) const {
+    Node* raw = n.get();
+    if (raw == nullptr) return;
+    Node* expected = nullptr;
+    NodeRef(raw);
+    if (!node_.compare_exchange_strong(expected, raw,
+                                       std::memory_order_acq_rel)) {
+      NodeUnref(raw);
+    }
+  }
+
   /// Rewires the edge. Only for unpublished nodes.
   void Reset(Ref r) {
     Node* neu = r.node.Release();

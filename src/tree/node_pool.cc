@@ -161,13 +161,21 @@ ArenaStats NodeArenaStats() {
 namespace {
 /// Process-lifetime "arena.*" provider: the arena is global, so unlike the
 /// per-object server/log providers this one registers once and never
-/// unregisters (the handle is intentionally leaked alongside the
-/// registry).
-[[maybe_unused]] const ProviderHandle* const g_arena_metrics =
-    new ProviderHandle(MetricsRegistry::Global().RegisterProvider(
-        "arena", [](const MetricsRegistry::Emit& emit) {
-          NodeArenaStats().EmitTo("", emit);
-        }));
+/// unregisters (the handle lives for the life of the process alongside the
+/// registry). The pointer is kept in a function-local static so it stays
+/// reachable at exit: a namespace-scope const pointer that is never read
+/// gets its storage dropped by the optimizer, and LeakSanitizer then
+/// reports the (deliberate) allocation as a direct leak.
+const ProviderHandle& ArenaMetricsProvider() {
+  static const ProviderHandle* const handle =
+      new ProviderHandle(MetricsRegistry::Global().RegisterProvider(
+          "arena", [](const MetricsRegistry::Emit& emit) {
+            NodeArenaStats().EmitTo("", emit);
+          }));
+  return *handle;
+}
+[[maybe_unused]] const ProviderHandle& g_arena_metrics =
+    ArenaMetricsProvider();
 }  // namespace
 
 void CountPayloadHeapAlloc() {

@@ -3,6 +3,8 @@
 #include <unordered_map>
 
 #include "common/varint.h"
+#include "txn/flat_view.h"
+#include "txn/wire_format.h"
 
 namespace hyder {
 
@@ -19,43 +21,6 @@ uint64_t DecodeFixed64(const char* p) {
   std::memcpy(&v, p, 8);
   return v;
 }
-
-/// Node flag byte layout on the wire.
-enum WireFlags : uint8_t {
-  kWireAltered = 1u << 0,
-  kWireRead = 1u << 1,
-  kWireSubtreeRead = 1u << 2,
-  kWireRed = 1u << 3,
-  kWireLeftPresent = 1u << 4,
-  kWireLeftInternal = 1u << 5,
-  kWireRightPresent = 1u << 6,
-  kWireRightInternal = 1u << 7,
-};
-
-/// High bit of the isolation byte marks a wide-layout intention. Isolation
-/// levels use the low 7 bits, so binary intentions keep the seed format
-/// byte-for-byte; wide intentions follow the isolation byte with a varint
-/// page capacity and replace the node records with page records.
-constexpr uint8_t kWireWideLayout = 0x80;
-
-/// Per-page flag byte of a wide page record.
-enum WirePageFlags : uint8_t {
-  kWirePageSubtreeRead = 1u << 0,
-};
-
-/// Per-slot flag byte of a wide page record.
-enum WireSlotFlags : uint8_t {
-  kWireSlotAltered = 1u << 0,
-  kWireSlotRead = 1u << 1,
-};
-
-/// Per-child tag byte of a wide page record. A present child's varint
-/// (post-order index when internal, raw vn otherwise) follows the tag.
-enum WireChildTag : uint8_t {
-  kWireChildPresent = 1u << 0,
-  kWireChildInternal = 1u << 1,
-  kWireGapRead = 1u << 2,
-};
 
 struct EdgeEncoding {
   bool present = false;
@@ -88,15 +53,18 @@ Result<EdgeEncoding> EncodeEdge(
   return enc;
 }
 
+/// `offsets`, when set, receives each record's starting byte offset inside
+/// `out` in post-order — the wire-v3 offset table. v2 and v3 share the
+/// record bytes; only the framing differs.
 Status SerializeNodes(const NodePtr& n, uint64_t workspace_tag,
                       std::unordered_map<const Node*, uint32_t>& index,
-                      std::string* out) {
+                      std::string* out, std::vector<uint32_t>* offsets) {
   if (!n || n->owner() != workspace_tag) return Status::OK();
   // Post-order: children first.
-  HYDER_RETURN_IF_ERROR(
-      SerializeNodes(n->left().GetLocal().node, workspace_tag, index, out));
-  HYDER_RETURN_IF_ERROR(
-      SerializeNodes(n->right().GetLocal().node, workspace_tag, index, out));
+  HYDER_RETURN_IF_ERROR(SerializeNodes(n->left().GetLocal().node,
+                                       workspace_tag, index, out, offsets));
+  HYDER_RETURN_IF_ERROR(SerializeNodes(n->right().GetLocal().node,
+                                       workspace_tag, index, out, offsets));
 
   HYDER_ASSIGN_OR_RETURN(
       EdgeEncoding left,
@@ -105,6 +73,9 @@ Status SerializeNodes(const NodePtr& n, uint64_t workspace_tag,
       EdgeEncoding right,
       EncodeEdge(n->right().GetLocal(), workspace_tag, index));
 
+  if (offsets != nullptr) {
+    offsets->push_back(static_cast<uint32_t>(out->size()));
+  }
   uint8_t flags = 0;
   if (n->altered()) flags |= kWireAltered;
   if (n->read_dependent()) flags |= kWireRead;
@@ -136,7 +107,7 @@ Status SerializeNodes(const NodePtr& n, uint64_t workspace_tag,
 /// vn for altered slots and base_cv otherwise, exactly like binary nodes.
 Status SerializeWidePages(const NodePtr& n, uint64_t workspace_tag,
                           std::unordered_map<const Node*, uint32_t>& index,
-                          std::string* out) {
+                          std::string* out, std::vector<uint32_t>* offsets) {
   if (!n || n->owner() != workspace_tag) return Status::OK();
   if (!n->is_wide()) {
     return Status::Internal("binary node inside a wide intention");
@@ -144,9 +115,13 @@ Status SerializeWidePages(const NodePtr& n, uint64_t workspace_tag,
   const WideExt& e = *n->wide();
   for (int i = 0; i <= e.count(); ++i) {
     HYDER_RETURN_IF_ERROR(SerializeWidePages(e.child(i).GetLocal().node,
-                                             workspace_tag, index, out));
+                                             workspace_tag, index, out,
+                                             offsets));
   }
 
+  if (offsets != nullptr) {
+    offsets->push_back(static_cast<uint32_t>(out->size()));
+  }
   uint8_t pf = 0;
   if (n->subtree_read()) pf |= kWirePageSubtreeRead;
   out->push_back(static_cast<char>(pf));
@@ -206,7 +181,8 @@ Result<BlockHeader> DecodeBlockHeader(std::string_view block) {
 }
 
 Result<std::vector<std::string>> SerializeIntention(
-    const IntentionBuilder& builder, uint64_t txn_id, size_t block_size) {
+    const IntentionBuilder& builder, uint64_t txn_id, size_t block_size,
+    WireFormat wire) {
   if (block_size <= kBlockHeaderSize + 16) {
     return Status::InvalidArgument("block size too small");
   }
@@ -216,7 +192,16 @@ Result<std::vector<std::string>> SerializeIntention(
   const NodePtr& root = builder.root().node;
   const bool wide = root != nullptr && root->is_wide() &&
                     root->owner() == builder.workspace_tag();
+  const bool flat = wire == WireFormat::kV3;
   std::string payload;
+  if (flat) {
+    // Flat framing: magic (unreachable as a canonical v2 varint prefix,
+    // see wire_format.h) + format version, then the v2 header fields.
+    payload.reserve(kWireFlatPrefixBytes);
+    payload.push_back(static_cast<char>(kWireFlatMagic0));
+    payload.push_back(static_cast<char>(kWireFlatMagic1));
+    payload.push_back(static_cast<char>(kWireFlatVersion));
+  }
   PutVarint64(&payload, builder.snapshot_seq());
   uint8_t iso = static_cast<uint8_t>(builder.isolation());
   if (iso & kWireWideLayout) {
@@ -233,16 +218,26 @@ Result<std::vector<std::string>> SerializeIntention(
     PutVarint64(&payload, t.ssv.raw());
   }
   std::string nodes;
+  std::vector<uint32_t> offsets;
   std::unordered_map<const Node*, uint32_t> index;
   if (wide) {
     HYDER_RETURN_IF_ERROR(SerializeWidePages(root, builder.workspace_tag(),
-                                             index, &nodes));
+                                             index, &nodes,
+                                             flat ? &offsets : nullptr));
   } else {
     HYDER_RETURN_IF_ERROR(SerializeNodes(root, builder.workspace_tag(), index,
-                                         &nodes));
+                                         &nodes, flat ? &offsets : nullptr));
   }
   PutVarint64(&payload, index.size());
-  payload.append(nodes);
+  if (flat) {
+    // Node-region length plus the trailing fixed32 offset table: what lets
+    // FlatIntentionView address record i without decoding records 0..i-1.
+    PutVarint64(&payload, nodes.size());
+    payload.append(nodes);
+    for (uint32_t off : offsets) PutFixed32(&payload, off);
+  } else {
+    payload.append(nodes);
+  }
 
   const size_t capacity = block_size - kBlockHeaderSize;
   const uint32_t total =
@@ -268,11 +263,84 @@ Result<std::vector<std::string>> SerializeIntention(
   return blocks;
 }
 
+namespace {
+
+/// The wire-v3 decode path: parse (and fully validate) the payload into a
+/// FlatIntentionView, materialize only the root, and leave every other
+/// node to lazy, canonical materialization through the view. The root's
+/// external references still get the cache-only pre-materialization the v2
+/// path performs on every node — the root is the only node the meld thread
+/// is guaranteed to touch.
+Result<IntentionPtr> DeserializeFlatIntention(
+    std::string_view payload, uint64_t seq, uint32_t block_count,
+    NodeResolver* ephemeral_resolver, uint64_t txn_id,
+    std::vector<NodePtr>* nodes_out) {
+  HYDER_ASSIGN_OR_RETURN(
+      std::shared_ptr<FlatIntentionView> view,
+      FlatIntentionView::Parse(std::string(payload), seq));
+  auto intent = std::make_shared<Intention>();
+  intent->seq = seq;
+  intent->seq_first = seq;
+  intent->txn_id = txn_id;
+  intent->block_count = block_count;
+  intent->inside = {seq};
+  intent->members = {{seq, txn_id}};
+  intent->snapshot_seq = view->snapshot_seq();
+  intent->isolation = view->isolation();
+  intent->tombstones = view->tombstones();
+  intent->node_count = view->node_count();
+  if (nodes_out != nullptr) nodes_out->clear();
+  if (view->node_count() > 0 && ephemeral_resolver == nullptr) {
+    // No resolver: the caller has no machinery to resolve a lazy reference
+    // later, so deliver the fully materialized tree the v2 contract
+    // promised (codec-level tools and tests walk it with a null resolver).
+    // Post-order: children precede parents, so every intra-intention edge
+    // memoizes against an already-built node. Resolver-equipped callers
+    // (the server poll/refetch paths, the premeld decode workers) skip
+    // this: their nodes materialize lazily through the view.
+    for (uint32_t i = 0; i < view->node_count(); ++i) {
+      NodePtr n = view->NodeAt(i);
+      for (int c = 0; c < n->child_count(); ++c) {
+        const ChildSlot& slot = n->child_at(c);
+        const Ref edge = slot.GetLocal();
+        if (edge.IsLazy() && edge.vn.IsLogged() &&
+            edge.vn.intention_seq() == seq) {
+          slot.Memoize(view->NodeAt(edge.vn.node_index()));
+        }
+      }
+      if (nodes_out != nullptr) nodes_out->push_back(std::move(n));
+    }
+  }
+  if (view->node_count() > 0) {
+    NodePtr root = view->Root();
+    if (ephemeral_resolver != nullptr) {
+      for (int i = 0; i < root->child_count(); ++i) {
+        const ChildSlot& slot = root->child_at(i);
+        const Ref edge = slot.GetLocal();
+        if (!edge.IsLazy()) continue;
+        // Cache-only; intra-intention ids miss here (this intention is not
+        // cached yet) and resolve through the view on first touch instead.
+        NodePtr resolved = ephemeral_resolver->TryResolveCached(edge.vn);
+        if (resolved != nullptr) slot.Memoize(resolved);
+      }
+    }
+    intent->root = Ref::To(root);
+  }
+  intent->flats.emplace_back(seq, std::move(view));
+  return intent;
+}
+
+}  // namespace
+
 Result<IntentionPtr> DeserializeIntention(std::string_view payload,
                                           uint64_t seq, uint32_t block_count,
                                           NodeResolver* ephemeral_resolver,
                                           uint64_t txn_id,
                                           std::vector<NodePtr>* nodes_out) {
+  if (FlatIntentionView::LooksFlat(payload)) {
+    return DeserializeFlatIntention(payload, seq, block_count,
+                                    ephemeral_resolver, txn_id, nodes_out);
+  }
   auto intent = std::make_shared<Intention>();
   intent->seq = seq;
   intent->seq_first = seq;
@@ -350,13 +418,13 @@ Result<IntentionPtr> DeserializeIntention(std::string_view payload,
     for (uint64_t s = 0; s < slot_count; ++s) {
       if (p >= limit) return Status::Corruption("truncated slot record");
       const uint8_t sf = static_cast<uint8_t>(*p++);
-      uint64_t key = 0, ssv = 0, base_cv = 0, payload_len = 0;
-      if ((p = GetVarint64(p, limit, &key)) == nullptr ||
-          (p = GetVarint64(p, limit, &ssv)) == nullptr ||
-          (p = GetVarint64(p, limit, &base_cv)) == nullptr ||
-          (p = GetVarint64(p, limit, &payload_len)) == nullptr) {
+      // The slot's four leading varints decode as one batch (common/varint).
+      uint64_t quad[4];
+      if ((p = GetVarint64x4(p, limit, quad)) == nullptr) {
         return Status::Corruption("truncated slot fields");
       }
+      const uint64_t key = quad[0], ssv = quad[1], base_cv = quad[2],
+                     payload_len = quad[3];
       if (payload_len > size_t(limit - p)) {
         return Status::Corruption("truncated slot payload");
       }
@@ -414,13 +482,13 @@ Result<IntentionPtr> DeserializeIntention(std::string_view payload,
   for (uint64_t i = 0; !wide && i < node_count; ++i) {
     if (p >= limit) return Status::Corruption("truncated node record");
     const uint8_t flags = static_cast<uint8_t>(*p++);
-    uint64_t key = 0, ssv = 0, base_cv = 0, payload_len = 0;
-    if ((p = GetVarint64(p, limit, &key)) == nullptr ||
-        (p = GetVarint64(p, limit, &ssv)) == nullptr ||
-        (p = GetVarint64(p, limit, &base_cv)) == nullptr ||
-        (p = GetVarint64(p, limit, &payload_len)) == nullptr) {
+    // The record's four leading varints decode as one batch (common/varint).
+    uint64_t quad[4];
+    if ((p = GetVarint64x4(p, limit, quad)) == nullptr) {
       return Status::Corruption("truncated node fields");
     }
+    const uint64_t key = quad[0], ssv = quad[1], base_cv = quad[2],
+                   payload_len = quad[3];
     if (payload_len > size_t(limit - p)) {
       return Status::Corruption("truncated node payload");
     }

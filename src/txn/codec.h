@@ -28,9 +28,25 @@ namespace hyder {
 /// The stream is chopped into fixed-size intention blocks, each with a
 /// 20-byte header {txn_id, block_index, block_count, chunk_len}; blocks of
 /// one intention need not be contiguous in the log (§5.1).
+///
+/// Wire v3 ("flat", DESIGN.md "Intention wire format v3") keeps the exact
+/// per-record byte layout but frames it for in-place reading: a magic
+/// prefix, the node region's byte length, and a trailing fixed32 offset
+/// table addressing every record. Deserializing a v3 payload builds a
+/// FlatIntentionView and materializes only the root node; everything else
+/// materializes lazily on first touch (txn/flat_view.h). The decoder
+/// auto-detects the version, so v2 payloads in existing logs and
+/// checkpoints stay readable.
 
 /// Fixed per-block header size.
 constexpr size_t kBlockHeaderSize = 20;
+
+/// Payload encoding SerializeIntention emits. Decoding is always
+/// auto-detected from the payload bytes.
+enum class WireFormat : uint8_t {
+  kV2 = 2,  ///< Seed format: sequential records, eager materialization.
+  kV3 = 3,  ///< Flat format: offset table, lazy (zero-copy) materialization.
+};
 
 struct BlockHeader {
   uint64_t txn_id = 0;
@@ -45,8 +61,12 @@ Result<BlockHeader> DecodeBlockHeader(std::string_view block);
 /// Serializes the transaction accumulated in `builder` into intention
 /// blocks of at most `block_size` bytes. Fails if the workspace contains a
 /// foreign provisional node (a bug) or if a single node exceeds a block.
+/// `wire` selects the payload encoding; servers in one cluster must agree
+/// only on what they *emit* per intention, not globally — every decoder
+/// reads both.
 Result<std::vector<std::string>> SerializeIntention(
-    const IntentionBuilder& builder, uint64_t txn_id, size_t block_size);
+    const IntentionBuilder& builder, uint64_t txn_id, size_t block_size,
+    WireFormat wire = WireFormat::kV3);
 
 /// Parses a reassembled intention payload. `seq` is the deterministic
 /// log-order sequence assigned by the assembler; node `i` receives

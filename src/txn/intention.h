@@ -9,6 +9,8 @@
 
 namespace hyder {
 
+class FlatIntentionView;
+
 /// Isolation level a transaction executed under (§2, §6.4.4).
 ///
 /// * `kSerializable` — readsets are logged and validated by meld.
@@ -85,12 +87,27 @@ struct Intention {
   /// and to publish per-sequence states.
   std::vector<std::pair<uint64_t, uint64_t>> members;
 
+  /// Flat (wire v3) payload views backing this intention's member
+  /// sequences: one entry for a freshly decoded v3 intention, the union of
+  /// both members' entries for a group output, empty for v2 payloads. A v3
+  /// decode materializes only the root into the node pool; every other node
+  /// stays a lazy intra-intention edge until the meld walk (or a state
+  /// reader) touches it, resolved canonically through the view — see
+  /// `ResolveFlat` and txn/flat_view.h.
+  std::vector<std::pair<uint64_t, std::shared_ptr<FlatIntentionView>>> flats;
+
   bool Inside(const Node& n) const {
     for (uint64_t tag : inside) {
       if (n.owner() == tag) return true;
     }
     return false;
   }
+
+  /// Materializes `vn` from this intention's flat views (null when `vn` is
+  /// not logged or belongs to none of them). Every call for the same id
+  /// yields the same Node object, which is what lets meld's pointer-based
+  /// edge comparisons keep working on lazily materialized trees.
+  NodePtr ResolveFlat(VersionId vn) const;
 };
 
 using IntentionPtr = std::shared_ptr<Intention>;

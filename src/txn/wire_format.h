@@ -1,0 +1,66 @@
+#ifndef HYDER2_TXN_WIRE_FORMAT_H_
+#define HYDER2_TXN_WIRE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// Wire-format constants shared by the block serializer (codec.cc) and the
+/// flat-payload view (flat_view.cc). Layout documentation lives in
+/// DESIGN.md ("Intention wire format" / "Intention wire format v3");
+/// hyder-check's codec-symmetry rule audits that every constant here is
+/// referenced on both the serialize and the deserialize side.
+
+namespace hyder {
+
+/// Node flag byte layout on the wire.
+enum WireFlags : uint8_t {
+  kWireAltered = 1u << 0,
+  kWireRead = 1u << 1,
+  kWireSubtreeRead = 1u << 2,
+  kWireRed = 1u << 3,
+  kWireLeftPresent = 1u << 4,
+  kWireLeftInternal = 1u << 5,
+  kWireRightPresent = 1u << 6,
+  kWireRightInternal = 1u << 7,
+};
+
+/// High bit of the isolation byte marks a wide-layout intention. Isolation
+/// levels use the low 7 bits, so binary intentions keep the seed format
+/// byte-for-byte; wide intentions follow the isolation byte with a varint
+/// page capacity and replace the node records with page records.
+constexpr uint8_t kWireWideLayout = 0x80;
+
+/// Per-page flag byte of a wide page record.
+enum WirePageFlags : uint8_t {
+  kWirePageSubtreeRead = 1u << 0,
+};
+
+/// Per-slot flag byte of a wide page record.
+enum WireSlotFlags : uint8_t {
+  kWireSlotAltered = 1u << 0,
+  kWireSlotRead = 1u << 1,
+};
+
+/// Per-child tag byte of a wide page record. A present child's varint
+/// (post-order index when internal, raw vn otherwise) follows the tag.
+enum WireChildTag : uint8_t {
+  kWireChildPresent = 1u << 0,
+  kWireChildInternal = 1u << 1,
+  kWireGapRead = 1u << 2,
+};
+
+/// Flat (wire v3) magic prefix. A v2 payload opens with the canonical
+/// varint of snapshot_seq, and a canonical LEB128 encoding can never place
+/// 0x00 after a continuation byte (the remaining value after a >>7 shift is
+/// at least 1), so the two-byte sequence {0x80, 0x00} is unreachable in v2
+/// and dispatches unambiguously. The third byte versions the flat family.
+constexpr uint8_t kWireFlatMagic0 = 0x80;
+constexpr uint8_t kWireFlatMagic1 = 0x00;
+constexpr uint8_t kWireFlatVersion = 3;
+
+/// Bytes of the flat magic prefix (magic0, magic1, version).
+constexpr size_t kWireFlatPrefixBytes = 3;
+
+}  // namespace hyder
+
+#endif  // HYDER2_TXN_WIRE_FORMAT_H_

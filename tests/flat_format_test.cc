@@ -1,0 +1,220 @@
+// Wire-v3 ("flat") intention format: round-trip equivalence against the
+// legacy v2 decoder, lazy-materialization accounting, and a corruption
+// corpus — every truncation and every bit flip of a valid payload must
+// yield a typed DataLoss/Corruption status (or decode to a different but
+// well-formed intention), never undefined behavior. This suite carries the
+// `recovery` ctest label so the CI sanitizer job (ASan/UBSan) replays the
+// corpus with bounds and UB checking on.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tree/validate.h"
+#include "txn/codec.h"
+#include "txn/flat_view.h"
+#include "txn/intention_builder.h"
+
+namespace hyder {
+namespace {
+
+constexpr size_t kBlock = 1024;
+
+struct Assembled {
+  std::string payload;
+  uint64_t seq = 0;
+  uint32_t block_count = 0;
+  uint64_t txn_id = 0;
+};
+
+/// Serializes `b` with `wire` and reassembles the blocks into the payload a
+/// server's poll loop would hand to DeserializeIntention.
+Assembled Assemble(const IntentionBuilder& b, uint64_t txn_id,
+                   WireFormat wire) {
+  Assembled out;
+  auto blocks = SerializeIntention(b, txn_id, kBlock, wire);
+  EXPECT_TRUE(blocks.ok()) << blocks.status().ToString();
+  IntentionAssembler assembler;
+  std::optional<IntentionAssembler::Completed> done;
+  for (const std::string& blk : *blocks) {
+    auto fed = assembler.AddBlock(blk);
+    EXPECT_TRUE(fed.ok()) << fed.status().ToString();
+    done = std::move(fed->completed);
+  }
+  EXPECT_TRUE(done.has_value());
+  out.payload = std::move(done->payload);
+  out.seq = done->seq;
+  out.block_count = done->block_count;
+  out.txn_id = done->txn_id;
+  return out;
+}
+
+/// A representative mixed-operation builder: puts, overwrites, reads and
+/// deletes, so the payload carries node records and tombstones.
+IntentionBuilder MixedBuilder(int fanout, int keys) {
+  IntentionBuilder b(kWorkspaceTagBit | 7, 0, Ref::Null(),
+                     IsolationLevel::kSerializable, nullptr, fanout);
+  for (Key k = 0; k < Key(keys); ++k) {
+    EXPECT_TRUE(b.Put(k, "v" + std::to_string(k * 131)).ok());
+  }
+  EXPECT_TRUE(b.Put(3, "overwritten").ok());
+  EXPECT_TRUE(b.Get(5).ok());
+  EXPECT_TRUE(b.Delete(2).ok());
+  return b;
+}
+
+class FlatFormatTest : public ::testing::TestWithParam<int> {};
+
+// The same builder serialized as v2 and v3 must decode to semantically
+// identical intentions: same header, same tombstones, same node content at
+// every logged index, same in-order items.
+TEST_P(FlatFormatTest, RoundTripMatchesV2) {
+  const int fanout = GetParam();
+  IntentionBuilder b = MixedBuilder(fanout, 24);
+  Assembled v2 = Assemble(b, 42, WireFormat::kV2);
+  Assembled v3 = Assemble(b, 42, WireFormat::kV3);
+  ASSERT_FALSE(FlatIntentionView::LooksFlat(v2.payload));
+  ASSERT_TRUE(FlatIntentionView::LooksFlat(v3.payload));
+
+  std::vector<NodePtr> nodes2, nodes3;
+  auto i2 = DeserializeIntention(v2.payload, 1, v2.block_count, nullptr,
+                                 v2.txn_id, &nodes2);
+  auto i3 = DeserializeIntention(v3.payload, 1, v3.block_count, nullptr,
+                                 v3.txn_id, &nodes3);
+  ASSERT_TRUE(i2.ok()) << i2.status().ToString();
+  ASSERT_TRUE(i3.ok()) << i3.status().ToString();
+
+  EXPECT_EQ((*i2)->seq, (*i3)->seq);
+  EXPECT_EQ((*i2)->snapshot_seq, (*i3)->snapshot_seq);
+  EXPECT_EQ((*i2)->isolation, (*i3)->isolation);
+  EXPECT_EQ((*i2)->node_count, (*i3)->node_count);
+  ASSERT_EQ((*i2)->tombstones.size(), (*i3)->tombstones.size());
+  for (size_t t = 0; t < (*i2)->tombstones.size(); ++t) {
+    EXPECT_EQ((*i2)->tombstones[t].key, (*i3)->tombstones[t].key);
+    EXPECT_EQ((*i2)->tombstones[t].base_cv, (*i3)->tombstones[t].base_cv);
+    EXPECT_EQ((*i2)->tombstones[t].ssv, (*i3)->tombstones[t].ssv);
+  }
+
+  // Node-by-node: identical version ids and content in post-order.
+  ASSERT_EQ(nodes2.size(), nodes3.size());
+  for (size_t i = 0; i < nodes2.size(); ++i) {
+    EXPECT_EQ(nodes2[i]->vn(), nodes3[i]->vn()) << i;
+    EXPECT_EQ(nodes2[i]->is_wide(), nodes3[i]->is_wide()) << i;
+    if (!nodes2[i]->is_wide()) {
+      EXPECT_EQ(nodes2[i]->key(), nodes3[i]->key()) << i;
+      EXPECT_EQ(nodes2[i]->payload(), nodes3[i]->payload()) << i;
+      EXPECT_EQ(nodes2[i]->color(), nodes3[i]->color()) << i;
+    }
+  }
+
+  // Whole-tree: identical in-order contents.
+  std::vector<std::pair<Key, std::string>> items2, items3;
+  ASSERT_TRUE(TreeCollect(nullptr, (*i2)->root, &items2).ok());
+  ASSERT_TRUE(TreeCollect(nullptr, (*i3)->root, &items3).ok());
+  EXPECT_EQ(items2, items3);
+
+  auto check = ValidateTree(nullptr, (*i3)->root);
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+}
+
+// Parsing the payload directly (the resolver-equipped path) materializes
+// nothing until asked, and NodeAt is canonical: one Node per index.
+TEST_P(FlatFormatTest, LazyMaterializationIsCanonical) {
+  IntentionBuilder b = MixedBuilder(GetParam(), 24);
+  Assembled v3 = Assemble(b, 43, WireFormat::kV3);
+  auto view = FlatIntentionView::Parse(v3.payload, 1);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ((*view)->materialized(), 0u);
+  ASSERT_GT((*view)->node_count(), 0u);
+
+  NodePtr root = (*view)->Root();
+  ASSERT_TRUE(root != nullptr);
+  EXPECT_EQ((*view)->materialized(), 1u);
+  EXPECT_EQ(root->vn(), VersionId::Logged(1, (*view)->node_count() - 1));
+
+  // Same index twice → same Node object.
+  NodePtr a = (*view)->NodeAt(0);
+  NodePtr again = (*view)->NodeAt(0);
+  EXPECT_EQ(a.get(), again.get());
+  EXPECT_EQ((*view)->NodeAt((*view)->node_count()), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, FlatFormatTest,
+                         ::testing::Values(2, 16, 64));
+
+/// Decodes `payload` and asserts the no-UB contract: either a well-formed
+/// intention (a flip can land in a value byte) or a *typed* corruption
+/// status — DataLoss for flat-framing damage, Corruption for record-level
+/// damage — never a crash, hang, or untyped error.
+void ExpectTypedOrValid(const std::string& payload, uint32_t block_count,
+                        const char* what) {
+  std::vector<NodePtr> nodes;
+  auto r = DeserializeIntention(payload, 1, block_count, nullptr, 9, &nodes);
+  if (r.ok()) return;  // Flip produced a different but valid intention.
+  EXPECT_TRUE(r.status().IsCorruption() || r.status().IsDataLoss())
+      << what << ": " << r.status().ToString();
+}
+
+TEST(FlatFormatCorpusTest, EveryTruncationIsTypedDataLoss) {
+  IntentionBuilder b = MixedBuilder(2, 20);
+  Assembled v3 = Assemble(b, 44, WireFormat::kV3);
+  for (size_t len = 0; len < v3.payload.size(); ++len) {
+    std::string cut = v3.payload.substr(0, len);
+    std::vector<NodePtr> nodes;
+    auto r = DeserializeIntention(cut, 1, v3.block_count, nullptr, 9, &nodes);
+    // A strict prefix can never satisfy the v3 framing (total-length and
+    // offset-table checks), so unlike bit flips every truncation must fail.
+    ASSERT_FALSE(r.ok()) << "len " << len;
+    EXPECT_TRUE(r.status().IsCorruption() || r.status().IsDataLoss())
+        << "len " << len << ": " << r.status().ToString();
+  }
+}
+
+TEST(FlatFormatCorpusTest, EveryBitFlipIsTypedOrValid) {
+  IntentionBuilder b = MixedBuilder(2, 20);
+  Assembled v3 = Assemble(b, 45, WireFormat::kV3);
+  for (size_t byte = 0; byte < v3.payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = v3.payload;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      ExpectTypedOrValid(flipped, v3.block_count,
+                         "flip");
+    }
+  }
+}
+
+TEST(FlatFormatCorpusTest, WideEveryBitFlipIsTypedOrValid) {
+  IntentionBuilder b = MixedBuilder(16, 20);
+  Assembled v3 = Assemble(b, 46, WireFormat::kV3);
+  for (size_t byte = 0; byte < v3.payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = v3.payload;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      ExpectTypedOrValid(flipped, v3.block_count, "wide flip");
+    }
+  }
+}
+
+TEST(FlatFormatCorpusTest, TrailingGarbageRejected) {
+  IntentionBuilder b = MixedBuilder(2, 10);
+  Assembled v3 = Assemble(b, 47, WireFormat::kV3);
+  std::vector<NodePtr> nodes;
+  auto r = DeserializeIntention(v3.payload + "extra", 1, v3.block_count,
+                                nullptr, 9, &nodes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption() || r.status().IsDataLoss());
+}
+
+TEST(FlatFormatCorpusTest, ParseRejectsV2Payloads) {
+  IntentionBuilder b = MixedBuilder(2, 10);
+  Assembled v2 = Assemble(b, 48, WireFormat::kV2);
+  auto view = FlatIntentionView::Parse(v2.payload, 1);
+  ASSERT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsCorruption() || view.status().IsDataLoss());
+}
+
+}  // namespace
+}  // namespace hyder

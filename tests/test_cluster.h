@@ -16,6 +16,7 @@
 
 #include "meld/pipeline.h"
 #include "txn/codec.h"
+#include "txn/flat_view.h"
 #include "txn/intention_builder.h"
 
 namespace hyder {
@@ -29,18 +30,18 @@ class MapRegistry : public NodeResolver {
     MutexLock lock(mu_);
     BumpResolverLockCount();
     auto it = nodes_.find(vn);
-    if (it == nodes_.end()) {
-      return Status::SnapshotTooOld("node " + vn.ToString() +
-                                    " not in registry");
-    }
-    return it->second;
+    if (it != nodes_.end()) return it->second;
+    if (NodePtr n = FromFlatLocked(vn); n != nullptr) return n;
+    return Status::SnapshotTooOld("node " + vn.ToString() +
+                                  " not in registry");
   }
 
   NodePtr TryResolveCached(VersionId vn) override {
     MutexLock lock(mu_);
     BumpResolverLockCount();
     auto it = nodes_.find(vn);
-    return it == nodes_.end() ? nullptr : it->second;
+    if (it != nodes_.end()) return it->second;
+    return FromFlatLocked(vn);
   }
 
   void Register(const NodePtr& n) {
@@ -50,8 +51,15 @@ class MapRegistry : public NodeResolver {
   }
 
   /// Registers every node of a freshly deserialized intention (reachable
-  /// from the root through same-owner edges).
+  /// from the root through same-owner edges). Flat (wire v3) intentions
+  /// register their views instead: nodes materialize through the view on
+  /// first resolve, preserving keep-everything semantics lazily.
   void RegisterIntention(const IntentionPtr& intent) {
+    {
+      MutexLock lock(mu_);
+      BumpResolverLockCount();
+      for (const auto& [seq, view] : intent->flats) flats_[seq] = view;
+    }
     if (intent->root.IsNull()) return;
     std::vector<NodePtr> stack = {intent->root.node};
     while (!stack.empty()) {
@@ -71,8 +79,21 @@ class MapRegistry : public NodeResolver {
   }
 
  private:
+  /// Lazy fallback for logged ids covered by a registered flat view.
+  /// FlatIntentionView::NodeAt is lock-free, so calling it under mu_ is
+  /// safe and keeps the one-node-per-vn canonical identity.
+  NodePtr FromFlatLocked(VersionId vn) REQUIRES(mu_) {
+    if (!vn.IsLogged()) return nullptr;
+    auto it = flats_.find(vn.intention_seq());
+    if (it == flats_.end()) return nullptr;
+    if (vn.node_index() >= it->second->node_count()) return nullptr;
+    return it->second->NodeAt(vn.node_index());
+  }
+
   mutable Mutex mu_;
   std::unordered_map<VersionId, NodePtr> nodes_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::shared_ptr<FlatIntentionView>> flats_
+      GUARDED_BY(mu_);
 };
 
 /// One logical server: feeds log blocks through assembly, deserialization

@@ -32,9 +32,12 @@ class ThreadedHarness {
               MutexLock lock(mu_);
               decisions_.push_back(d);
             },
-            [this](uint64_t, const IntentionPtr&,
+            [this](uint64_t, const IntentionPtr& intent,
                    std::vector<NodePtr>&& nodes) {
               for (const NodePtr& n : nodes) registry_.Register(n);
+              // Flat (v3) intentions decode to views, not node arrays:
+              // register those too so logged references resolve lazily.
+              registry_.RegisterIntention(intent);
             }) {
     pipeline_.Start();
   }

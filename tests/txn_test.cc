@@ -333,10 +333,12 @@ TEST(CodecTest, CorruptPayloadRejected) {
   auto r1 = DeserializeIntention(
       std::string_view(payload).substr(0, payload.size() / 2), 1, 1, nullptr);
   EXPECT_FALSE(r1.ok());
-  // Trailing garbage.
+  // Trailing garbage. Record-level damage is Corruption; flat (v3) framing
+  // damage — the length no longer matches the declared extents — is typed
+  // DataLoss. Either way the decode must fail loudly.
   auto r2 = DeserializeIntention(payload + "junk", 1, 1, nullptr);
   EXPECT_FALSE(r2.ok());
-  EXPECT_TRUE(r2.status().IsCorruption());
+  EXPECT_TRUE(r2.status().IsCorruption() || r2.status().IsDataLoss());
 }
 
 class FailingResolver : public NodeResolver {

@@ -8,6 +8,13 @@ enum WireFlags : uint32_t {
   kWireReadOnly = 4,
 };
 
+// Flat-framing constants in the style of wire_format.h's kWireFlat*
+// family: a magic byte both sides touch, and a prefix length only the
+// parser validates — the exact drift the rule caught when the flat
+// format first landed (the serializer pushed three bytes by hand).
+constexpr uint8_t kWireFlatMagic = 0x80;
+constexpr unsigned long kWireFlatPrefixLen = 3;
+
 struct Sink {
   void PutU32(uint32_t v);
 };
@@ -29,4 +36,17 @@ bool DecodeRecord(Source& in) {
   const uint32_t flags = in.TakeU32();
   if (flags & kWireReadOnly) return false;  // expect: codec-symmetry
   return (flags & kWireHasPayload) != 0;
+}
+
+void SerializeFlatPrefix(Sink& out) {
+  out.PutU32(kWireFlatMagic);  // Magic appears on both sides: quiet.
+}
+
+// The parser checks the prefix length, but the serializer above pushes
+// its bytes without naming the constant: deserialize-only reference.
+bool ParseFlatPrefix(Source& in) {
+  for (unsigned long i = 0; i < kWireFlatPrefixLen; ++i) {  // expect: codec-symmetry
+    if (in.TakeU32() > 0xff) return false;
+  }
+  return in.Check(kWireFlatMagic);
 }

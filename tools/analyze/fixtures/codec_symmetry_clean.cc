@@ -18,6 +18,13 @@ struct Source {
   uint32_t TakeU32();
 };
 
+// Flat-framing constants (the wire_format.h kWireFlat* family): the
+// serializer names the prefix length when reserving, the parser when
+// validating — symmetric, must stay quiet.
+constexpr uint8_t kWireFlatMagic = 0x80;
+constexpr uint8_t kWireFlatVersion = 3;
+constexpr unsigned long kWireFlatPrefixLen = 3;
+
 void SerializeRecord(Sink& out, bool has_payload, bool deleted) {
   uint32_t flags = has_payload ? kWireHasPayload : 0;
   if (deleted) flags |= kWireDeleted;
@@ -28,4 +35,15 @@ bool DecodeRecord(Source& in, bool* deleted) {
   const uint32_t flags = in.TakeU32();
   *deleted = (flags & kWireDeleted) != 0;
   return (flags & kWireHasPayload) != 0;
+}
+
+void SerializeFlatPrefix(Sink& out) {
+  for (unsigned long i = 0; i < kWireFlatPrefixLen; ++i) out.PutU32(0);
+  out.PutU32(kWireFlatMagic);
+  out.PutU32(kWireFlatVersion);
+}
+
+bool ParseFlatPrefix(Source& in) {
+  for (unsigned long i = 0; i < kWireFlatPrefixLen; ++i) in.TakeU32();
+  return in.TakeU32() == kWireFlatMagic && in.TakeU32() == kWireFlatVersion;
 }

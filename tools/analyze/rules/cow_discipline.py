@@ -59,6 +59,7 @@ COW_ALLOWLIST = (
 BUILD_ALLOWLIST = (
     "src/tree/node.cc",
     "src/txn/codec.cc",
+    "src/txn/flat_view.cc",  # Lazy decode: nodes private until CAS-published.
     "src/txn/intention_builder.cc",
     "src/server/checkpoint.cc",
 )

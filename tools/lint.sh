@@ -163,11 +163,13 @@ src/tree/tree_ops.cc
 src/tree/validate.cc
 src/meld/meld.cc
 src/txn/codec.cc
+src/txn/flat_view.cc
 src/server/checkpoint.cc
 src/server/cluster.cc
 tests/tree_test.cc
 tests/test_cluster.h
-tests/txn_test.cc'
+tests/txn_test.cc
+tests/flat_format_test.cc'
 while IFS= read -r hit; do
   [ -n "$hit" ] || continue
   file=$(relpath "${hit%%:*}")
