@@ -42,6 +42,21 @@ int& WireSlot() {
   return wire;
 }
 
+double& ArrivalRateSlot() {
+  static double rate = -1.0;  // < 0 = not yet resolved; 0 = unset.
+  return rate;
+}
+
+double ParseArrivalRate(const char* s, const char* origin) {
+  double v = std::atof(s);
+  if (v <= 0) {
+    std::fprintf(stderr, "bench: bad %s arrival rate %s (want > 0 tps)\n",
+                 origin, s);
+    std::exit(2);
+  }
+  return v;
+}
+
 int ParseWire(const char* s, const char* origin) {
   if (std::strcmp(s, "v2") == 0) return int(WireFormat::kV2);
   if (std::strcmp(s, "v3") == 0) return int(WireFormat::kV3);
@@ -205,6 +220,17 @@ WireFormat BenchWire() {
   return WireFormat(slot);
 }
 
+double BenchArrivalRate() {
+  double& slot = ArrivalRateSlot();
+  if (slot < 0) {
+    const char* env = std::getenv("HYDER_BENCH_ARRIVAL_RATE");
+    slot = env != nullptr
+               ? ParseArrivalRate(env, "HYDER_BENCH_ARRIVAL_RATE")
+               : 0.0;
+  }
+  return slot;
+}
+
 void InitBenchIO(int* argc, char** argv) {
   JsonEmitter& e = Emitter();
   Observability& o = Obs();
@@ -223,6 +249,8 @@ void InitBenchIO(int* argc, char** argv) {
       FanoutSlot() = ParseFanout(argv[i] + 9, "--fanout");
     } else if (std::strncmp(argv[i], "--wire-format=", 14) == 0) {
       WireSlot() = ParseWire(argv[i] + 14, "--wire-format");
+    } else if (std::strncmp(argv[i], "--arrival-rate=", 15) == 0) {
+      ArrivalRateSlot() = ParseArrivalRate(argv[i] + 15, "--arrival-rate");
     } else {
       argv[out++] = argv[i];
     }
@@ -382,6 +410,51 @@ double PipelineTps(const StageTimes& times, const PipelineConfig& pipeline,
   if (bottleneck != nullptr) *bottleneck = worst->name;
   if (worst->us <= 0) return 0;
   return 1e6 / worst->us * commit_fraction;
+}
+
+SloReport RunOpenLoopExperiment(const ExperimentConfig& config,
+                                double rate_tps, uint64_t arrivals,
+                                const std::string& label) {
+  StripedLog log(config.log);
+  ServerOptions options;
+  options.pipeline = config.pipeline;
+  options.wire_format = BenchWire();
+  options.max_inflight = config.inflight;
+  options.resolver.intention_cache_capacity =
+      config.inflight + config.pipeline.state_retention;
+  HyderServer server(&log, options);
+
+  WorkloadGenerator gen(config.workload);
+  Status seeded = gen.SeedDatabase(server);
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "seed failed: %s\n", seeded.ToString().c_str());
+    std::exit(1);
+  }
+
+  ArrivalOptions arrival;
+  arrival.rate_tps = rate_tps;
+  arrival.count = arrivals;
+  arrival.seed = config.workload.seed ^ 0x9e3779b97f4a7c15ull;
+  const std::vector<uint64_t> schedule = BuildArrivalSchedule(arrival);
+
+  OpenLoopOptions olo;
+  olo.isolation = config.isolation;
+  olo.label = label;
+  OpenLoopDriver driver(&server, olo, [&gen](Transaction& txn) {
+    if (gen.NextIsReadOnly()) return gen.FillReadOnlyTransaction(txn);
+    return gen.FillWriteTransaction(txn);
+  });
+  Result<SloReport> report = driver.Run(schedule);
+  if (!report.ok()) {
+    std::fprintf(stderr, "open-loop driver failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  // Snapshot while the server (contention sketch, per-cause counters) and
+  // driver providers are still alive; last run wins, and the cumulative
+  // slo.decision_latency_us.<label> histograms survive every run.
+  MaybeWriteMetricsJson();
+  return *report;
 }
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {

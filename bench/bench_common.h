@@ -21,7 +21,9 @@
 #include "log/striped_log.h"
 #include "meld/pipeline.h"
 #include "server/driver.h"
+#include "server/open_loop.h"
 #include "server/server.h"
+#include "workload/arrival.h"
 #include "workload/workload.h"
 
 namespace hyder {
@@ -74,6 +76,23 @@ struct ExperimentResult {
 
 /// Runs one experiment end to end. Prints nothing.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+/// Runs one *open-loop* experiment: seeds the database, then drives the
+/// server from a Poisson arrival schedule at `rate_tps` for `arrivals`
+/// transactions (server/open_loop.h). Decision latencies are measured
+/// from intended starts (coordinated-omission-safe) and land in the
+/// registry histogram "slo.decision_latency_us[.<label>]", so a
+/// --metrics-json run hands tools/slo_report.py everything it needs.
+/// Prints nothing.
+SloReport RunOpenLoopExperiment(const ExperimentConfig& config,
+                                double rate_tps, uint64_t arrivals,
+                                const std::string& label);
+
+/// Offered load for open-loop benches, in transactions/second. Set by
+/// `--arrival-rate=TPS` (stripped in InitBenchIO) or the
+/// HYDER_BENCH_ARRIVAL_RATE env var; 0 (the default) means "let the
+/// bench pick" — each open-loop bench documents its own default sweep.
+double BenchArrivalRate();
 
 /// HYDER_BENCH_SCALE (default 1.0) multiplies run lengths.
 double BenchScale();

@@ -30,11 +30,12 @@ static_assert(sizeof(ArenaStats) == 12 * sizeof(uint64_t),
 static_assert(sizeof(ConfigEcho) == 6 * sizeof(int64_t),
               "ConfigEcho field added: update Observe/ToString/EmitTo and "
               "this count");
-static_assert(sizeof(PipelineStats) == 15 * sizeof(uint64_t) +
-                                           4 * sizeof(MeldWork) +
-                                           sizeof(ConfigEcho),
-              "PipelineStats field added: update ToString/EmitTo/"
-              "operator+= and this count");
+static_assert(
+    sizeof(PipelineStats) ==
+        (15 + kAbortCauseCount + kAbortStageCount) * sizeof(uint64_t) +
+            4 * sizeof(MeldWork) + sizeof(ConfigEcho),
+    "PipelineStats field added: update ToString/EmitTo/"
+    "operator+= and this count");
 
 std::string MeldWork::ToString() const {
   char buf[256];
@@ -151,6 +152,12 @@ PipelineStats& PipelineStats::operator+=(const PipelineStats& o) {
   handoff_blocked_pops += o.handoff_blocked_pops;
   handoff_blocked_push_nanos += o.handoff_blocked_push_nanos;
   handoff_blocked_pop_nanos += o.handoff_blocked_pop_nanos;
+  for (int i = 0; i < kAbortCauseCount; ++i) {
+    aborts_by_cause[i] += o.aborts_by_cause[i];
+  }
+  for (int i = 0; i < kAbortStageCount; ++i) {
+    aborts_by_stage[i] += o.aborts_by_stage[i];
+  }
   config_echo.Observe(o.config_echo);
   return *this;
 }
@@ -183,7 +190,17 @@ std::string PipelineStats::ToString() const {
       double(handoff_blocked_push_nanos) / 1e6,
       double(handoff_blocked_pop_nanos) / 1e6,
       config_echo.ToString().c_str());
-  return buf;
+  std::string s = buf;
+  bool any = false;
+  for (int i = 1; i < kAbortCauseCount; ++i) {
+    if (aborts_by_cause[i] == 0) continue;
+    s += any ? " " : " abort_causes[";
+    any = true;
+    s += AbortCauseName(static_cast<AbortCause>(i));
+    s += "=" + std::to_string(aborts_by_cause[i]);
+  }
+  if (any) s += "]";
+  return s;
 }
 
 void PipelineStats::EmitTo(const std::string& prefix,
@@ -211,6 +228,18 @@ void PipelineStats::EmitTo(const std::string& prefix,
        double(handoff_blocked_push_nanos));
   emit(Key(prefix, "handoff_blocked_pop_nanos"),
        double(handoff_blocked_pop_nanos));
+  // Per-cause / per-stage abort counters ("<prefix>.abort.write_write",
+  // "<prefix>.abort_stage.final_meld", ...). Index 0 (kNone) is skipped —
+  // it is structurally zero.
+  for (int i = 1; i < kAbortCauseCount; ++i) {
+    emit(Key(prefix, "abort") + "." + AbortCauseName(static_cast<AbortCause>(i)),
+         double(aborts_by_cause[i]));
+  }
+  for (int i = 1; i < kAbortStageCount; ++i) {
+    emit(Key(prefix, "abort_stage") + "." +
+             AbortStageName(static_cast<AbortStage>(i)),
+         double(aborts_by_stage[i]));
+  }
   config_echo.EmitTo(Key(prefix, "echo"), emit);
 }
 

@@ -5,6 +5,8 @@
 #include <functional>
 #include <string>
 
+#include "common/abort_info.h"
+
 namespace hyder {
 
 /// Snapshot-time field emitter (see common/registry.h): stats structs
@@ -132,8 +134,23 @@ struct PipelineStats {
   uint64_t handoff_blocked_push_nanos = 0;
   uint64_t handoff_blocked_pop_nanos = 0;
 
+  /// Abort forensics (common/abort_info.h): decisions bucketed by typed
+  /// cause and by the stage that killed them. Indexed by AbortCause /
+  /// AbortStage enumerator values; index 0 (kNone) stays zero. The sum over
+  /// `aborts_by_cause` equals `aborted` (admission rejections never enter
+  /// the pipeline, so kAbortBusy is counted by the open-loop driver, not
+  /// here).
+  uint64_t aborts_by_cause[kAbortCauseCount] = {};
+  uint64_t aborts_by_stage[kAbortStageCount] = {};
+
   /// See ConfigEcho: knobs as the stages consumed them.
   ConfigEcho config_echo;
+
+  /// Buckets one abort decision into the cause/stage arrays.
+  void RecordAbort(const AbortInfo& a) {
+    aborts_by_cause[static_cast<size_t>(a.cause)]++;
+    aborts_by_stage[static_cast<size_t>(a.stage)]++;
+  }
 
   PipelineStats& operator+=(const PipelineStats& o);
 

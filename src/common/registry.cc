@@ -149,12 +149,13 @@ std::string MetricsRegistry::ToJson() const {
     std::snprintf(buf, sizeof(buf),
                   ": {\"count\": %llu, \"mean\": %.3f, \"min\": %llu, "
                   "\"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
-                  "\"max\": %llu}",
+                  "\"p999\": %llu, \"max\": %llu}",
                   (unsigned long long)h.count(), h.mean(),
                   (unsigned long long)h.min(),
                   (unsigned long long)h.Percentile(50),
                   (unsigned long long)h.Percentile(90),
                   (unsigned long long)h.Percentile(99),
+                  (unsigned long long)h.Percentile(99.9),
                   (unsigned long long)h.max());
     json += buf;
   }

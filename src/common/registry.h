@@ -139,7 +139,7 @@ class MetricsRegistry {
 
   /// JSON export (bench JSON emitter conventions): an object with
   /// "metrics" (flat name->value) and "histograms" (name->{count, mean,
-  /// min, p50, p90, p99, max}).
+  /// min, p50, p90, p99, p999, max}).
   std::string ToJson() const EXCLUDES(mu_);
 
  private:

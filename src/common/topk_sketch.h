@@ -1,0 +1,140 @@
+#ifndef HYDER2_COMMON_TOPK_SKETCH_H_
+#define HYDER2_COMMON_TOPK_SKETCH_H_
+
+// Space-saving top-K heavy-hitter sketch (Metwally, Agrawal, El Abbadi,
+// "Efficient Computation of Frequent and Top-k Elements in Data Streams").
+//
+// Used as the contention heatmap: every abort offers its conflicting key,
+// and the sketch keeps the K hottest keys in O(K) memory regardless of how
+// many distinct keys conflict. Guarantees, with N = total offered weight:
+//
+//  * any key with true frequency > N/K is present in the sketch;
+//  * every entry overestimates its true frequency by at most its recorded
+//    `error` field, and error <= N/K.
+//
+// Deterministic: evictions pick the minimum count with smallest-key
+// tie-break, so identical streams produce identical sketches (the §3.4
+// determinism story extends to forensics). Not internally synchronized —
+// each sketch is owned by one thread; cross-thread aggregation goes through
+// `Merge` (topk_sketch_test exercises this under TSan).
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace hyder {
+
+class TopKSketch {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t count = 0;  ///< Estimated frequency (overestimate).
+    uint64_t error = 0;  ///< Max overestimation: true freq >= count - error.
+  };
+
+  explicit TopKSketch(size_t k) : k_(k == 0 ? 1 : k) {
+    slots_.reserve(k_);
+    index_.reserve(k_);
+  }
+
+  /// Counts `weight` occurrences of `key`. When the sketch is full the
+  /// minimum-count entry is evicted; the newcomer inherits its count as
+  /// error (the space-saving rule).
+  void Offer(uint64_t key, uint64_t weight = 1) {
+    total_ += weight;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      slots_[it->second].count += weight;
+      return;
+    }
+    if (slots_.size() < k_) {
+      index_[key] = slots_.size();
+      slots_.push_back(Entry{key, weight, 0});
+      return;
+    }
+    size_t victim = MinSlot();
+    Entry& e = slots_[victim];
+    index_.erase(e.key);
+    index_[key] = victim;
+    e.error = e.count;
+    e.count += weight;
+    e.key = key;
+  }
+
+  /// Folds `other` into this sketch. Each of the other's entries is offered
+  /// with its estimated count, and its error is carried into the surviving
+  /// entry, so the merged bound "true freq >= count - error" still holds.
+  /// Deterministic: the other's entries are applied in sorted order.
+  void Merge(const TopKSketch& other) {
+    total_ += other.total_;
+    std::vector<Entry> in = other.Entries();
+    for (const Entry& e : in) {
+      OfferWithError(e.key, e.count, e.error);
+    }
+  }
+
+  /// Entries sorted by descending count, ascending key on ties.
+  std::vector<Entry> Entries() const {
+    std::vector<Entry> out = slots_;
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.key < b.key;
+    });
+    return out;
+  }
+
+  /// Total weight ever offered (N in the error bound).
+  uint64_t total() const { return total_; }
+  size_t k() const { return k_; }
+  size_t size() const { return slots_.size(); }
+
+  void Reset() {
+    slots_.clear();
+    index_.clear();
+    total_ = 0;
+  }
+
+ private:
+  /// Merge helper: like Offer but carries the source entry's error and does
+  /// not touch total_ (Merge accounts the other sketch's total wholesale).
+  void OfferWithError(uint64_t key, uint64_t weight, uint64_t carried_error) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      slots_[it->second].count += weight;
+      slots_[it->second].error += carried_error;
+      return;
+    }
+    if (slots_.size() < k_) {
+      index_[key] = slots_.size();
+      slots_.push_back(Entry{key, weight, carried_error});
+      return;
+    }
+    size_t victim = MinSlot();
+    Entry& e = slots_[victim];
+    index_.erase(e.key);
+    index_[key] = victim;
+    e.error = e.count + carried_error;
+    e.count += weight;
+    e.key = key;
+  }
+
+  size_t MinSlot() const {
+    size_t best = 0;
+    for (size_t i = 1; i < slots_.size(); ++i) {
+      const Entry& a = slots_[i];
+      const Entry& b = slots_[best];
+      if (a.count < b.count || (a.count == b.count && a.key < b.key)) best = i;
+    }
+    return best;
+  }
+
+  size_t k_;
+  uint64_t total_ = 0;
+  std::vector<Entry> slots_;
+  std::unordered_map<uint64_t, size_t> index_;
+};
+
+}  // namespace hyder
+
+#endif  // HYDER2_COMMON_TOPK_SKETCH_H_

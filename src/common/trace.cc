@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 
+#include "common/abort_info.h"
 #include "common/stopwatch.h"
 #include "common/thread_annotations.h"
 
@@ -17,8 +18,8 @@ std::atomic<bool> Tracer::enabled_{false};
 namespace {
 
 const char* const kStageNames[kTraceStageCount] = {
-    "submit",      "append",     "durable",    "decode", "premeld",
-    "handoff_wait", "group_meld", "final_meld", "publish",
+    "submit",      "append",     "durable",    "decode",  "premeld",
+    "handoff_wait", "group_meld", "final_meld", "publish", "abort",
 };
 
 /// One thread's ring buffer. The owning thread is the only writer; Drain
@@ -32,7 +33,9 @@ struct ThreadBuffer {
     std::atomic<uint64_t> ver{0};
     std::atomic<uint64_t> ts{0};
     std::atomic<uint64_t> id{0};
-    /// tid << 16 | stage << 8 | phase.
+    /// arg << 32 | tid << 16 | stage << 8 | phase. The high half is free
+    /// for the 32-bit event arg because readers take the tid from the
+    /// owning buffer, not from meta.
     std::atomic<uint64_t> meta{0};
   };
 
@@ -79,6 +82,7 @@ bool ReadSlot(const ThreadBuffer::Slot& slot, uint32_t tid,
   if (slot.ver.load(std::memory_order_relaxed) != v1) return false;
   out->ts_nanos = ts;
   out->id = id;
+  out->arg = uint32_t(meta >> 32);
   out->tid = tid;
   out->stage = TraceStage(uint8_t(meta >> 8));
   out->phase = TracePhase(uint8_t(meta));
@@ -116,7 +120,8 @@ void Tracer::Enable(size_t events_per_thread) {
 
 void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 
-void Tracer::Record(TraceStage stage, TracePhase phase, uint64_t id) {
+void Tracer::Record(TraceStage stage, TracePhase phase, uint64_t id,
+                    uint32_t arg) {
   ThreadBuffer* buf = tl_buffer;
   if (buf == nullptr) buf = RegisterThisThread();
   const uint64_t n = buf->count.load(std::memory_order_relaxed);
@@ -127,8 +132,8 @@ void Tracer::Record(TraceStage stage, TracePhase phase, uint64_t id) {
   std::atomic_thread_fence(std::memory_order_release);
   slot.ts.store(Stopwatch::NowNanos(), std::memory_order_relaxed);
   slot.id.store(id, std::memory_order_relaxed);
-  slot.meta.store(uint64_t(buf->tid) << 16 | uint64_t(stage) << 8 |
-                      uint64_t(phase),
+  slot.meta.store(uint64_t(arg) << 32 | uint64_t(buf->tid & 0xffff) << 16 |
+                      uint64_t(stage) << 8 | uint64_t(phase),
                   std::memory_order_relaxed);
   slot.ver.store(v + 2, std::memory_order_release);
   buf->count.store(n + 1, std::memory_order_release);
@@ -183,15 +188,15 @@ void Tracer::Reset() {
 // --- Serialization ---------------------------------------------------------
 
 std::string SerializeTraceDump(const std::vector<TraceEvent>& events) {
-  std::string out = "# hyder-trace v1\n# ts_nanos tid stage phase id\n";
+  std::string out = "# hyder-trace v2\n# ts_nanos tid stage phase id arg\n";
   char line[128];
   for (const TraceEvent& ev : events) {
     const char phase = ev.phase == TracePhase::kBegin   ? 'B'
                        : ev.phase == TracePhase::kEnd   ? 'E'
                                                         : 'I';
-    std::snprintf(line, sizeof(line), "%" PRIu64 " %u %s %c %" PRIu64 "\n",
-                  ev.ts_nanos, ev.tid, TraceStageName(ev.stage), phase,
-                  ev.id);
+    std::snprintf(line, sizeof(line),
+                  "%" PRIu64 " %u %s %c %" PRIu64 " %u\n", ev.ts_nanos,
+                  ev.tid, TraceStageName(ev.stage), phase, ev.id, ev.arg);
     out += line;
   }
   return out;
@@ -210,7 +215,8 @@ Result<std::vector<TraceEvent>> ParseTraceDump(const std::string& dump) {
     lineno++;
     if (line.empty()) continue;
     if (line[0] == '#') {
-      if (line.find("hyder-trace v1") != std::string::npos) {
+      if (line.find("hyder-trace v1") != std::string::npos ||
+          line.find("hyder-trace v2") != std::string::npos) {
         saw_header = true;
       }
       continue;
@@ -219,13 +225,18 @@ Result<std::vector<TraceEvent>> ParseTraceDump(const std::string& dump) {
     char phase_ch = 0;
     TraceEvent ev;
     unsigned tid = 0;
-    if (std::sscanf(line.c_str(), "%" SCNu64 " %u %31s %c %" SCNu64,
-                    &ev.ts_nanos, &tid, stage_buf, &phase_ch,
-                    &ev.id) != 5) {
+    unsigned arg = 0;
+    // v2 lines carry a trailing arg column; v1 lines (five fields) parse
+    // with arg = 0.
+    const int fields =
+        std::sscanf(line.c_str(), "%" SCNu64 " %u %31s %c %" SCNu64 " %u",
+                    &ev.ts_nanos, &tid, stage_buf, &phase_ch, &ev.id, &arg);
+    if (fields != 5 && fields != 6) {
       return Status::InvalidArgument("trace dump: unparseable line " +
                                      std::to_string(lineno));
     }
     ev.tid = tid;
+    ev.arg = arg;
     if (!TraceStageFromName(stage_buf, &ev.stage)) {
       return Status::InvalidArgument("trace dump: unknown stage '" +
                                      std::string(stage_buf) + "' on line " +
@@ -292,12 +303,22 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
                                                       : "i";
     const double ts_us = double(ev.ts_nanos - base) / 1e3;
     const int tid = track[{int(ev.stage), ev.tid}];
+    // Abort instants carry the typed cause so the point of death is
+    // readable in the Chrome UI without decoding enum values.
+    char extra[64] = "";
+    if (ev.stage == TraceStage::kAbort) {
+      std::snprintf(extra, sizeof(extra), ",\"cause\":\"%s\"",
+                    AbortCauseName(static_cast<AbortCause>(
+                        ev.arg < uint32_t(kAbortCauseCount) ? ev.arg : 0)));
+    }
     std::snprintf(
         buf, sizeof(buf),
         "%s\n{\"name\":\"%s\",\"cat\":\"pipeline\",\"ph\":\"%s\","
-        "\"pid\":1,\"tid\":%d,\"ts\":%.3f%s,\"args\":{\"id\":%" PRIu64 "}}",
+        "\"pid\":1,\"tid\":%d,\"ts\":%.3f%s,\"args\":{\"id\":%" PRIu64
+        "%s}}",
         first ? "" : ",", TraceStageName(ev.stage), ph, tid, ts_us,
-        ev.phase == TracePhase::kInstant ? ",\"s\":\"t\"" : "", ev.id);
+        ev.phase == TracePhase::kInstant ? ",\"s\":\"t\"" : "", ev.id,
+        extra);
     first = false;
     json += buf;
   }

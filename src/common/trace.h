@@ -51,8 +51,10 @@ enum class TraceStage : uint8_t {
   kGroupMeld,    ///< Group-meld pairing (span, §4).
   kFinalMeld,    ///< Final meld decision (span).
   kPublish,      ///< Last-committed-state publication (instant).
+  kAbort,        ///< Abort decision (instant; `arg` carries the AbortCause
+                 ///< enumerator — Chrome export names it, see abort_info.h).
 };
-inline constexpr int kTraceStageCount = 9;
+inline constexpr int kTraceStageCount = 10;
 
 /// Stable lowercase name used by the raw dump and the Chrome export.
 const char* TraceStageName(TraceStage stage);
@@ -71,6 +73,7 @@ enum class TracePhase : uint8_t {
 struct TraceEvent {
   uint64_t ts_nanos = 0;
   uint64_t id = 0;
+  uint32_t arg = 0;  ///< Stage-specific payload (abort: AbortCause value).
   uint32_t tid = 0;  ///< Tracer-assigned recording-thread index.
   TraceStage stage = TraceStage::kSubmit;
   TracePhase phase = TracePhase::kInstant;
@@ -97,8 +100,10 @@ class Tracer {
 
   /// Records one event into the calling thread's ring buffer. Callers
   /// guard with Enabled(); calling while disabled records nothing and
-  /// allocates nothing.
-  static void Record(TraceStage stage, TracePhase phase, uint64_t id);
+  /// allocates nothing. `arg` is a stage-specific 32-bit payload (packed
+  /// into the slot's meta word — recording stays four stores).
+  static void Record(TraceStage stage, TracePhase phase, uint64_t id,
+                     uint32_t arg = 0);
 
   /// Collects every buffered event from all threads, sorted by timestamp.
   /// Safe while writers are still recording: torn slots (a writer wrapping
@@ -140,15 +145,16 @@ class TraceSpan {
   const uint64_t id_;
 };
 
-inline void TraceInstant(TraceStage stage, uint64_t id) {
-  if (Tracer::Enabled()) Tracer::Record(stage, TracePhase::kInstant, id);
+inline void TraceInstant(TraceStage stage, uint64_t id, uint32_t arg = 0) {
+  if (Tracer::Enabled()) Tracer::Record(stage, TracePhase::kInstant, id, arg);
 }
 
 // --- Serialization (bench --trace-out, tools/trace_export) ----------------
 
-/// Raw dump, one line per event: `ts_nanos tid stage phase id`, with a
-/// `# hyder-trace v1` header. The stable on-disk hand-off between a traced
-/// run and tools/trace_export.
+/// Raw dump, one line per event: `ts_nanos tid stage phase id arg`, with a
+/// `# hyder-trace v2` header. The stable on-disk hand-off between a traced
+/// run and tools/trace_export. The parser also accepts v1 dumps (five
+/// columns, no arg — arg reads as 0).
 std::string SerializeTraceDump(const std::vector<TraceEvent>& events);
 Result<std::vector<TraceEvent>> ParseTraceDump(const std::string& dump);
 

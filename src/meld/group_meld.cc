@@ -22,6 +22,9 @@ Result<GroupOutcome> RunGroupMeld(const IntentionPtr& first,
   if (second->known_aborted) {
     out.intention = first;
     out.second_aborted = true;
+    // Not a pair conflict: the second member arrived already killed by
+    // premeld, and its provenance passes through unchanged.
+    out.second_abort = second->abort_info;
     return out;
   }
 
@@ -40,6 +43,9 @@ Result<GroupOutcome> RunGroupMeld(const IntentionPtr& first,
     // first intention survives alone — no fate sharing in this direction.
     out.intention = first;
     out.second_aborted = true;
+    out.second_abort = melded.abort;
+    out.second_abort.stage = AbortStage::kGroupMeld;
+    out.second_abort.blamed_seq = first->seq;
     return out;
   }
 

@@ -16,6 +16,10 @@ struct GroupOutcome {
   /// fate sharing: the earlier intention is in the later one's conflict
   /// zone, so the later one would abort anyway).
   bool second_aborted = false;
+  /// Provenance of that collapse (meaningful when `second_aborted`): the
+  /// pair-formation conflict, or the premeld kill the second member already
+  /// carried.
+  AbortInfo second_abort;
 };
 
 /// Combines the adjacent pair (first, second) — first precedes second in

@@ -53,6 +53,22 @@ class Melder {
     if (ctx_.work != nullptr) ctx_.work->nodes_visited++;
   }
 
+  /// Deposits typed provenance in the context's sink and returns the abort
+  /// Status. Allocation-free: the provenance is a POD write and `msg` must
+  /// be a short static literal (fits the Status small-string buffer); the
+  /// human-readable reason is reconstructed lazily by AbortInfo::ToString.
+  Status Abort(AbortCause cause, Key key, const char* msg) const {
+    if (ctx_.abort_sink != nullptr) {
+      AbortInfo& a = *ctx_.abort_sink;
+      a.cause = cause;
+      a.conflict = cause;
+      a.key_kind = AbortKeyKind::kUserKey;
+      a.key = key;
+      a.slot = -1;
+    }
+    return Status::Aborted(msg);
+  }
+
   Result<NodePtr> Materialize(const Ref& e) const {
     if (e.node) return e.node;
     if (e.vn.IsNull()) return NodePtr();
@@ -82,12 +98,10 @@ class Melder {
     const bool content_changed = l->cv() != i->base_cv();
     if (eligible && content_changed) {
       if (i->altered()) {
-        return Status::Aborted("write-write on key " +
-                               std::to_string(i->key()));
+        return Abort(AbortCause::kAbortWriteWrite, i->key(), "write-write");
       }
       if (Serializable() && i->read_dependent()) {
-        return Status::Aborted("read-write on key " +
-                               std::to_string(i->key()));
+        return Abort(AbortCause::kAbortReadWrite, i->key(), "read-write");
       }
     }
     if (Serializable() && i->subtree_read()) {
@@ -96,12 +110,10 @@ class Melder {
       // already diverged (the graft fast-path did not fire).
       if (ctx_.mode == MeldMode::kState) {
         if (i->ssv() != l->vn()) {
-          return Status::Aborted("phantom under key " +
-                                 std::to_string(i->key()));
+          return Abort(AbortCause::kAbortPhantom, i->key(), "phantom");
         }
       } else if (BaseInside(l)) {
-        return Status::Aborted("group phantom under key " +
-                               std::to_string(i->key()));
+        return Abort(AbortCause::kAbortPhantom, i->key(), "group phantom");
       }
     }
     return Status::OK();
@@ -201,18 +213,16 @@ class Melder {
     // Snapshot-derived nodes have provenance; fresh inserts have neither
     // field. (Split copies clear ssv but keep base_cv, so test both.)
     if (!n->ssv().IsNull() || !n->base_cv().IsNull()) {
-      // The key existed in the snapshot but is gone from the base state.
+      // The key existed in the snapshot but is gone from the base state:
+      // the subtree this intention grafted onto was concurrently deleted.
       if (n->altered()) {
-        return Status::Aborted("write vs concurrent delete of key " +
-                               std::to_string(n->key()));
+        return Abort(AbortCause::kAbortGraft, n->key(), "write vs delete");
       }
       if (Serializable() && n->read_dependent()) {
-        return Status::Aborted("read vs concurrent delete of key " +
-                               std::to_string(n->key()));
+        return Abort(AbortCause::kAbortGraft, n->key(), "read vs delete");
       }
       if (Serializable() && n->subtree_read()) {
-        return Status::Aborted("phantom (scan vs concurrent delete) at key " +
-                               std::to_string(n->key()));
+        return Abort(AbortCause::kAbortPhantom, n->key(), "scan vs delete");
       }
       // Path copy only: the concurrent delete wins; drop it.
     } else if (n->altered()) {
@@ -394,13 +404,12 @@ class Melder {
         const bool eligible = ctx_.mode == MeldMode::kState ||
                               (BaseInside(cur.get()) && cur->altered());
         if (eligible && cur->cv() != t.base_cv) {
-          return Status::Aborted("delete write-write on key " +
-                                 std::to_string(t.key));
+          return Abort(AbortCause::kAbortWriteWrite, t.key,
+                       "delete write-write");
         }
       } else {
         if (ctx_.mode == MeldMode::kState && !t.base_cv.IsNull()) {
-          return Status::Aborted("delete-delete on key " +
-                                 std::to_string(t.key));
+          return Abort(AbortCause::kAbortWriteWrite, t.key, "delete-delete");
         }
       }
       // Apply to the melded tree.
@@ -453,9 +462,14 @@ Result<MeldResult> Meld(const MeldContext& ctx, const Intention& intent,
   }
   HYDER_ASSIGN_OR_RETURN(const bool wide, MeldInputIsWide(ctx, intent,
                                                           base_root));
-  Melder melder(ctx, intent);
+  // Install a local provenance sink (unless the caller brought one) so the
+  // melders deposit typed AbortInfo instead of building reason strings.
+  AbortInfo abort;
+  MeldContext local = ctx;
+  if (local.abort_sink == nullptr) local.abort_sink = &abort;
+  Melder melder(local, intent);
   Result<Ref> melded =
-      wide ? RunWideMeld(ctx, intent, base_root) : melder.Run(base_root);
+      wide ? RunWideMeld(local, intent, base_root) : melder.Run(base_root);
   MeldResult result;
   if (melded.ok()) {
     result.root = std::move(*melded);
@@ -463,7 +477,13 @@ Result<MeldResult> Meld(const MeldContext& ctx, const Intention& intent,
   }
   if (melded.status().IsAborted()) {
     result.conflict = true;
-    result.reason = melded.status().message();
+    result.abort = *local.abort_sink;
+    if (!result.abort.aborted()) {
+      // Defensive: an abort path that forgot its provenance still reports a
+      // typed (if anonymous) conflict. hyder-check pins that none exist.
+      result.abort.cause = AbortCause::kAbortWriteWrite;
+      result.abort.conflict = AbortCause::kAbortWriteWrite;
+    }
     return result;
   }
   return melded.status();  // Real fault.

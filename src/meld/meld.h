@@ -29,11 +29,17 @@ enum class MeldMode {
 
 /// Result of one meld operator invocation.
 struct MeldResult {
-  /// True when the transaction experienced a conflict; `reason` explains.
+  /// True when the transaction experienced a conflict; `abort` explains.
   bool conflict = false;
-  std::string reason;
+  /// Typed provenance of the conflict (common/abort_info.h), built
+  /// allocation-free at the abort site. The meld operator fills cause /
+  /// conflict / key; callers stamp stage and blamed_seq, which only they
+  /// know. `abort.ToString()` reconstructs the old free-form reason.
+  AbortInfo abort;
   /// Root of the melded output (valid when `!conflict`).
   Ref root;
+
+  std::string reason() const { return abort.ToString(); }
 };
 
 /// Everything one meld invocation needs.
@@ -65,6 +71,10 @@ struct MeldContext {
   /// mixed cluster — like every meld parameter it changes ephemeral-id
   /// sequences (§3.4).
   bool disable_graft_fastpath = false;
+  /// Where the melder deposits typed provenance when it detects a conflict.
+  /// `Meld()` installs its own sink and copies it into MeldResult::abort,
+  /// so external callers can leave this null.
+  AbortInfo* abort_sink = nullptr;
 };
 
 /// The meld operator. Melds `intent` into the tree rooted at `base_root`

@@ -33,6 +33,23 @@ constexpr uint32_t kGroupMeldThreadId = 1;
 constexpr uint32_t kPremeldThreadIdBase = 2;
 }  // namespace
 
+AbortInfo MakeAdmissionRejectAbort() {
+  AbortInfo a;
+  a.cause = AbortCause::kAbortBusy;
+  a.conflict = AbortCause::kAbortBusy;
+  a.stage = AbortStage::kAdmission;
+  return a;
+}
+
+void SequentialPipeline::NoteAbort(const MeldDecision& d) {
+  stats_.RecordAbort(d.abort);
+  if (d.abort.key_kind == AbortKeyKind::kUserKey) {
+    contention_.Offer(d.abort.key);
+  }
+  TraceInstant(TraceStage::kAbort, d.seq,
+               static_cast<uint32_t>(d.abort.cause));
+}
+
 SequentialPipeline::SequentialPipeline(
     const PipelineConfig& config, DatabaseState initial,
     NodeResolver* resolver, std::function<void(const NodePtr&)> registrar)
@@ -178,8 +195,9 @@ Result<std::vector<MeldDecision>> SequentialPipeline::AfterPremeld(
     // The later member conflicted with the earlier one inside the pair (or
     // was already premeld-aborted): it aborts now; the earlier one proceeds
     // alone as the group intention.
-    decisions.push_back(MeldDecision{intent->seq, intent->txn_id, false,
-                                     "conflict within group pair"});
+    decisions.push_back(
+        MeldDecision{intent->seq, intent->txn_id, false, out.second_abort});
+    NoteAbort(decisions.back());
     stats_.aborted++;
     stats_.group_singletons++;
   }
@@ -188,7 +206,8 @@ Result<std::vector<MeldDecision>> SequentialPipeline::AfterPremeld(
     for (const IntentionPtr& member : {first, intent}) {
       for (const auto& [seq, txn] : member->members) {
         decisions.push_back(
-            MeldDecision{seq, txn, false, "premeld conflict"});
+            MeldDecision{seq, txn, false, member->abort_info});
+        NoteAbort(decisions.back());
         stats_.aborted++;
       }
     }
@@ -198,7 +217,8 @@ Result<std::vector<MeldDecision>> SequentialPipeline::AfterPremeld(
   if (out.intention->members.size() == 1 && !out.second_aborted &&
       out.intention.get() == intent.get() && first->known_aborted) {
     decisions.push_back(
-        MeldDecision{first->seq, first->txn_id, false, "premeld conflict"});
+        MeldDecision{first->seq, first->txn_id, false, first->abort_info});
+    NoteAbort(decisions.back());
     stats_.aborted++;
   }
   HYDER_ASSIGN_OR_RETURN(std::vector<MeldDecision> fm,
@@ -238,7 +258,8 @@ Result<std::vector<MeldDecision>> SequentialPipeline::FinalMeld(
     // Premeld already proved the conflict; final meld skips the intention
     // entirely (§3.1) and the state passes through unchanged.
     for (const auto& [seq, txn] : intent->members) {
-      decisions.push_back(MeldDecision{seq, txn, false, "premeld conflict"});
+      decisions.push_back(MeldDecision{seq, txn, false, intent->abort_info});
+      NoteAbort(decisions.back());
       stats_.aborted++;
     }
     PublishUpTo(intent->seq, states_.Latest().root);
@@ -270,12 +291,22 @@ Result<std::vector<MeldDecision>> SequentialPipeline::FinalMeld(
       block_prefix_.back() - BlocksUpTo(intent->snapshot_seq);
 
   const Ref& new_root = melded.conflict ? latest.root : melded.root;
+  AbortInfo abort = melded.abort;
+  abort.stage = AbortStage::kFinalMeld;
+  abort.blamed_seq = latest.seq;
+  if (intent->members.size() > 1) {
+    // A group intention aborts as a unit (§4 fate sharing): the members'
+    // decision-level cause is fate sharing; the conflict the meld actually
+    // proved stays in `conflict` (and the key fields still name it).
+    abort.cause = AbortCause::kAbortGroupFateSharing;
+  }
   for (const auto& [seq, txn] : intent->members) {
     if (melded.conflict) {
-      decisions.push_back(MeldDecision{seq, txn, false, melded.reason});
+      decisions.push_back(MeldDecision{seq, txn, false, abort});
+      NoteAbort(decisions.back());
       stats_.aborted++;
     } else {
-      decisions.push_back(MeldDecision{seq, txn, true, ""});
+      decisions.push_back(MeldDecision{seq, txn, true, AbortInfo{}});
       stats_.committed++;
     }
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/topk_sketch.h"
 #include "meld/group_meld.h"
 #include "meld/meld.h"
 #include "meld/premeld.h"
@@ -81,8 +82,20 @@ struct MeldDecision {
   uint64_t seq = 0;
   uint64_t txn_id = 0;
   bool committed = false;
-  std::string reason;  ///< Abort reason, empty on commit.
+  /// Typed abort provenance (common/abort_info.h); `!abort.aborted()` on
+  /// commit. The free-form reason string of earlier revisions is
+  /// reconstructed lazily via `reason()`.
+  AbortInfo abort;
+
+  std::string reason() const { return abort.ToString(); }
 };
+
+/// Decision-shaped provenance for admission-control rejections: `Submit`
+/// returning Busy never reaches the pipeline, so the open-loop driver
+/// stamps rejected arrivals with this to keep the per-cause accounting
+/// complete. Lives in the meld layer so every AbortCause enumerator has
+/// exactly one producing subsystem (the hyder-check abort-provenance rule).
+AbortInfo MakeAdmissionRejectAbort();
 
 /// Deterministic single-threaded driver of the meld pipeline.
 ///
@@ -123,6 +136,12 @@ class SequentialPipeline {
   const PipelineStats& stats() const { return stats_; }
   PipelineStats* mutable_stats() { return &stats_; }
 
+  /// Contention heatmap: top-K sketch over conflicting user keys, fed by
+  /// every abort decision that names one. Owned by the meld thread — read
+  /// it from the thread driving the pipeline (the server's metrics provider
+  /// does; see the TopKSketch concurrency contract).
+  const TopKSketch& contention() const { return contention_; }
+
   /// Cumulative serialized blocks up to (and including) sequence `seq`;
   /// used to express conflict zones in blocks (Fig. 12).
   uint64_t BlocksUpTo(uint64_t seq) const;
@@ -145,11 +164,15 @@ class SequentialPipeline {
   Result<std::vector<MeldDecision>> AfterPremeld(IntentionPtr intent);
   Result<std::vector<MeldDecision>> FinalMeld(IntentionPtr intent);
   void PublishUpTo(uint64_t seq, const Ref& root);
+  /// Books one abort decision into the forensic surfaces: per-cause /
+  /// per-stage stats, the contention sketch, and the `abort` trace instant.
+  void NoteAbort(const MeldDecision& d);
 
   const PipelineConfig config_;
   StateTable states_;
   NodeResolver* resolver_;
   PipelineStats stats_;
+  TopKSketch contention_{64};
   EphemeralAllocator fm_alloc_;
   EphemeralAllocator gm_alloc_;
   std::vector<std::unique_ptr<EphemeralAllocator>> pm_allocs_;

@@ -46,6 +46,14 @@ Result<PremeldOutcome> RunPremeld(const IntentionPtr& intent,
   if (melded.conflict) {
     auto aborted = std::make_shared<Intention>(*intent);
     aborted->known_aborted = true;
+    // Provenance: the decision-level cause is "premeld kill"; the conflict
+    // the premeld proved (write-write, phantom, ...) rides in `conflict`.
+    // The zone bound is the premeld input state — the newest intention the
+    // conflicting writer can be.
+    aborted->abort_info = melded.abort;
+    aborted->abort_info.cause = AbortCause::kAbortPremeldKill;
+    aborted->abort_info.stage = AbortStage::kPremeld;
+    aborted->abort_info.blamed_seq = sm.seq;
     out.killed_nodes = intent->node_count;
     out.killed_nodes_materialized = MaterializedNodes(*intent);
     out.intention = std::move(aborted);

@@ -66,6 +66,37 @@ class WideMelder {
     if (ctx_.work != nullptr) ctx_.work->nodes_visited++;
   }
 
+  /// Typed-provenance abort for slot-granularity content conflicts (the
+  /// slot index is the wide layout's extra forensic dimension). See the
+  /// binary Melder::Abort: allocation-free, `msg` a short static literal.
+  Status AbortSlot(AbortCause cause, Key key, int slot,
+                   const char* msg) const {
+    if (ctx_.abort_sink != nullptr) {
+      AbortInfo& a = *ctx_.abort_sink;
+      a.cause = cause;
+      a.conflict = cause;
+      a.key_kind = AbortKeyKind::kUserKey;
+      a.key = key;
+      a.slot = slot;
+    }
+    return Status::Aborted(msg);
+  }
+
+  /// Page-granularity structural abort: no single user key exists, so the
+  /// provenance carries the base page id instead.
+  Status AbortPage(AbortCause cause, uint64_t page_raw,
+                   const char* msg) const {
+    if (ctx_.abort_sink != nullptr) {
+      AbortInfo& a = *ctx_.abort_sink;
+      a.cause = cause;
+      a.conflict = cause;
+      a.key_kind = AbortKeyKind::kPageId;
+      a.key = page_raw;
+      a.slot = -1;
+    }
+    return Status::Aborted(msg);
+  }
+
   Result<NodePtr> Materialize(const Ref& e) const {
     if (e.node) return e.node;
     if (e.vn.IsNull()) return NodePtr();
@@ -93,12 +124,12 @@ class WideMelder {
     if (Serializable() && i->page_structural_read()) {
       if (ctx_.mode == MeldMode::kState) {
         if (i->ssv() != l->vn()) {
-          return Status::Aborted("phantom under page " +
-                                 std::to_string(i->vn().raw()));
+          return AbortPage(AbortCause::kAbortPhantom, i->vn().raw(),
+                           "phantom");
         }
       } else if (BaseInside(l)) {
-        return Status::Aborted("group phantom under page " +
-                               std::to_string(i->vn().raw()));
+        return AbortPage(AbortCause::kAbortPhantom, i->vn().raw(),
+                         "group phantom");
       }
     }
     return Status::OK();
@@ -109,19 +140,19 @@ class WideMelder {
   /// current slot for the same key. Group mode scopes the check to slots
   /// the base intention actually wrote, as in the binary melder.
   Status CheckSlotConflict(const SlotData& eq, const Node* l,
-                           const WideSlot& ls) const {
+                           const WideSlot& ls, int slot) const {
     if (ctx_.work != nullptr) ctx_.work->conflict_checks++;
     const bool eligible =
         ctx_.mode == MeldMode::kState || (BaseInside(l) && ls.altered());
     const bool content_changed = ls.meta.cv != eq.meta.base_cv;
     if (eligible && content_changed) {
       if (eq.meta.flags & kFlagAltered) {
-        return Status::Aborted("write-write on key " +
-                               std::to_string(eq.key));
+        return AbortSlot(AbortCause::kAbortWriteWrite, eq.key, slot,
+                         "write-write");
       }
       if (Serializable() && (eq.meta.flags & kFlagRead)) {
-        return Status::Aborted("read-write on key " +
-                               std::to_string(eq.key));
+        return AbortSlot(AbortCause::kAbortReadWrite, eq.key, slot,
+                         "read-write");
       }
     }
     return Status::OK();
@@ -241,8 +272,8 @@ class WideMelder {
       // The page's structural dependencies cover intervals that existed in
       // the snapshot and are gone from the base: a scanned region was
       // concurrently deleted.
-      return Status::Aborted("phantom (scan vs concurrent delete) at page " +
-                             std::to_string(n->vn().raw()));
+      return AbortPage(AbortCause::kAbortPhantom, n->vn().raw(),
+                       "scan vs delete");
     }
     const WideExt& e = *n->wide();
     for (int j = 0; j <= e.count(); ++j) {
@@ -250,14 +281,15 @@ class WideMelder {
       if (j == e.count()) break;
       const WideSlot& s = e.slot(j);
       if (!s.meta.ssv.IsNull() || !s.meta.base_cv.IsNull()) {
-        // The key existed in the snapshot but is gone from the base state.
+        // The key existed in the snapshot but is gone from the base state:
+        // the subtree this intention grafted onto was concurrently deleted.
         if (s.altered()) {
-          return Status::Aborted("write vs concurrent delete of key " +
-                                 std::to_string(s.key));
+          return AbortSlot(AbortCause::kAbortGraft, s.key, j,
+                           "write vs delete");
         }
         if (Serializable() && s.read_dependent()) {
-          return Status::Aborted("read vs concurrent delete of key " +
-                                 std::to_string(s.key));
+          return AbortSlot(AbortCause::kAbortGraft, s.key, j,
+                           "read vs delete");
         }
         // Path copy only: the concurrent delete wins; drop it.
       } else if (s.altered()) {
@@ -489,7 +521,7 @@ class WideMelder {
       for (int j = 0; j < le.count(); ++j) {
         eqs[j] = SlotData::From(ie.slot(j));
         HYDER_RETURN_IF_ERROR(CheckSlotConflict(eqs[j], l.get(),
-                                                le.slot(j)));
+                                                le.slot(j), j));
       }
       std::vector<Ref> children(le.count() + 1);
       for (int j = 0; j <= le.count(); ++j) {
@@ -517,7 +549,7 @@ class WideMelder {
     for (int j = 0; j < le.count(); ++j) {
       if (eqs[j].present) {
         HYDER_RETURN_IF_ERROR(CheckSlotConflict(eqs[j], l.get(),
-                                                le.slot(j)));
+                                                le.slot(j), j));
       }
     }
     std::vector<Ref> children(le.count() + 1);
@@ -559,13 +591,13 @@ class WideMelder {
             ctx_.mode == MeldMode::kState ||
             (BaseInside(cur.get()) && s.altered());
         if (eligible && s.meta.cv != t.base_cv) {
-          return Status::Aborted("delete write-write on key " +
-                                 std::to_string(t.key));
+          return AbortSlot(AbortCause::kAbortWriteWrite, t.key, found_idx,
+                           "delete write-write");
         }
       } else {
         if (ctx_.mode == MeldMode::kState && !t.base_cv.IsNull()) {
-          return Status::Aborted("delete-delete on key " +
-                                 std::to_string(t.key));
+          return AbortSlot(AbortCause::kAbortWriteWrite, t.key, -1,
+                           "delete-delete");
         }
       }
       // Apply to the melded tree.

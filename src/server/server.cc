@@ -24,6 +24,11 @@ HyderServer::HyderServer(SharedLog* log, ServerOptions options,
           "pipeline.append_to_durable_us")),
       durable_to_decision_us_(MetricsRegistry::Global().histogram(
           "pipeline.durable_to_decision_us")) {
+  for (int s = 1; s < kAbortStageCount; ++s) {
+    abort_decision_us_[s] = MetricsRegistry::Global().histogram(
+        std::string("pipeline.abort_decision_us.") +
+        AbortStageName(static_cast<AbortStage>(s)));
+  }
   metrics_ = MetricsRegistry::Global().RegisterProvider(
       "server" + std::to_string(options_.server_id),
       [this](const MetricsRegistry::Emit& emit) {
@@ -36,6 +41,20 @@ HyderServer::HyderServer(SharedLog* log, ServerOptions options,
         emit("next_read_position", double(next_read_pos_));
         emit("catching_up",
              serve_state_ == ServeState::kCatchingUp ? 1.0 : 0.0);
+        // Contention heatmap: the hottest conflicting keys the meld thread
+        // has seen (top-K sketch; `err` bounds how much `count` may
+        // overstate the true frequency).
+        const TopKSketch& sketch = pipeline_.contention();
+        emit("contention.total_conflict_keys", double(sketch.total()));
+        size_t rank = 0;
+        for (const TopKSketch::Entry& e : sketch.Entries()) {
+          if (rank >= 16) break;
+          const std::string p = "contention." + std::to_string(rank);
+          emit(p + ".key", double(e.key));
+          emit(p + ".count", double(e.count));
+          emit(p + ".err", double(e.error));
+          ++rank;
+        }
       });
 }
 
@@ -211,8 +230,12 @@ Result<std::vector<MeldDecision>> HyderServer::Poll(size_t max_intentions) {
     for (const MeldDecision& d : decisions) {
       auto ts = durable_ts_.find(d.seq);
       if (ts != durable_ts_.end()) {
-        durable_to_decision_us_->Add(
-            (Stopwatch::NowNanos() - ts->second) / 1000);
+        const uint64_t us = (Stopwatch::NowNanos() - ts->second) / 1000;
+        durable_to_decision_us_->Add(us);
+        const size_t stage = static_cast<size_t>(d.abort.stage);
+        if (!d.committed && stage > 0 && stage < kAbortStageCount) {
+          abort_decision_us_[stage]->Add(us);
+        }
         durable_ts_.erase(ts);
       }
       if (pending_.erase(d.txn_id) > 0) {

@@ -224,6 +224,11 @@ class HyderServer {
   /// retries); durable->decision covers assembly-complete to meld decision.
   LatencyHistogram* const append_to_durable_us_;
   LatencyHistogram* const durable_to_decision_us_;
+  /// Durable->decision latency of *aborted* transactions, split by the
+  /// stage that made the abort decision (forensics: a premeld kill decides
+  /// much earlier than a final-meld conflict). Index = AbortStage; slot 0
+  /// (kNone) is unused.
+  LatencyHistogram* abort_decision_us_[kAbortStageCount] = {};
   /// Assembly-completion stamps by intention seq, consumed at decision
   /// time. Bounded: group meld defers at most one undecided sequence.
   std::unordered_map<uint64_t, uint64_t> durable_ts_;

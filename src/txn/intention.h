@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/abort_info.h"
 #include "tree/node.h"
 
 namespace hyder {
@@ -81,6 +82,11 @@ struct Intention {
   /// Set by premeld when it already detected a conflict: final meld can
   /// skip the intention entirely (§3.1).
   bool known_aborted = false;
+  /// Typed provenance of that premeld kill (common/abort_info.h): carried
+  /// with the intention so the eventual MeldDecision reports the underlying
+  /// conflict, not just "premeld conflict". Meaningful only when
+  /// `known_aborted` is set.
+  AbortInfo abort_info;
 
   /// The (seq, txn_id) pairs this intention decides. One entry normally;
   /// two for a group intention. The pipeline uses this to notify executors

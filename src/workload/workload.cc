@@ -94,7 +94,7 @@ Status WorkloadGenerator::SeedDatabase(HyderServer& server) {
     HYDER_ASSIGN_OR_RETURN(auto decisions, server.Poll());
     for (const MeldDecision& d : decisions) {
       if (!d.committed) {
-        return Status::Internal("seed transaction aborted: " + d.reason);
+        return Status::Internal("seed transaction aborted: " + d.reason());
       }
     }
   }

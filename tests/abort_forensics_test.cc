@@ -1,0 +1,263 @@
+// Typed abort provenance, end to end: every abort path must emit a fully
+// populated AbortInfo (cause, underlying conflict, stage, key, conflict-
+// zone bound), and the forensics surfaces — PipelineStats per-cause/
+// per-stage counters, the contention top-K sketch, the `abort` trace
+// instant and the lazy ToString rendering — must all agree with it.
+
+#include "common/abort_info.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/trace.h"
+#include "meld/pipeline.h"
+#include "test_cluster.h"
+
+namespace hyder {
+namespace {
+
+constexpr size_t kBlockSize = 1024;
+
+// AbortInfo is built on the hot abort path: it must stay a plain,
+// allocation-free value type (the string rendering is ToString-lazy).
+static_assert(std::is_trivially_copyable<AbortInfo>::value,
+              "AbortInfo must stay POD — no allocation on the abort path");
+static_assert(std::is_trivially_destructible<AbortInfo>::value,
+              "AbortInfo must stay POD — no allocation on the abort path");
+
+void Seed(TestServer& server, int keys = 20) {
+  IntentionBuilder b(kWorkspaceTagBit | 1, 0, Ref::Null(),
+                     IsolationLevel::kSerializable, nullptr);
+  for (Key k = 0; k < Key(keys); ++k) {
+    ASSERT_TRUE(b.Put(k, "g").ok());
+  }
+  auto blocks = SerializeIntention(b, 1, kBlockSize);
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_TRUE(server.FeedBlocks(*blocks).ok());
+}
+
+/// Executes one read/write transaction from `snap` and feeds it; returns
+/// the decisions the feed produced (possibly empty under group meld).
+std::vector<MeldDecision> Exec(TestServer& server, uint64_t snap,
+                               uint64_t id, const std::vector<Key>& reads,
+                               const std::vector<Key>& writes) {
+  auto st = server.StateAt(snap);
+  EXPECT_TRUE(st.ok());
+  IntentionBuilder b(kWorkspaceTagBit | id, snap, st->root,
+                     IsolationLevel::kSerializable, &server.registry());
+  for (Key k : reads) EXPECT_TRUE(b.Get(k).ok());
+  for (Key k : writes) EXPECT_TRUE(b.Put(k, "v" + std::to_string(id)).ok());
+  auto blocks = SerializeIntention(b, id, kBlockSize);
+  EXPECT_TRUE(blocks.ok());
+  auto d = server.FeedBlocks(*blocks);
+  EXPECT_TRUE(d.ok());
+  return *d;
+}
+
+const MeldDecision* FindSeq(const std::vector<MeldDecision>& ds,
+                            uint64_t seq) {
+  for (const auto& d : ds) {
+    if (d.seq == seq) return &d;
+  }
+  return nullptr;
+}
+
+TEST(AbortForensicsTest, WriteWriteCarriesFullProvenance) {
+  TestServer server;
+  Seed(server);
+  Exec(server, 1, 2, {}, {5});                   // seq 2 commits.
+  auto d = Exec(server, 1, 3, {}, {5});          // seq 3: w-w on key 5.
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_FALSE(d[0].committed);
+  const AbortInfo& a = d[0].abort;
+  EXPECT_EQ(a.cause, AbortCause::kAbortWriteWrite);
+  EXPECT_EQ(a.conflict, AbortCause::kAbortWriteWrite);
+  EXPECT_EQ(a.stage, AbortStage::kFinalMeld);
+  EXPECT_EQ(a.key_kind, AbortKeyKind::kUserKey);
+  EXPECT_EQ(a.key, 5u);
+  EXPECT_EQ(a.blamed_seq, 2u) << "zone bound must be the melded-against seq";
+
+  const PipelineStats& stats = server.pipeline().stats();
+  EXPECT_EQ(stats.aborted, 1u);
+  EXPECT_EQ(
+      stats.aborts_by_cause[size_t(AbortCause::kAbortWriteWrite)], 1u);
+  EXPECT_EQ(stats.aborts_by_stage[size_t(AbortStage::kFinalMeld)], 1u);
+}
+
+TEST(AbortForensicsTest, ReadWriteConflictTyped) {
+  TestServer server;
+  Seed(server);
+  Exec(server, 1, 2, {}, {7});                   // seq 2 writes key 7.
+  auto d = Exec(server, 1, 3, {7}, {11});        // seq 3 read 7 from snap 1.
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_FALSE(d[0].committed);
+  EXPECT_EQ(d[0].abort.cause, AbortCause::kAbortReadWrite);
+  EXPECT_EQ(d[0].abort.conflict, AbortCause::kAbortReadWrite);
+  EXPECT_EQ(d[0].abort.key_kind, AbortKeyKind::kUserKey);
+  EXPECT_EQ(d[0].abort.key, 7u);
+}
+
+TEST(AbortForensicsTest, PremeldKillPreservesUnderlyingConflict) {
+  PipelineConfig config;
+  config.premeld_threads = 1;
+  config.premeld_distance = 1;
+  TestServer server(config);
+  Seed(server);
+  Exec(server, 1, 2, {}, {5});   // seq 2 writes key 5.
+  Exec(server, 2, 3, {}, {9});   // seq 3: filler, commits.
+  // seq 4 from snapshot 1: premeld target = 4 - 1*1 - 1 = 2 > snapshot,
+  // so premeld melds it against state 2 and proves the w-w early.
+  auto d = Exec(server, 1, 4, {}, {5});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_FALSE(d[0].committed);
+  const AbortInfo& a = d[0].abort;
+  EXPECT_EQ(a.cause, AbortCause::kAbortPremeldKill);
+  EXPECT_EQ(a.conflict, AbortCause::kAbortWriteWrite)
+      << "indirect causes must preserve the underlying conflict class";
+  EXPECT_EQ(a.stage, AbortStage::kPremeld);
+  EXPECT_EQ(a.key_kind, AbortKeyKind::kUserKey);
+  EXPECT_EQ(a.key, 5u);
+
+  const PipelineStats& stats = server.pipeline().stats();
+  EXPECT_EQ(stats.premeld_aborts, 1u);
+  EXPECT_EQ(
+      stats.aborts_by_cause[size_t(AbortCause::kAbortPremeldKill)], 1u);
+  EXPECT_EQ(stats.aborts_by_stage[size_t(AbortStage::kPremeld)], 1u);
+  EXPECT_EQ(stats.aborts_by_stage[size_t(AbortStage::kFinalMeld)], 0u);
+}
+
+TEST(AbortForensicsTest, GroupFateSharingBlamesInnocentMember) {
+  PipelineConfig config;
+  config.group_meld = true;
+  TestServer server(config);
+  Seed(server);                        // seq 1, buffered (group pairing).
+  ASSERT_TRUE(server.Flush().ok());    // Decide genesis alone.
+  Exec(server, 1, 2, {}, {5});         // Buffered.
+  Exec(server, 1, 3, {}, {9});         // Pair (2, 3): both commit.
+  // The (4, 5) pair: seq 4 repeats the key-5 write (w-w vs seq 2), seq 5
+  // touches a disjoint key but shares the combined intention's fate (§4).
+  Exec(server, 1, 4, {}, {5});
+  auto d = Exec(server, 1, 5, {}, {11});
+  const MeldDecision* d4 = FindSeq(d, 4);
+  const MeldDecision* d5 = FindSeq(d, 5);
+  ASSERT_NE(d4, nullptr);
+  ASSERT_NE(d5, nullptr);
+  for (const MeldDecision* dec : {d4, d5}) {
+    EXPECT_FALSE(dec->committed);
+    EXPECT_EQ(dec->abort.cause, AbortCause::kAbortGroupFateSharing);
+    EXPECT_EQ(dec->abort.conflict, AbortCause::kAbortWriteWrite);
+    EXPECT_EQ(dec->abort.stage, AbortStage::kFinalMeld);
+    EXPECT_EQ(dec->abort.key, 5u);
+  }
+  const PipelineStats& stats = server.pipeline().stats();
+  EXPECT_EQ(
+      stats.aborts_by_cause[size_t(AbortCause::kAbortGroupFateSharing)],
+      2u);
+}
+
+TEST(AbortForensicsTest, ContentionSketchSeesConflictKeys) {
+  TestServer server;
+  Seed(server);
+  Exec(server, 1, 2, {}, {5});
+  // Three more write-write losers on key 5, one on key 9.
+  Exec(server, 1, 3, {}, {5});
+  Exec(server, 1, 4, {}, {5});
+  Exec(server, 1, 5, {}, {5});
+  Exec(server, 2, 6, {}, {9});  // commits (first write of 9 after snap 2)...
+  Exec(server, 2, 7, {}, {9});  // ...and this one loses on key 9.
+  const TopKSketch& sketch = server.pipeline().contention();
+  EXPECT_EQ(sketch.total(), 4u) << "one observation per aborted conflict";
+  auto entries = sketch.Entries();
+  ASSERT_GE(entries.size(), 2u);
+  EXPECT_EQ(entries[0].key, 5u);
+  EXPECT_EQ(entries[0].count, 3u);
+  EXPECT_EQ(entries[1].key, 9u);
+  EXPECT_EQ(entries[1].count, 1u);
+}
+
+TEST(AbortForensicsTest, AbortTraceInstantCarriesCause) {
+  Tracer::Enable(1 << 12);
+  {
+    TestServer server;
+    Seed(server);
+    Exec(server, 1, 2, {}, {5});
+    Exec(server, 1, 3, {}, {5});  // seq 3 aborts.
+  }
+  Tracer::Disable();
+  auto events = Tracer::Drain();
+  Tracer::Reset();
+  const TraceEvent* abort_ev = nullptr;
+  for (const auto& ev : events) {
+    if (ev.stage == TraceStage::kAbort) {
+      abort_ev = &ev;
+    }
+  }
+  ASSERT_NE(abort_ev, nullptr) << "abort must emit a trace instant";
+  EXPECT_EQ(abort_ev->phase, TracePhase::kInstant);
+  EXPECT_EQ(abort_ev->id, 3u) << "instant id is the aborted seq";
+  EXPECT_EQ(abort_ev->arg,
+            uint32_t(AbortCause::kAbortWriteWrite));
+}
+
+TEST(AbortForensicsTest, StatsEmitPerCauseAndPerStageCounters) {
+  TestServer server;
+  Seed(server);
+  Exec(server, 1, 2, {}, {5});
+  Exec(server, 1, 3, {}, {5});
+  std::map<std::string, double> emitted;
+  server.pipeline().stats().EmitTo(
+      "p", [&](const std::string& name, double v) { emitted[name] = v; });
+  EXPECT_EQ(emitted.at("p.abort.write_write"), 1.0);
+  EXPECT_EQ(emitted.at("p.abort.premeld_kill"), 0.0);
+  EXPECT_EQ(emitted.at("p.abort_stage.final_meld"), 1.0);
+  EXPECT_EQ(emitted.count("p.abort.none"), 0u)
+      << "kNone is not an abort cause and must not be emitted";
+}
+
+TEST(AbortForensicsTest, AdmissionRejectAbortIsTyped) {
+  AbortInfo a = MakeAdmissionRejectAbort();
+  EXPECT_TRUE(a.aborted());
+  EXPECT_EQ(a.cause, AbortCause::kAbortBusy);
+  EXPECT_EQ(a.conflict, AbortCause::kAbortBusy);
+  EXPECT_EQ(a.stage, AbortStage::kAdmission);
+  EXPECT_EQ(a.key_kind, AbortKeyKind::kNone);
+}
+
+TEST(AbortForensicsTest, ToStringIsLazyAndReadable) {
+  EXPECT_EQ(AbortInfo{}.ToString(), "") << "commits render as empty";
+
+  AbortInfo ww;
+  ww.cause = ww.conflict = AbortCause::kAbortWriteWrite;
+  ww.stage = AbortStage::kFinalMeld;
+  ww.key_kind = AbortKeyKind::kUserKey;
+  ww.key = 7;
+  ww.blamed_seq = 12;
+  EXPECT_EQ(ww.ToString(),
+            "write-write on key 7 (stage final_meld, zone<=12)");
+
+  AbortInfo kill = ww;
+  kill.cause = AbortCause::kAbortPremeldKill;
+  kill.stage = AbortStage::kPremeld;
+  EXPECT_EQ(kill.ToString(),
+            "premeld kill: write-write on key 7 (stage premeld, zone<=12)");
+}
+
+TEST(AbortForensicsTest, AbortInfoEqualityIsFieldwise) {
+  AbortInfo a;
+  a.cause = a.conflict = AbortCause::kAbortWriteWrite;
+  a.stage = AbortStage::kFinalMeld;
+  a.key_kind = AbortKeyKind::kUserKey;
+  a.key = 3;
+  a.blamed_seq = 9;
+  AbortInfo b = a;
+  EXPECT_TRUE(a == b);
+  b.blamed_seq = 10;
+  EXPECT_TRUE(a != b);
+}
+
+}  // namespace
+}  // namespace hyder

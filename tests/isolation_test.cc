@@ -161,8 +161,10 @@ TEST(IsolationTest, SerializableAbortMessageNamesTheConflict) {
     if (d.txn_id == id) {
       saw = true;
       EXPECT_FALSE(d.committed);
-      EXPECT_NE(d.reason.find("7"), std::string::npos)
-          << "abort reasons should name the conflicting key: " << d.reason;
+      EXPECT_NE(d.reason().find("7"), std::string::npos)
+          << "abort reasons should name the conflicting key: " << d.reason();
+      EXPECT_EQ(d.abort.cause, AbortCause::kAbortWriteWrite);
+      EXPECT_EQ(d.abort.key, Key{7});
     }
   }
   EXPECT_TRUE(saw);

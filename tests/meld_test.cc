@@ -227,7 +227,10 @@ TEST(MeldTest, WriteWriteConflictAborts) {
   ASSERT_TRUE(d2.ok());
   EXPECT_TRUE((*d1)[0].committed);
   EXPECT_FALSE((*d2)[0].committed);
-  EXPECT_NE((*d2)[0].reason.find("write-write"), std::string::npos);
+  EXPECT_NE((*d2)[0].reason().find("write-write"), std::string::npos);
+  EXPECT_EQ((*d2)[0].abort.cause, AbortCause::kAbortWriteWrite);
+  EXPECT_EQ((*d2)[0].abort.key, Key{20});
+  EXPECT_EQ((*d2)[0].abort.stage, AbortStage::kFinalMeld);
   EXPECT_EQ(Dump(server)[20], "first");
 }
 
@@ -245,7 +248,8 @@ TEST(MeldTest, ReadWriteConflictAbortsUnderSerializable) {
   auto d2 = server.FeedBlocks(*b2);
   ASSERT_TRUE(d2.ok());
   EXPECT_FALSE((*d2)[0].committed);
-  EXPECT_NE((*d2)[0].reason.find("read-write"), std::string::npos);
+  EXPECT_NE((*d2)[0].reason().find("read-write"), std::string::npos);
+  EXPECT_EQ((*d2)[0].abort.cause, AbortCause::kAbortReadWrite);
 }
 
 TEST(MeldTest, ReadWriteAllowedUnderSnapshotIsolation) {
@@ -260,7 +264,7 @@ TEST(MeldTest, ReadWriteAllowedUnderSnapshotIsolation) {
   EXPECT_TRUE((*server.FeedBlocks(*b1))[0].committed);
   auto d2 = server.FeedBlocks(*b2);
   ASSERT_TRUE(d2.ok());
-  EXPECT_TRUE((*d2)[0].committed) << (*d2)[0].reason;
+  EXPECT_TRUE((*d2)[0].committed) << (*d2)[0].reason();
   // First-committer-wins still applies to writes under SI.
   auto b3 = ExecuteTxn(server, 1, IsolationLevel::kSnapshot, 4,
                        {Put(20, "stale write")});
@@ -303,7 +307,7 @@ TEST(MeldTest, InsertOutsideScannedRangeMayCommit) {
   EXPECT_TRUE((*server.FeedBlocks(*b1))[0].committed);
   auto d2 = server.FeedBlocks(*b2);
   ASSERT_TRUE(d2.ok());
-  EXPECT_TRUE((*d2)[0].committed) << (*d2)[0].reason;
+  EXPECT_TRUE((*d2)[0].committed) << (*d2)[0].reason();
 }
 
 TEST(MeldTest, DeleteVsWriteConflicts) {
@@ -402,7 +406,7 @@ TEST(MeldTest, StaleReadOnlyPathCopiesDoNotConflict) {
   EXPECT_TRUE((*server.FeedBlocks(*b1))[0].committed);
   auto d2 = server.FeedBlocks(*b2);
   ASSERT_TRUE(d2.ok());
-  EXPECT_TRUE((*d2)[0].committed) << (*d2)[0].reason;
+  EXPECT_TRUE((*d2)[0].committed) << (*d2)[0].reason();
   auto content = Dump(server);
   EXPECT_EQ(content[10], "t2");
   EXPECT_EQ(content[70], "t3");
@@ -699,7 +703,7 @@ TEST_P(MeldReferenceExactTest, DecisionsAndContentMatchOracle) {
     const bool oracle = ref.Decide(fp);
     EXPECT_EQ(d.committed, oracle)
         << "txn " << d.txn_id << " seq " << d.seq << " snap " << snap
-        << " iso " << int(iso) << " reason: " << d.reason;
+        << " iso " << int(iso) << " reason: " << d.reason();
     if (d.committed) ref.Commit(d.seq, fp);
   }
   EXPECT_EQ(Dump(server), ref.content());

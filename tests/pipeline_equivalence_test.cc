@@ -154,8 +154,13 @@ TEST_P(PipelineEquivalenceTest, RawFedThreadedMatchesSequential) {
       EXPECT_EQ(decisions[i].seq, w.decisions[i].seq) << i;
       EXPECT_EQ(decisions[i].txn_id, w.decisions[i].txn_id) << i;
       EXPECT_EQ(decisions[i].committed, w.decisions[i].committed)
-          << "seq " << decisions[i].seq << ": " << decisions[i].reason
-          << " vs " << w.decisions[i].reason;
+          << "seq " << decisions[i].seq << ": " << decisions[i].reason()
+          << " vs " << w.decisions[i].reason();
+      // Same configuration, different engine: the full typed provenance
+      // (cause, conflict, stage, key, zone bound) must be bit-identical.
+      EXPECT_TRUE(decisions[i].abort == w.decisions[i].abort)
+          << "seq " << decisions[i].seq << ": " << decisions[i].reason()
+          << " vs " << w.decisions[i].reason();
     }
   }
 
@@ -233,8 +238,14 @@ TEST_P(CrossWireEquivalenceTest, V2AndV3DecisionsAndRootsIdentical) {
     EXPECT_EQ(v2.decisions[i].seq, v3.decisions[i].seq) << i;
     EXPECT_EQ(v2.decisions[i].txn_id, v3.decisions[i].txn_id) << i;
     EXPECT_EQ(v2.decisions[i].committed, v3.decisions[i].committed)
-        << "seq " << v2.decisions[i].seq << ": " << v2.decisions[i].reason
-        << " vs " << v3.decisions[i].reason;
+        << "seq " << v2.decisions[i].seq << ": " << v2.decisions[i].reason()
+        << " vs " << v3.decisions[i].reason();
+    // The wire format is representation only: abort provenance is derived
+    // from intention contents and meld decisions, never log positions, so
+    // it too must be bit-identical across v2 and v3.
+    EXPECT_TRUE(v2.decisions[i].abort == v3.decisions[i].abort)
+        << "seq " << v2.decisions[i].seq << ": " << v2.decisions[i].reason()
+        << " vs " << v3.decisions[i].reason();
   }
   ASSERT_EQ(v2.roots.size(), v3.roots.size());
   for (uint64_t seq = 0; seq < v2.roots.size(); ++seq) {

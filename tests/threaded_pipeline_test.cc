@@ -166,8 +166,13 @@ TEST_P(ThreadedEquivalenceTest, MatchesSequentialBitForBit) {
     EXPECT_EQ(td[i].seq, sequential.decisions[i].seq) << i;
     EXPECT_EQ(td[i].txn_id, sequential.decisions[i].txn_id) << i;
     EXPECT_EQ(td[i].committed, sequential.decisions[i].committed)
-        << "seq " << td[i].seq << ": " << td[i].reason << " vs "
-        << sequential.decisions[i].reason;
+        << "seq " << td[i].seq << ": " << td[i].reason() << " vs "
+        << sequential.decisions[i].reason();
+    // Same configuration, different engine: the typed provenance must be
+    // bit-identical too (§3.4 extends to forensics).
+    EXPECT_TRUE(td[i].abort == sequential.decisions[i].abort)
+        << "seq " << td[i].seq << ": " << td[i].reason() << " vs "
+        << sequential.decisions[i].reason();
   }
 
   // Final states physically identical (same ephemeral identities): the

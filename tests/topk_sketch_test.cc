@@ -1,0 +1,175 @@
+#include "common/topk_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace hyder {
+namespace {
+
+// A seeded skewed stream with ground truth on the side: key k is offered
+// roughly proportional to 1/(k+1), so low keys are the heavy hitters.
+std::vector<uint64_t> SkewedStream(uint64_t seed, size_t n,
+                                   uint64_t distinct) {
+  Rng rng(seed);
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Two rounds of Uniform bias the draw toward small keys.
+    uint64_t k = rng.Uniform(rng.Uniform(distinct) + 1);
+    out.push_back(k);
+  }
+  return out;
+}
+
+TEST(TopKSketchTest, ExactBelowCapacity) {
+  TopKSketch sketch(16);
+  for (uint64_t k = 0; k < 10; ++k) {
+    for (uint64_t i = 0; i <= k; ++i) sketch.Offer(k);
+  }
+  EXPECT_EQ(sketch.size(), 10u);
+  EXPECT_EQ(sketch.total(), 55u);
+  // With fewer distinct keys than K nothing is ever evicted: every count
+  // is exact and every error is zero.
+  for (const auto& e : sketch.Entries()) {
+    EXPECT_EQ(e.count, e.key + 1);
+    EXPECT_EQ(e.error, 0u);
+  }
+  // Entries are sorted by descending count.
+  auto entries = sketch.Entries();
+  EXPECT_EQ(entries.front().key, 9u);
+  EXPECT_EQ(entries.back().key, 0u);
+}
+
+TEST(TopKSketchTest, HeavyHittersSurviveEviction) {
+  constexpr size_t kK = 8;
+  constexpr size_t kN = 20000;
+  TopKSketch sketch(kK);
+  std::map<uint64_t, uint64_t> truth;
+  for (uint64_t key : SkewedStream(1234, kN, 400)) {
+    sketch.Offer(key);
+    truth[key]++;
+  }
+  ASSERT_EQ(sketch.total(), kN);
+  // Space-saving guarantee: any key with true frequency > N/K is present.
+  const uint64_t threshold = kN / kK;
+  std::vector<uint64_t> kept;
+  for (const auto& e : sketch.Entries()) kept.push_back(e.key);
+  for (const auto& [key, freq] : truth) {
+    if (freq > threshold) {
+      EXPECT_NE(std::find(kept.begin(), kept.end(), key), kept.end())
+          << "heavy hitter " << key << " (freq " << freq << " > N/K "
+          << threshold << ") evicted";
+    }
+  }
+}
+
+TEST(TopKSketchTest, ErrorBoundHolds) {
+  constexpr size_t kK = 8;
+  constexpr size_t kN = 20000;
+  TopKSketch sketch(kK);
+  std::map<uint64_t, uint64_t> truth;
+  for (uint64_t key : SkewedStream(99, kN, 500)) {
+    sketch.Offer(key);
+    truth[key]++;
+  }
+  for (const auto& e : sketch.Entries()) {
+    // Per-entry bound: count overestimates by at most `error`, and the
+    // error itself never exceeds N/K.
+    EXPECT_LE(e.error, sketch.total() / sketch.k());
+    EXPECT_GE(e.count, truth[e.key]) << "count must overestimate";
+    EXPECT_LE(e.count - e.error, truth[e.key])
+        << "true freq >= count - error violated for key " << e.key;
+  }
+}
+
+TEST(TopKSketchTest, DeterministicAcrossIdenticalStreams) {
+  TopKSketch a(8), b(8);
+  auto stream = SkewedStream(777, 5000, 300);
+  for (uint64_t key : stream) a.Offer(key);
+  for (uint64_t key : stream) b.Offer(key);
+  auto ea = a.Entries(), eb = b.Entries();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].key, eb[i].key);
+    EXPECT_EQ(ea[i].count, eb[i].count);
+    EXPECT_EQ(ea[i].error, eb[i].error);
+  }
+}
+
+TEST(TopKSketchTest, MergePreservesBoundAndTotal) {
+  constexpr size_t kK = 8;
+  TopKSketch left(kK), right(kK);
+  std::map<uint64_t, uint64_t> truth;
+  for (uint64_t key : SkewedStream(5, 4000, 200)) {
+    left.Offer(key);
+    truth[key]++;
+  }
+  for (uint64_t key : SkewedStream(6, 4000, 200)) {
+    right.Offer(key);
+    truth[key]++;
+  }
+  TopKSketch merged(kK);
+  merged.Merge(left);
+  merged.Merge(right);
+  EXPECT_EQ(merged.total(), left.total() + right.total());
+  for (const auto& e : merged.Entries()) {
+    EXPECT_GE(e.count, truth[e.key]);
+    EXPECT_LE(e.count - e.error, truth[e.key]);
+  }
+}
+
+// Cross-thread aggregation contract (the pipeline's sketch is owned by the
+// meld thread; workers would each own one and merge): per-thread sketches
+// built concurrently, merged in a fixed order, must be deterministic. Runs
+// under `ctest -L tsan` so the data-race freedom of the one-owner-per-
+// sketch discipline is machine-checked, not just documented.
+TEST(TopKSketchTest, ThreadOwnedSketchesMergeDeterministically) {
+  constexpr int kThreads = 4;
+  auto run_once = [] {
+    std::vector<TopKSketch> per_thread(kThreads, TopKSketch(16));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, &per_thread] {
+        for (uint64_t key : SkewedStream(1000 + t, 3000, 250)) {
+          per_thread[t].Offer(key);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    TopKSketch merged(16);
+    for (int t = 0; t < kThreads; ++t) merged.Merge(per_thread[t]);
+    return merged.Entries();
+  };
+  auto first = run_once();
+  auto second = run_once();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].key, second[i].key);
+    EXPECT_EQ(first[i].count, second[i].count);
+    EXPECT_EQ(first[i].error, second[i].error);
+  }
+}
+
+TEST(TopKSketchTest, ResetClears) {
+  TopKSketch sketch(4);
+  sketch.Offer(1);
+  sketch.Offer(1);
+  sketch.Offer(2);
+  sketch.Reset();
+  EXPECT_EQ(sketch.size(), 0u);
+  EXPECT_EQ(sketch.total(), 0u);
+  sketch.Offer(9);
+  auto entries = sketch.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, 9u);
+  EXPECT_EQ(entries[0].count, 1u);
+}
+
+}  // namespace
+}  // namespace hyder

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/abort_info.h"
 #include "common/registry.h"
 #include "common/trace.h"
 
@@ -147,8 +148,13 @@ TEST_F(TraceTest, DumpRoundTrip) {
     TraceSpan span(TraceStage::kAppend, 42);
   }
   TraceInstant(TraceStage::kDurable, 42);
+  // Abort instants carry their cause as the stage-specific arg; it must
+  // survive the dump round trip.
+  TraceInstant(TraceStage::kAbort, 42,
+               uint32_t(AbortCause::kAbortWriteWrite));
   std::vector<TraceEvent> events = Tracer::Drain();
-  ASSERT_EQ(events.size(), 4u);
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events.back().arg, uint32_t(AbortCause::kAbortWriteWrite));
 
   const std::string dump = SerializeTraceDump(events);
   auto parsed = ParseTraceDump(dump);
@@ -160,6 +166,7 @@ TEST_F(TraceTest, DumpRoundTrip) {
     EXPECT_EQ((*parsed)[i].tid, events[i].tid);
     EXPECT_EQ((*parsed)[i].stage, events[i].stage);
     EXPECT_EQ((*parsed)[i].phase, events[i].phase);
+    EXPECT_EQ((*parsed)[i].arg, events[i].arg);
   }
 }
 
@@ -167,6 +174,15 @@ TEST_F(TraceTest, ParseRejectsGarbage) {
   EXPECT_FALSE(ParseTraceDump("not a trace").ok());
   EXPECT_FALSE(ParseTraceDump("# hyder-trace v1\n1 0 bogus B 1\n").ok());
   EXPECT_TRUE(ParseTraceDump("# hyder-trace v1\n").ok());
+}
+
+TEST_F(TraceTest, ParseAcceptsV1DumpsWithoutArgColumn) {
+  // Pre-arg dumps (5 columns) parse with arg = 0; the header names v1.
+  auto parsed = ParseTraceDump("# hyder-trace v1\n1000 0 submit I 42\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].id, 42u);
+  EXPECT_EQ((*parsed)[0].arg, 0u);
 }
 
 TEST_F(TraceTest, StageNamesRoundTrip) {
@@ -278,11 +294,11 @@ TEST_F(TraceTest, ChromeTraceJsonGolden) {
   // Hand-built events with fixed timestamps: the export must match
   // byte for byte (timestamps rebased to the earliest event, µs units).
   std::vector<TraceEvent> events;
-  events.push_back(TraceEvent{1000, 5, 0, TraceStage::kSubmit,
+  events.push_back(TraceEvent{1000, 5, 0, 0, TraceStage::kSubmit,
                               TracePhase::kInstant});
-  events.push_back(TraceEvent{2000, 5, 0, TraceStage::kAppend,
+  events.push_back(TraceEvent{2000, 5, 0, 0, TraceStage::kAppend,
                               TracePhase::kBegin});
-  events.push_back(TraceEvent{5000, 5, 0, TraceStage::kAppend,
+  events.push_back(TraceEvent{5000, 5, 0, 0, TraceStage::kAppend,
                               TracePhase::kEnd});
   const std::string json = ChromeTraceJson(events);
 

@@ -1,0 +1,31 @@
+// hyder-check fixture: seeded abort-provenance violations. Analyzed by
+// selftest.py; never compiled. No file here has "meld" in its path, so the
+// rule's fallback applies: any non-definition reference counts as a
+// production site — the seeded violations are enumerators nothing in this
+// file ever references.
+#include <cstdint>
+
+enum class AbortCause : uint8_t {
+  kNone = 0,
+  kAbortWriteWrite = 1,
+  kAbortStaleScan = 2,  // expect: abort-provenance
+  kAbortOrphanedGraft,  // expect: abort-provenance
+  kAbortBusy = 7,
+};
+// An array-bound constexpr in the enum's style must NOT enter the defined
+// set (its initializer ends in `;`, not a member separator) — if it did,
+// this never-referenced name would over-fire the rule.
+inline constexpr int kAbortCauseCount = 8;
+
+// Incidental neighbors that must stay out of scope: a status enumerator
+// (`kAborted`, lowercase after the prefix) and a bare trace stage
+// (`kAbort`, no suffix). Neither is an abort cause.
+enum class StatusCode : uint8_t { kOk = 0, kAborted = 1 };
+enum class TraceStage : uint8_t { kSubmit = 0, kAbort = 9 };
+
+// kAbortWriteWrite and kAbortBusy are produced here; kAbortStaleScan and
+// kAbortOrphanedGraft never are — their counters could only read zero.
+AbortCause ClassifyWriteConflict(bool shed) {
+  if (shed) return AbortCause::kAbortBusy;
+  return AbortCause::kAbortWriteWrite;
+}

@@ -1,0 +1,40 @@
+// hyder-check fixture: idioms abort-provenance must accept. Analyzed by
+// selftest.py; never compiled.
+#include <cstdint>
+
+enum class AbortCause : uint8_t {
+  kNone = 0,
+  kAbortWriteWrite = 1,
+  kAbortReadWrite = 2,
+  kAbortPremeldKill,
+};
+inline constexpr int kAbortCauseCount = 4;
+
+struct AbortInfo {
+  AbortCause cause = AbortCause::kNone;
+};
+
+// Every enumerator is produced somewhere: direct returns, a structured
+// assignment, and a switch whose cases also count as references (the rule
+// cannot tell production from consumption inside an eligible file, and
+// does not need to — a consumed-but-unproduced cause still has the
+// producer elsewhere in the real meld layer for this fixture's analogue).
+AbortCause ClassifyConflict(bool write_write) {
+  return write_write ? AbortCause::kAbortWriteWrite
+                     : AbortCause::kAbortReadWrite;
+}
+
+AbortInfo KillAtPremeld() {
+  AbortInfo info;
+  info.cause = AbortCause::kAbortPremeldKill;
+  return info;
+}
+
+const char* AbortCauseName(AbortCause c) {
+  switch (c) {
+    case AbortCause::kAbortWriteWrite: return "write_write";
+    case AbortCause::kAbortReadWrite: return "read_write";
+    case AbortCause::kAbortPremeldKill: return "premeld_kill";
+    default: return "none";
+  }
+}

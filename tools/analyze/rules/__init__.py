@@ -40,8 +40,9 @@ class Rule:
 
 
 def all_rules() -> List[Rule]:
-    from rules import (codec_symmetry, cow_discipline, guard_completeness,
-                       olc_pairing, ordering_rationale, slot_meta_sync)
+    from rules import (abort_provenance, codec_symmetry, cow_discipline,
+                       guard_completeness, olc_pairing, ordering_rationale,
+                       slot_meta_sync)
     return [
         olc_pairing.OlcPairingRule(),
         cow_discipline.CowDisciplineRule(),
@@ -49,4 +50,5 @@ def all_rules() -> List[Rule]:
         guard_completeness.GuardCompletenessRule(),
         codec_symmetry.CodecSymmetryRule(),
         ordering_rationale.OrderingRationaleRule(),
+        abort_provenance.AbortProvenanceRule(),
     ]

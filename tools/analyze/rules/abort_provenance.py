@@ -1,0 +1,97 @@
+"""abort-provenance: every typed abort cause has a meld-layer producer.
+
+The typed abort provenance (common/abort_info.h) only stays trustworthy if
+every `AbortCause` enumerator is actually *produced* somewhere in the meld
+layer: an enumerator that exists in the enum but is never assigned by any
+abort path is a hole in the forensics — dashboards show a permanent zero
+and nobody notices the cause was silently folded into another one. That is
+exactly what a refactor of the conflict-classification switch can do
+without failing a single round-trip test.
+
+The check is cross-file: every enumerator matching `kAbort[A-Z]...` that is
+*defined* as an enum member (`kAbortFoo = <n>,` or implicit `kAbortFoo,`)
+must have at least one non-definition reference in a file under the meld
+layer (rel_path containing "meld"). Consumption-only sites (metric name
+tables, switch statements in src/common, bench column printers) do not
+count. When the analyzed set contains no meld-layer file at all (single-
+fixture selftest mode), every file is an eligible production site.
+
+The camel-case requirement (`kAbort` + uppercase) keeps incidental
+neighbors out: `StatusCode::kAborted` and `TraceStage::kAbort` are not
+abort causes, and the `kAbortCauseCount` / `kAbortStageCount` array bounds
+are constexpr ints (`= N;`), not enum members, so they never enter the
+defined set.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set, Tuple
+
+from rules import Finding, Rule
+from structure import SourceFile
+
+_CAUSE_RE = re.compile(r"^kAbort[A-Z][A-Za-z0-9]*$")
+
+
+class AbortProvenanceRule(Rule):
+    id = "abort-provenance"
+    description = ("every kAbort* cause enumerator must be produced by "
+                   "at least one meld-layer abort path")
+
+    def __init__(self) -> None:
+        # Enumerator name -> its definition site (first wins).
+        self._defined: Dict[str, Tuple[str, int]] = {}
+        # Names referenced (non-definition) in meld-layer / any files.
+        self._ref_meld: Set[str] = set()
+        self._ref_any: Set[str] = set()
+        self._saw_meld_file = False
+
+    def check(self, sf: SourceFile) -> List[Finding]:
+        in_meld = "meld" in sf.rel_path
+        if in_meld:
+            self._saw_meld_file = True
+        toks = sf.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id" or not _CAUSE_RE.match(t.text):
+                continue
+            if self._is_enum_member_definition(sf, i):
+                self._defined.setdefault(t.text, (sf.rel_path, t.line))
+            else:
+                self._ref_any.add(t.text)
+                if in_meld:
+                    self._ref_meld.add(t.text)
+        return []
+
+    def finalize(self) -> List[Finding]:
+        produced = self._ref_meld if self._saw_meld_file else self._ref_any
+        out: List[Finding] = []
+        for name in sorted(self._defined):
+            if name in produced:
+                continue
+            path, line = self._defined[name]
+            out.append(Finding(
+                self.id, path, line,
+                f"abort cause '{name}' is defined but never produced by "
+                "any meld-layer abort path — its counter and trace "
+                "instants can only ever read zero"))
+        return out
+
+    def _is_enum_member_definition(self, sf: SourceFile, idx: int) -> bool:
+        """`kAbortFoo = <value>,` / `kAbortFoo = <value>}` (explicit), or
+        `kAbortFoo,` / `kAbortFoo }` after `,`/`{` (implicit). A constexpr
+        bound like `kAbortCauseCount = 8;` ends in `;` and is excluded."""
+        toks = sf.tokens
+        nxt = toks[idx + 1] if idx + 1 < len(toks) else None
+        if nxt is not None and nxt.text == "=":
+            j = idx + 2
+            # Skip the initializer expression up to the member separator;
+            # a `;` first means namespace-scope constexpr, not an enum.
+            while j < len(toks) and toks[j].text not in (",", "}", ";", "{"):
+                j += 1
+            return j < len(toks) and toks[j].text in (",", "}")
+        if nxt is not None and nxt.text in (",", "}"):
+            prev = toks[idx - 1] if idx > 0 else None
+            if prev is not None and prev.text in (",", "{"):
+                return True
+        return False

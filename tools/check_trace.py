@@ -21,7 +21,8 @@ REQUIRED_HISTOGRAMS = [
     "pipeline.handoff_push_blocked_us",
     "pipeline.handoff_pop_blocked_us",
 ]
-HISTOGRAM_FIELDS = ["count", "mean", "min", "p50", "p90", "p99", "max"]
+HISTOGRAM_FIELDS = ["count", "mean", "min", "p50", "p90", "p99", "p999",
+                    "max"]
 
 # Subsystem counter prefixes expected from a pipeline_throughput run.
 REQUIRED_METRIC_PREFIXES = ["pipeline.", "log.", "arena."]
@@ -29,6 +30,13 @@ REQUIRED_METRIC_PREFIXES = ["pipeline.", "log.", "arena."]
 # Tracks a traced pipeline run must produce (tools/trace_export names
 # sub-tracks "<stage>.tN" when a stage records on several threads).
 REQUIRED_STAGES = ["decode", "final_meld", "publish"]
+
+# Stable abort-cause names an `abort` instant's args.cause may carry
+# (common/abort_info.h AbortCauseName; "none" never appears on an abort).
+ABORT_CAUSES = {
+    "write_write", "read_write", "phantom", "graft", "group_fate_sharing",
+    "premeld_kill", "busy",
+}
 
 
 def fail(msg):
@@ -70,7 +78,7 @@ def check_chrome(path):
     if not isinstance(events, list) or not events:
         fail(f"{path}: missing or empty 'traceEvents' array")
     tracks = set()
-    begins = ends = 0
+    begins = ends = aborts = 0
     for ev in events:
         for field in ("ph", "pid", "tid"):
             if field not in ev:
@@ -81,6 +89,15 @@ def check_chrome(path):
             continue
         if "ts" not in ev or "name" not in ev:
             fail(f"{path}: event missing ts/name: {ev}")
+        if ev["name"] == "abort":
+            # Abort instants carry their typed cause: args.cause must be a
+            # known AbortCauseName and the phase must be an instant.
+            aborts += 1
+            if ev["ph"] != "i":
+                fail(f"{path}: abort event with phase {ev['ph']!r}")
+            cause = ev.get("args", {}).get("cause")
+            if cause not in ABORT_CAUSES:
+                fail(f"{path}: abort instant with bad cause {cause!r}: {ev}")
         if ev["ph"] == "B":
             begins += 1
         elif ev["ph"] == "E":
@@ -94,7 +111,7 @@ def check_chrome(path):
             fail(f"{path}: no track for stage {stage!r} (tracks: "
                  f"{sorted(tracks)})")
     print(f"check_trace: {path}: {len(events)} events on "
-          f"{len(tracks)} tracks OK")
+          f"{len(tracks)} tracks ({aborts} abort instants) OK")
 
 
 def main():
